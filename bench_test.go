@@ -1,0 +1,363 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations of DESIGN.md §5. Each bench regenerates its experiment from
+// scratch, so `go test -bench=.` is the reproduction harness; the printed
+// tables come from `go run ./cmd/paper`.
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+// BenchmarkTable2FamilyConstants regenerates Table II (family constants).
+func BenchmarkTable2FamilyConstants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.Table2(); len(tbl.Rows) != 5 {
+			b.Fatalf("Table II rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkTable4BitstreamConstants regenerates Table IV.
+func BenchmarkTable4BitstreamConstants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.Table4(); len(tbl.Rows) != 9 {
+			b.Fatalf("Table IV rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkTable5PRRModel regenerates Table V: the PRR size/organization
+// model over all six PRM/device pairs. This is the paper's headline
+// "seconds instead of hours" path, so its absolute time matters.
+func BenchmarkTable5PRRModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6PostPAR regenerates Table VI: full simulated implementation
+// (synthesis, optimization, placement) of all six PRM/device pairs.
+func BenchmarkTable6PostPAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7BitstreamSizes regenerates Table VII: model prediction plus
+// packet-level generation for every PRM/device pair, byte-compared.
+func BenchmarkTable7BitstreamSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8FlowTimes regenerates Table VIII: measured simulated-flow
+// and cost-model times against the calibrated vendor-tool model.
+func BenchmarkTable8FlowTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1SearchFlow regenerates Fig. 1's narrated search (FIR on
+// the LX110T iterating H = 1..5).
+func BenchmarkFigure1SearchFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2BitstreamStructure regenerates Fig. 2's bitstream
+// structure decomposition for a two-row CLB+DSP+BRAM PRR.
+func BenchmarkFigure2BitstreamStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablations -----------------------------------------------------------------
+
+// BenchmarkAblationHSweep (A1): bitstream size and fragmentation vs H.
+func BenchmarkAblationHSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSharedPRR (A2): dedicated vs shared PRRs.
+func BenchmarkAblationSharedPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSharedPRR(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationShapes (A3): rectangle vs L-shape tile counts.
+func BenchmarkAblationShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationShapes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPortability (A4): model-vs-generator validation across
+// all five device families.
+func BenchmarkAblationPortability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPortability(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOversizedPRR (A5): the oversize sweep with its PR-loses
+// crossover.
+func BenchmarkAblationOversizedPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOversize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReconfigModels (A6): the related-work estimators on the
+// paper PRMs' bitstreams.
+func BenchmarkAblationReconfigModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReconfigModels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDSE (A7): exhaustive partition exploration on the LX75T.
+func BenchmarkAblationDSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationDSE(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks ------------------------------------------------------------
+
+// BenchmarkPRRModelEstimate times one cost-model evaluation — the quantity
+// the paper's productivity claim rests on (microseconds vs the flow's
+// minutes).
+func BenchmarkPRRModelEstimate(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, _ := core.PaperTableVRow("MIPS", "XC5VLX110T")
+	m := core.NewPRRModel(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Estimate(row.Req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitstreamModel times one Eq. (18)-(23) evaluation.
+func BenchmarkBitstreamModel(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewBitstreamModel(dev.Params)
+	org := core.Organization{H: 1, WCLB: 17, WDSP: 1, WBRAM: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.SizeBytes(org) <= 0 {
+			b.Fatal("bad size")
+		}
+	}
+}
+
+// BenchmarkBitstreamGenerate times packet-level generation of the MIPS
+// partial bitstream (the substrate the model is validated against).
+func BenchmarkBitstreamGenerate(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, _ := core.PaperTableVRow("MIPS", "XC5VLX110T")
+	res, err := core.NewPRRModel(dev).Estimate(row.Req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := res.Org.Region
+	prr := bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := bitstream.Generate(dev, prr, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+// BenchmarkSynthesizeMIPS times the synthesis simulator on the largest PRM.
+func BenchmarkSynthesizeMIPS(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rtl.Generate("MIPS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := synth.Synthesize(m, dev); r.LUTFFPairs == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkPlaceAndRouteMIPS times the implementation simulator on the
+// largest PRM (the "hours to days" step the models bypass).
+func BenchmarkPlaceAndRouteMIPS(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rtl.Generate("MIPS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := synth.Synthesize(m, dev)
+	est, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := par.PlaceAndRoute(m, dev, est.Org.Region); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTLGenerate times the RTL generators themselves.
+func BenchmarkRTLGenerate(b *testing.B) {
+	for _, name := range rtl.PaperPRMs() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rtl.Generate(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Extension benchmarks ---------------------------------------------------------
+
+// BenchmarkContextSwitch (A8) times one preemptive save+load+restore cycle's
+// cost derivation from the models.
+func BenchmarkContextSwitch(b *testing.B) {
+	dev, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, _ := core.PaperTableVRow("FIR", "XC6VLX75T")
+	res, err := core.NewPRRModel(dev).Estimate(row.Req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := res.Org.Region
+	prr := bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitstream.SaveTransferBytes(dev, prr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bitstream.GenerateRestore(dev, prr, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelocate (A9) times a FAR-rewrite relocation of the FIR bitstream.
+func BenchmarkRelocate(b *testing.B) {
+	dev, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bitstream.PRR{Row: 1, Col: 3, H: 1, W: 4}
+	dst := bitstream.PRR{Row: 2, Col: 3, H: 1, W: 4}
+	words, err := bitstream.GenerateWords(dev, src, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitstream.Relocate(dev, words, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompress times RLE compression of a 30%-density bitstream.
+func BenchmarkCompress(b *testing.B) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	words, err := bitstream.GenerateWordsOpts(dev,
+		bitstream.PRR{Row: 1, Col: 18, H: 1, W: 20},
+		bitstream.Options{Seed: 3, Density: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(words)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(bitstream.Compress(words)) == 0 {
+			b.Fatal("empty compression")
+		}
+	}
+}
+
+// BenchmarkTimingAnalysis times static timing of the optimized MIPS core.
+func BenchmarkTimingAnalysis(b *testing.B) {
+	m, err := rtl.Generate("MIPS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, _ := par.Optimize(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := par.AnalyzeTiming(opt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command bitcost runs the paper's partial bitstream size cost model for an
+// explicit PRR organization on a device family, printing the Eq. (18)-(23)
+// decomposition.
+//
+// Usage:
+//
+//	bitcost -device XC5VLX110T -h 5 -wclb 2 -wdsp 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	deviceName := flag.String("device", "XC5VLX110T", "target device")
+	h := flag.Int("h", 1, "PRR rows (H)")
+	wclb := flag.Int("wclb", 0, "CLB columns (W_CLB)")
+	wdsp := flag.Int("wdsp", 0, "DSP columns (W_DSP)")
+	wbram := flag.Int("wbram", 0, "BRAM columns (W_BRAM)")
+	flag.Parse()
+
+	dev, err := device.Lookup(*deviceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bitcost:", err)
+		os.Exit(1)
+	}
+	org := core.Organization{H: *h, WCLB: *wclb, WDSP: *wdsp, WBRAM: *wbram}
+	if org.W() == 0 {
+		fmt.Fprintln(os.Stderr, "bitcost: organization has no columns (set -wclb/-wdsp/-wbram)")
+		os.Exit(2)
+	}
+	m := core.NewBitstreamModel(dev.Params)
+	p := dev.Params
+	fmt.Printf("partial bitstream size for %dx(%d CLB + %d DSP + %d BRAM) on %s (%v):\n",
+		org.H, org.WCLB, org.WDSP, org.WBRAM, dev.Name, p.Family)
+	fmt.Printf("  NCF_CLB  = %d x %d = %d frames\n", org.WCLB, p.CFCLB, org.WCLB*p.CFCLB)
+	fmt.Printf("  NCF_DSP  = %d x %d = %d frames\n", org.WDSP, p.CFDSP, org.WDSP*p.CFDSP)
+	fmt.Printf("  NCF_BRAM = %d x %d = %d frames\n", org.WBRAM, p.CFBRAM, org.WBRAM*p.CFBRAM)
+	fmt.Printf("  NCW_row  = %d + (frames+1) x %d = %d words\n",
+		p.FARFDRIWords, p.FrameWords, m.ConfigWordsPerRow(org))
+	fmt.Printf("  NDW_BRAM = %d words\n", m.BRAMInitWordsPerRow(org))
+	fmt.Printf("  S        = {%d + %d x (%d + %d) + %d} x %d = %d bytes\n",
+		p.InitWords, org.H, m.ConfigWordsPerRow(org), m.BRAMInitWordsPerRow(org),
+		p.FinalWords, p.BytesPerWord, m.SizeBytes(org))
+}

@@ -1,0 +1,84 @@
+// Command dse explores PR partitionings of the paper's PRMs on a device with
+// the cost models, printing every design point, the Pareto front, and the
+// model-versus-vendor-flow productivity comparison (the paper's Table VIII
+// argument).
+//
+// Usage:
+//
+//	dse -device XC6VLX75T
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/icap"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+func main() {
+	deviceName := flag.String("device", "XC6VLX75T", "target device")
+	flag.Parse()
+
+	dev, err := device.Lookup(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	var prms []dse.PRM
+	for _, prm := range rtl.PaperPRMs() {
+		row, ok := core.PaperTableVRow(prm, *deviceName)
+		if !ok {
+			fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+		}
+		prms = append(prms, dse.PRM{Name: prm, Req: row.Req})
+	}
+
+	e := &dse.Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+	start := time.Now()
+	points := e.ExploreAll(prms)
+	modelTime := time.Since(start)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("PR partitionings of %v on %s", rtl.PaperPRMs(), dev.Name),
+		Headers: []string{"partitioning", "feasible", "PRR tiles", "total bits (B)", "worst reconfig", "min RU_CLB %"},
+	}
+	for _, p := range points {
+		if !p.Feasible {
+			t.Add(dse.Describe(prms, p), false, "-", "-", "-", "-")
+			continue
+		}
+		t.Add(dse.Describe(prms, p), true, p.TotalTiles, p.TotalBitstreamBytes,
+			p.WorstReconfig.Round(time.Microsecond), p.MinRU)
+	}
+	fmt.Println(t.String())
+
+	front := dse.Pareto(points)
+	fmt.Println("Pareto front (area / worst reconfiguration / fragmentation):")
+	for _, p := range front {
+		fmt.Printf("  %s: %d tiles, %v worst reconfig, %.1f%% min RU\n",
+			dse.Describe(prms, p), p.TotalTiles, p.WorstReconfig.Round(time.Microsecond), p.MinRU)
+	}
+
+	var flowTime time.Duration
+	for range points {
+		for _, p := range prms {
+			flowTime += dse.ISE124.FullFlow(p.Req.LUTFFPairs*2, synth.Report{LUTFFPairs: p.Req.LUTFFPairs})
+		}
+	}
+	fmt.Printf("\n%v\n", dse.Productivity{
+		Points: len(points), ModelTime: modelTime, FlowTime: flowTime,
+		SpeedupFactor: float64(flowTime) / float64(modelTime),
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command mtsim simulates hardware multitasking on a PR FPGA: the paper's
+// three PRMs time-multiplexing PRRs, against the full-reconfiguration and
+// static baselines, under a chosen scheduler and workload.
+//
+// Usage:
+//
+//	mtsim -device XC5VLX110T -jobs 300 -workload roundrobin -slots 0
+//	mtsim -device XC6VLX75T -workload bursty -slots 2 -sched reuse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/icap"
+	"repro/internal/multitask"
+	"repro/internal/rtl"
+)
+
+func main() {
+	deviceName := flag.String("device", "XC5VLX110T", "target device")
+	jobs := flag.Int("jobs", 300, "number of jobs")
+	workload := flag.String("workload", "roundrobin", "workload: roundrobin, bursty, random")
+	slots := flag.Int("slots", 0, "shared PRR slots (0 = dedicated PRR per PRM)")
+	sched := flag.String("sched", "firstfree", "scheduler: firstfree, reuse, rr")
+	execUS := flag.Int("exec", 500, "per-job execution time (microseconds)")
+	gapUS := flag.Int("gap", 100, "inter-arrival gap (microseconds)")
+	flag.Parse()
+
+	dev, err := device.Lookup(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	var specs []multitask.PRMSpec
+	var names []string
+	for _, prm := range rtl.PaperPRMs() {
+		row, ok := core.PaperTableVRow(prm, *deviceName)
+		if !ok {
+			fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+		}
+		specs = append(specs, multitask.PRMSpec{
+			Name: prm, Req: row.Req, Exec: time.Duration(*execUS) * time.Microsecond,
+		})
+		names = append(names, prm)
+	}
+
+	gap := time.Duration(*gapUS) * time.Microsecond
+	var jl []multitask.Job
+	switch *workload {
+	case "roundrobin":
+		jl = multitask.RoundRobinJobs(names, *jobs, gap)
+	case "bursty":
+		jl = multitask.BurstyJobs(names, *jobs, 10, gap)
+	case "random":
+		jl = multitask.RandomJobs(names, *jobs, gap, 2015)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	var policy multitask.Scheduler
+	switch *sched {
+	case "firstfree":
+		policy = multitask.FirstFree{}
+	case "reuse":
+		policy = multitask.ReuseAffinity{}
+	case "rr":
+		policy = &multitask.RoundRobin{}
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	}
+
+	est := icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	pr, err := multitask.BuildPRSystem(dev, specs, *slots, est, policy)
+	if err != nil {
+		fatal(err)
+	}
+	prRes, err := pr.Run(jl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PR system (%d slots, %s):\n  %v\n", len(pr.Slots), policy.Name(), prRes)
+
+	full := multitask.BuildFullReconfigSystem(dev, specs, est)
+	fullRes, err := full.Run(jl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("full-reconfiguration baseline:\n  %v\n", fullRes)
+
+	if static, err := multitask.BuildStaticSystem(dev, specs, est); err != nil {
+		fmt.Printf("static baseline: infeasible (%v)\n", err)
+	} else if statRes, err := static.Run(jl); err == nil {
+		fmt.Printf("static baseline:\n  %v\n", statRes)
+	}
+
+	speedup := fullRes.Makespan.Seconds() / prRes.Makespan.Seconds()
+	fmt.Printf("\nPR vs full reconfiguration: %.2fx makespan improvement\n", speedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtsim:", err)
+	os.Exit(1)
+}

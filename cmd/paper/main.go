@@ -1,0 +1,109 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation, plus the repository's ablations.
+//
+// Usage:
+//
+//	paper                 # everything
+//	paper -table 5        # one table (2, 4, 5, 6, 7, 8)
+//	paper -figure 1       # one figure (1, 2)
+//	paper -ablation a5    # one ablation (a1..a7)
+//	paper -csv            # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (2, 4, 5, 6, 7, 8)")
+	figure := flag.Int("figure", 0, "regenerate one figure (1, 2)")
+	ablation := flag.String("ablation", "", "regenerate one ablation (a1..a7)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	emit := func(t *report.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	emitText := func(s string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+
+	tables := map[int]func() (*report.Table, error){
+		2: func() (*report.Table, error) { return experiments.Table2(), nil },
+		4: func() (*report.Table, error) { return experiments.Table4(), nil },
+		5: experiments.Table5,
+		6: experiments.Table6,
+		7: experiments.Table7,
+		8: experiments.Table8,
+	}
+	figures := map[int]func() (string, error){
+		1: experiments.Figure1,
+		2: experiments.Figure2,
+	}
+	ablations := map[string]func() (*report.Table, error){
+		"a1": experiments.AblationHSweep,
+		"a2": experiments.AblationSharedPRR,
+		"a3": experiments.AblationShapes,
+		"a4": experiments.AblationPortability,
+		"a5": experiments.AblationOversize,
+		"a6": experiments.AblationReconfigModels,
+	}
+
+	switch {
+	case *table != 0:
+		f, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paper: no table %d (have 2, 4, 5, 6, 7, 8)\n", *table)
+			os.Exit(2)
+		}
+		emit(f())
+	case *figure != 0:
+		f, ok := figures[*figure]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paper: no figure %d (have 1, 2)\n", *figure)
+			os.Exit(2)
+		}
+		emitText(f())
+	case *ablation == "a7":
+		t, prod, err := experiments.AblationDSE()
+		emit(t, err)
+		fmt.Println(prod)
+	case *ablation != "":
+		f, ok := ablations[*ablation]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paper: no ablation %q (have a1..a7)\n", *ablation)
+			os.Exit(2)
+		}
+		emit(f())
+	default:
+		for _, n := range []int{2, 4, 5, 6, 7, 8} {
+			emit(tables[n]())
+		}
+		for _, n := range []int{1, 2} {
+			emitText(figures[n]())
+		}
+		for _, a := range []string{"a1", "a2", "a3", "a4", "a5", "a6"} {
+			emit(ablations[a]())
+		}
+		t, prod, err := experiments.AblationDSE()
+		emit(t, err)
+		fmt.Println(prod)
+	}
+}

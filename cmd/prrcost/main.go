@@ -1,0 +1,97 @@
+// Command prrcost runs the paper's PRR size/organization cost model: given a
+// synthesis report (an XST-style file or a built-in core) and a target
+// device, it prints the smallest PRR's organization, availability and
+// per-resource utilization.
+//
+// Usage:
+//
+//	prrcost -device XC5VLX110T -report mips.syr
+//	prrcost -device XC6VLX75T -core FIR
+//	prrcost -device XC5VLX110T -pairs 2617 -luts 1526 -ffs 1592 -dsps 4 -brams 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	deviceName := flag.String("device", "XC5VLX110T", "target device (see -list)")
+	reportPath := flag.String("report", "", "XST-style synthesis report file")
+	coreName := flag.String("core", "", "built-in core to synthesize instead of a report")
+	pairs := flag.Int("pairs", 0, "LUT_FF_req (manual entry)")
+	luts := flag.Int("luts", 0, "LUT_req (manual entry)")
+	ffs := flag.Int("ffs", 0, "FF_req (manual entry)")
+	dsps := flag.Int("dsps", 0, "DSP_req (manual entry)")
+	brams := flag.Int("brams", 0, "BRAM_req (manual entry)")
+	list := flag.Bool("list", false, "list devices and cores, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("devices:", repro.Devices())
+		fmt.Println("cores:  ", repro.Cores())
+		return
+	}
+
+	req, err := requirements(*reportPath, *coreName, *deviceName,
+		repro.Requirements{LUTFFPairs: *pairs, LUTs: *luts, FFs: *ffs, DSPs: *dsps, BRAMs: *brams})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prrcost:", err)
+		os.Exit(1)
+	}
+
+	res, err := repro.EstimatePRR(*deviceName, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prrcost:", err)
+		os.Exit(1)
+	}
+	bytes, err := repro.EstimateBitstreamBytes(*deviceName, res.Org)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prrcost:", err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{Title: fmt.Sprintf("PRR estimate on %s for %v", *deviceName, req)}
+	t.Headers = []string{"quantity", "value"}
+	t.Add("CLB_req (Eq. 1)", res.Org.CLBReq)
+	t.Add("H", res.Org.H)
+	t.Add("W_CLB / W_DSP / W_BRAM", fmt.Sprintf("%d / %d / %d", res.Org.WCLB, res.Org.WDSP, res.Org.WBRAM))
+	t.Add("PRR size (HxW)", fmt.Sprintf("%dx%d = %d tiles", res.Org.H, res.Org.W(), res.Org.Size()))
+	t.Add("placed at", res.Org.Region.String())
+	t.Add("avail CLB/FF/LUT/DSP/BRAM", fmt.Sprintf("%d / %d / %d / %d / %d",
+		res.Avail.CLBs, res.Avail.FFs, res.Avail.LUTs, res.Avail.DSPs, res.Avail.BRAMs))
+	t.Add("RU CLB/FF/LUT/DSP/BRAM %", fmt.Sprintf("%.1f / %.1f / %.1f / %.1f / %.1f",
+		res.RU.CLB, res.RU.FF, res.RU.LUT, res.RU.DSP, res.RU.BRAM))
+	t.Add("partial bitstream (Eq. 18)", fmt.Sprintf("%d bytes", bytes))
+	fmt.Println(t.String())
+}
+
+// requirements resolves the three input modes: report file, built-in core,
+// or manual values.
+func requirements(reportPath, coreName, deviceName string, manual repro.Requirements) (repro.Requirements, error) {
+	switch {
+	case reportPath != "":
+		data, err := os.ReadFile(reportPath)
+		if err != nil {
+			return repro.Requirements{}, err
+		}
+		r, err := repro.ParseXSTReport(string(data))
+		if err != nil {
+			return repro.Requirements{}, err
+		}
+		return repro.FromReport(r), nil
+	case coreName != "":
+		r, err := repro.SynthesizeCore(coreName, deviceName)
+		if err != nil {
+			return repro.Requirements{}, err
+		}
+		fmt.Printf("synthesized %s: %v\n\n", coreName, r)
+		return repro.FromReport(r), nil
+	default:
+		return manual, nil
+	}
+}

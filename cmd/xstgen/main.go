@@ -1,0 +1,49 @@
+// Command xstgen synthesizes a built-in core and writes its XST-style
+// report — the input artifact the paper's cost models consume. Useful for
+// building report corpora and for feeding prrcost without code.
+//
+// Usage:
+//
+//	xstgen -core FIR -device XC5VLX110T > fir.syr
+//	xstgen -core MIPS -device XC6VLX75T -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+func main() {
+	coreName := flag.String("core", "FIR", "built-in core")
+	deviceName := flag.String("device", "XC5VLX110T", "target device")
+	summary := flag.Bool("summary", false, "print the netlist hierarchy summary instead")
+	dot := flag.Bool("dot", false, "print the netlist as Graphviz DOT instead")
+	flag.Parse()
+
+	dev, err := device.Lookup(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := rtl.Generate(*coreName)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *summary:
+		fmt.Print(m.Summary())
+	case *dot:
+		fmt.Print(m.DOT(false))
+	default:
+		fmt.Print(synth.EmitXST(synth.Synthesize(m, dev), dev))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xstgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Multitasking: the paper's motivating scenario (§I). Three hardware tasks
+// — the FIR filter, the MIPS core and the SDRAM controller — time-multiplex
+// PRRs on a Virtex-5 LX110T. The example sizes the PRRs with the cost
+// models, runs a job stream through three system designs (dedicated PRRs,
+// one shared PRR, full reconfiguration), and then reproduces the oversizing
+// pathology: growing the shared PRR until the PR system loses to full
+// reconfiguration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/icap"
+	"repro/internal/multitask"
+	"repro/internal/rtl"
+)
+
+func main() {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []multitask.PRMSpec
+	for _, prm := range rtl.PaperPRMs() {
+		row, _ := core.PaperTableVRow(prm, dev.Name)
+		specs = append(specs, multitask.PRMSpec{Name: prm, Req: row.Req, Exec: 500 * time.Microsecond})
+	}
+	est := icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	jobs := multitask.RoundRobinJobs(rtl.PaperPRMs(), 300, 100*time.Microsecond)
+
+	dedicated, err := multitask.BuildPRSystem(dev, specs, 0, est, multitask.FirstFree{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dRes, err := dedicated.Run(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dedicated PRRs:     ", dRes)
+
+	shared, err := multitask.BuildPRSystem(dev, specs, 1, est, multitask.ReuseAffinity{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sRes, err := shared.Run(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("one shared PRR:     ", sRes)
+
+	full := multitask.BuildFullReconfigSystem(dev, specs, est)
+	fRes, err := full.Run(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full reconfiguration:", fRes)
+
+	fmt.Printf("\nPR (dedicated) vs full reconfiguration: %.1fx makespan improvement\n\n",
+		fRes.Makespan.Seconds()/dRes.Makespan.Seconds())
+
+	// The §I pathology: oversized PRRs negate the PR benefit.
+	points, err := multitask.OversizeSweep(dev, specs, []int{1, 2, 4, 8, 16, 32, 64}, est,
+		multitask.RoundRobinJobs(rtl.PaperPRMs(), 60, 10*time.Microsecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oversized shared PRR sweep (round-robin task switching):")
+	for _, p := range points {
+		verdict := "PR wins"
+		if !p.PRWins() {
+			verdict = "full reconfiguration wins"
+		}
+		fmt.Printf("  %2dx columns: %8d-byte bitstream, PR %7.0f jobs/s vs full %7.0f jobs/s — %s\n",
+			p.Factor, p.BitstreamBytes, p.PRThroughput, p.FullThroughput, verdict)
+	}
+	if c := multitask.Crossover(points); c != 0 {
+		fmt.Printf("crossover at %dx: beyond this the PR design is worse than not using PR at all\n", c)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: size a PRR and its partial bitstream for one PRM without
+// running the PR design flow — the paper's headline use case.
+//
+// It synthesizes the built-in MIPS core for the Virtex-5 XC5VLX110T, runs
+// the PRR size/organization model (Eqs. (1)-(17) with the Fig. 1 search),
+// runs the bitstream size model (Eqs. (18)-(23)), and then validates both
+// against the full simulated flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Synthesize (or load an XST report with repro.ParseXSTReport).
+	rep, err := repro.SynthesizeCore("MIPS", "XC5VLX110T")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("synthesis report:", rep)
+
+	// 2. PRR size/organization cost model.
+	res, err := repro.EstimatePRR("XC5VLX110T", repro.FromReport(rep))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PRR: H=%d rows x W=%d columns (%d CLB + %d DSP + %d BRAM) = %d tiles\n",
+		res.Org.H, res.Org.W(), res.Org.WCLB, res.Org.WDSP, res.Org.WBRAM, res.Org.Size())
+	fmt.Printf("placed at %v\n", res.Org.Region)
+	fmt.Printf("utilization: CLB %.1f%%, FF %.1f%%, LUT %.1f%%, DSP %.1f%%, BRAM %.1f%%\n",
+		res.RU.CLB, res.RU.FF, res.RU.LUT, res.RU.DSP, res.RU.BRAM)
+
+	// 3. Partial bitstream size cost model.
+	bytes, err := repro.EstimateBitstreamBytes("XC5VLX110T", res.Org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partial bitstream: %d bytes (model)\n", bytes)
+
+	// 4. Validate against the simulated vendor flow: place and route inside
+	// the region, generate the real packet stream, compare sizes.
+	flow, err := repro.RunFlow("MIPS", "XC5VLX110T")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow check: generated %d bytes, model %d — exact: %v; PAR saved %.1f%% pairs\n",
+		len(flow.Bitstream), flow.ModelSizeBytes, flow.SizeExact(), flow.PairSavings())
+}

@@ -1,0 +1,129 @@
+package repro
+
+// End-to-end integration: the complete life of a hardware-multitasking PR
+// system, built exclusively through the public layers — synthesize all three
+// paper PRMs, size and place disjoint PRRs with the cost models, implement
+// each inside its region, generate and cross-validate every partial
+// bitstream, relocate one PRM between homologous regions, and run the
+// multitasking simulation over the resulting platform.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/icap"
+	"repro/internal/multitask"
+	"repro/internal/par"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+func TestEndToEndSystem(t *testing.T) {
+	dev, err := device.Lookup("XC6VLX240T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+
+	// 1. Synthesize and size each PRM, placing PRRs disjointly.
+	var avoid []floorplan.Region
+	var specs []multitask.PRMSpec
+	type placed struct {
+		name string
+		org  core.Organization
+	}
+	var regions []placed
+	for _, name := range rtl.PaperPRMs() {
+		m, err := rtl.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := synth.Synthesize(m, dev)
+		model := &core.PRRModel{Device: dev, Avoid: avoid}
+		res, err := model.Estimate(core.FromReport(rep))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		avoid = append(avoid, res.Org.Region)
+		regions = append(regions, placed{name, res.Org})
+
+		// 2. Implement inside the region; the organization must hold.
+		parRes, err := par.PlaceAndRoute(m, dev, res.Org.Region)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !parRes.Placement.Routed() {
+			t.Fatalf("%s: placement did not route", name)
+		}
+		timing, err := par.AnalyzeTiming(parRes.Module, parRes.Placement)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if timing.FmaxHz <= 0 {
+			t.Fatalf("%s: no Fmax", name)
+		}
+
+		// 3. Generate the bitstream and cross-validate the size model.
+		r := res.Org.Region
+		prr := bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}
+		data, err := bitstream.Generate(dev, prr, 2015)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := core.NewBitstreamModel(dev.Params).SizeBytes(res.Org); len(data) != want {
+			t.Fatalf("%s: bitstream %d bytes, model %d", name, len(data), want)
+		}
+		if _, err := bitstream.Parse(data, dev.Params.FrameWords); err != nil {
+			t.Fatalf("%s: generated bitstream does not parse: %v", name, err)
+		}
+		specs = append(specs, multitask.PRMSpec{
+			Name: name, Req: core.FromReport(rep), Exec: 300 * time.Microsecond,
+		})
+	}
+
+	// 4. Relocate the SDRAM bitstream one row up (homologous window).
+	sd := regions[2]
+	src := bitstream.PRR{Row: sd.org.Region.Row, Col: sd.org.Region.Col, H: sd.org.Region.H, W: sd.org.Region.W}
+	dst := src
+	dst.Row++
+	if dst.Row+dst.H-1 <= dev.Fabric.Rows {
+		words, err := bitstream.GenerateWords(dev, src, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, err := bitstream.Relocate(dev, words, src, dst)
+		if err != nil {
+			t.Fatalf("relocating %s: %v", sd.name, err)
+		}
+		if _, err := bitstream.ParseWords(moved, dev.Params.FrameWords); err != nil {
+			t.Fatalf("relocated %s bitstream invalid: %v", sd.name, err)
+		}
+	}
+
+	// 5. Run the multitasking simulation over the platform; PR must beat the
+	// full-reconfiguration baseline.
+	sys, err := multitask.BuildPRSystem(dev, specs, 0, est, multitask.FirstFree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := multitask.RandomJobs(rtl.PaperPRMs(), 120, 80*time.Microsecond, 42)
+	prRes, err := sys.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := multitask.BuildFullReconfigSystem(dev, specs, est)
+	fullRes, err := full.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prRes.Jobs != 120 || fullRes.Jobs != 120 {
+		t.Fatalf("job counts: PR %d, full %d", prRes.Jobs, fullRes.Jobs)
+	}
+	if prRes.Makespan >= fullRes.Makespan {
+		t.Errorf("PR makespan %v did not beat full reconfiguration %v", prRes.Makespan, fullRes.Makespan)
+	}
+}

@@ -1,0 +1,306 @@
+package bitstream
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+func mustDevice(t *testing.T, name string) *device.Device {
+	t.Helper()
+	d, err := device.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// prrFor runs the PRR model for a paper Table V row and converts the found
+// region into a bitstream PRR.
+func prrFor(t *testing.T, dev *device.Device, req core.Requirements) (PRR, core.Organization) {
+	t.Helper()
+	res, err := core.NewPRRModel(dev).Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Org.Region
+	return PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, res.Org
+}
+
+// TestModelMatchesGeneratorTableV is the Table VII validation: for every
+// paper PRM/device pair, the bitstream size cost model (Eqs. (18)–(23))
+// predicts the generated partial bitstream's byte size exactly.
+func TestModelMatchesGeneratorTableV(t *testing.T) {
+	for _, row := range core.TableV {
+		dev := mustDevice(t, row.Device)
+		prr, org := prrFor(t, dev, row.Req)
+		data, err := Generate(dev, prr, 42)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", row.PRM, row.Device, err)
+		}
+		model := core.NewBitstreamModel(dev.Params)
+		if got, want := len(data), model.SizeBytes(org); got != want {
+			t.Errorf("%s/%s: generated %d bytes, model predicts %d", row.PRM, row.Device, got, want)
+		}
+	}
+}
+
+// TestModelMatchesGeneratorSweep property: the byte-exact model/generator
+// agreement holds across arbitrary feasible requirements and devices.
+func TestModelMatchesGeneratorSweep(t *testing.T) {
+	devs := []*device.Device{
+		mustDevice(t, "XC5VLX110T"), mustDevice(t, "XC6VLX75T"),
+		mustDevice(t, "XC4VLX60"), mustDevice(t, "XC7K325T"), mustDevice(t, "XC6SLX45"),
+	}
+	prop := func(devIdx uint8, pairs uint16, dsps, brams, seed uint8) bool {
+		dev := devs[int(devIdx)%len(devs)]
+		req := core.Requirements{
+			LUTFFPairs: int(pairs)%2000 + 1,
+			DSPs:       int(dsps) % 24,
+			BRAMs:      int(brams) % 12,
+		}
+		req.LUTs = req.LUTFFPairs / 2
+		req.FFs = req.LUTFFPairs / 3
+		res, err := core.NewPRRModel(dev).Estimate(req)
+		if err != nil {
+			return true // geometric infeasibility: nothing to compare
+		}
+		r := res.Org.Region
+		data, err := Generate(dev, PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, uint64(seed))
+		if err != nil {
+			return false
+		}
+		return len(data) == core.NewBitstreamModel(dev.Params).SizeBytes(res.Org)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTrip parses a generated bitstream back and checks the Fig. 2
+// structure: row count groups, frame counts, trailer commands, CRC.
+func TestRoundTrip(t *testing.T) {
+	dev := mustDevice(t, "XC5VLX110T")
+	row, _ := core.PaperTableVRow("MIPS", "XC5VLX110T")
+	prr, org := prrFor(t, dev, row.Req)
+	data, err := Generate(dev, prr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Parse(data, dev.Params.FrameWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.CRCOK {
+		t.Error("CRC did not verify")
+	}
+	if l.IDCode != dev.Params.IDCode {
+		t.Errorf("IDCODE %#x, want %#x", l.IDCode, dev.Params.IDCode)
+	}
+	if got := len(l.ConfigGroups()); got != org.H {
+		t.Errorf("config groups = %d, want one per row (%d)", got, org.H)
+	}
+	// MIPS PRR has BRAM columns: one BRAM content group per row.
+	if got := len(l.BRAMGroups()); got != org.H {
+		t.Errorf("BRAM groups = %d, want %d", got, org.H)
+	}
+	if l.InitWords != dev.Params.InitWords {
+		t.Errorf("init words = %d, want IW=%d", l.InitWords, dev.Params.InitWords)
+	}
+	if l.FinalWords != dev.Params.FinalWords {
+		t.Errorf("final words = %d, want FW=%d", l.FinalWords, dev.Params.FinalWords)
+	}
+	// Config frame count per group: columns' frames + 1 pad.
+	wantFrames := dev.Fabric.WindowConfigFrames(dev.Params, prr.Col, prr.W) + 1
+	for _, g := range l.ConfigGroups() {
+		if g.Frames != wantFrames {
+			t.Errorf("config group %v has %d frames, want %d", g.FAR, g.Frames, wantFrames)
+		}
+	}
+	for _, g := range l.BRAMGroups() {
+		wantBRAM := dev.Fabric.WindowBRAMContentFrames(dev.Params, prr.Col, prr.W) + 1
+		if g.Frames != wantBRAM {
+			t.Errorf("BRAM group %v has %d frames, want %d", g.FAR, g.Frames, wantBRAM)
+		}
+	}
+}
+
+// TestNoBRAMGroupsWithoutBRAM: a CLB-only PRR emits no BRAM content plane.
+func TestNoBRAMGroupsWithoutBRAM(t *testing.T) {
+	dev := mustDevice(t, "XC5VLX110T")
+	row, _ := core.PaperTableVRow("SDRAM", "XC5VLX110T")
+	prr, _ := prrFor(t, dev, row.Req)
+	data, err := Generate(dev, prr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Parse(data, dev.Params.FrameWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.BRAMGroups()) != 0 {
+		t.Errorf("CLB-only PRR emitted %d BRAM groups", len(l.BRAMGroups()))
+	}
+}
+
+// TestCorruptionDetected: flipping any word in the signed body fails the CRC
+// or the grammar.
+func TestCorruptionDetected(t *testing.T) {
+	dev := mustDevice(t, "XC6VLX75T")
+	row, _ := core.PaperTableVRow("FIR", "XC6VLX75T")
+	prr, _ := prrFor(t, dev, row.Req)
+	words, err := GenerateWords(dev, prr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{20, 100, len(words) / 2} {
+		mut := append([]uint32(nil), words...)
+		mut[idx] ^= 0x00010000
+		if _, err := ParseWords(mut, dev.Params.FrameWords); err == nil {
+			t.Errorf("corruption at word %d went undetected", idx)
+		}
+	}
+}
+
+// TestGenerateRejectsBadPRRs covers the validation paths.
+func TestGenerateRejectsBadPRRs(t *testing.T) {
+	dev := mustDevice(t, "XC5VLX110T")
+	cases := map[string]PRR{
+		"out of rows":    {Row: 8, Col: 2, H: 2, W: 1},
+		"zero extent":    {Row: 1, Col: 1, H: 0, W: 1},
+		"spans IOB":      {Row: 1, Col: 1, H: 1, W: 2},
+		"overlaps macro": {Row: 7, Col: 8, H: 2, W: 1},
+	}
+	for name, prr := range cases {
+		if _, err := Generate(dev, prr, 0); err == nil {
+			t.Errorf("%s: accepted PRR %+v", name, prr)
+		}
+	}
+}
+
+// TestFARRoundTrip property: FAR encode/decode is lossless over its ranges.
+func TestFARRoundTrip(t *testing.T) {
+	prop := func(blk, row, major, minor uint8) bool {
+		f := FAR{
+			Block: BlockType(blk % 2),
+			Row:   int(row) % 0x40,
+			Major: int(major),
+			Minor: int(minor) % 0x80,
+		}
+		return DecodeFAR(f.Encode()) == f
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPacketCodecs pins the packet header encodings.
+func TestPacketCodecs(t *testing.T) {
+	w := Type1Write(RegFDRI, 0)
+	if packetType(w) != 1 || packetReg(w) != RegFDRI || packetCount1(w) != 0 {
+		t.Errorf("type-1 FDRI header decodes wrong: %#08x", w)
+	}
+	if Type1Write(RegCMD, 1) != 0x30008001 {
+		t.Errorf("CMD write header = %#08x, want 0x30008001 (UG191)", Type1Write(RegCMD, 1))
+	}
+	if Type1Write(RegFDRI, 0) != 0x30004000 {
+		t.Errorf("FDRI header = %#08x, want 0x30004000 (UG191)", Type1Write(RegFDRI, 0))
+	}
+	t2 := Type2Write(12345)
+	if packetType(t2) != 2 || packetCount2(t2) != 12345 {
+		t.Errorf("type-2 header decodes wrong: %#08x", t2)
+	}
+	if !IsNOP(WordNOP) || IsNOP(w) {
+		t.Error("NOP detection wrong")
+	}
+}
+
+func TestPacketRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized type-1 count did not panic")
+		}
+	}()
+	Type1Write(RegFDRI, 4096)
+}
+
+// TestSpartan6WordSize: 16-bit-word families serialize two bytes per word,
+// halving the byte size for the same word count.
+func TestSpartan6WordSize(t *testing.T) {
+	dev := mustDevice(t, "XC6SLX45")
+	res, err := core.NewPRRModel(dev).Estimate(core.Requirements{LUTFFPairs: 100, LUTs: 60, FFs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Org.Region
+	words, err := GenerateWords(dev, PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Serialize(words, dev.Params.BytesPerWord)
+	if len(data) != 2*len(words) {
+		t.Errorf("S6 serialization: %d bytes for %d words", len(data), len(words))
+	}
+	if len(data) != core.NewBitstreamModel(dev.Params).SizeBytes(res.Org) {
+		t.Errorf("S6 model mismatch: %d bytes vs model %d",
+			len(data), core.NewBitstreamModel(dev.Params).SizeBytes(res.Org))
+	}
+}
+
+// TestDescribe renders the Fig. 2 dump.
+func TestDescribe(t *testing.T) {
+	dev := mustDevice(t, "XC6VLX75T")
+	row, _ := core.PaperTableVRow("MIPS", "XC6VLX75T")
+	prr, _ := prrFor(t, dev, row.Req)
+	data, err := Generate(dev, prr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Parse(data, dev.Params.FrameWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := l.Describe()
+	for _, want := range []string{"initial words", "final words", "FAR", "BRAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSizeAgainstFullBitstream: every partial bitstream is far smaller than
+// the device's full bitstream (the paper's core PR motivation).
+func TestSizeAgainstFullBitstream(t *testing.T) {
+	for _, row := range core.TableV {
+		dev := mustDevice(t, row.Device)
+		prr, _ := prrFor(t, dev, row.Req)
+		data, err := Generate(dev, prr, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full := dev.FullBitstreamBytes(); len(data) >= full/2 {
+			t.Errorf("%s/%s: partial %d bytes vs full %d — PR benefit lost",
+				row.PRM, row.Device, len(data), full)
+		}
+	}
+}
+
+// TestDeserializeRejectsMisaligned covers the byte-path error.
+func TestDeserializeRejectsMisaligned(t *testing.T) {
+	if _, err := Deserialize(make([]byte, 6)); err == nil {
+		t.Error("misaligned byte slice accepted")
+	}
+}
+
+// TestRegionFromFloorplanRegion: the PRR mirrors floorplan regions exactly.
+func TestRegionFromFloorplanRegion(t *testing.T) {
+	reg := floorplan.Region{Row: 2, Col: 3, H: 4, W: 5}
+	prr := PRR{Row: reg.Row, Col: reg.Col, H: reg.H, W: reg.W}
+	if prr.Row != 2 || prr.Col != 3 || prr.H != 4 || prr.W != 5 {
+		t.Error("PRR conversion mismatch")
+	}
+}

@@ -1,0 +1,73 @@
+package bitstream
+
+import "repro/internal/device"
+
+// Hardware task context save: the authors' companion work (FCCM'13 on-chip
+// context save/restore, ARC'13 task relocation) preempts a PRM by capturing
+// its flip-flop state into configuration memory (GCAPTURE) and reading the
+// PRR's frames back through the ICAP (RCFG + FDRO). Restoring replays a
+// partial bitstream carrying the captured frames with a GRESTORE trailer
+// (Options.RestoreState).
+
+// SaveCommands emits the capture-and-readback command stream for a PRR:
+// sync preamble, GCAPTURE, RCFG, then one FAR + FDRO read request per row
+// (configuration plane only — BRAM content reads back the same way but is
+// usually saved through the task's own memory interface).
+func SaveCommands(dev *device.Device, prr PRR) ([]uint32, error) {
+	if err := prr.Validate(dev); err != nil {
+		return nil, err
+	}
+	p := dev.Params
+	f := &dev.Fabric
+	var w []uint32
+	emit := func(ws ...uint32) { w = append(w, ws...) }
+
+	emit(WordDummy, WordBusWidth, WordBusDetect, WordDummy, WordSync, WordNOP)
+	emit(Type1Write(RegCMD, 1), uint32(CmdRCRC))
+	emit(WordNOP, WordNOP)
+	emit(Type1Write(RegCMD, 1), uint32(CmdGCapture))
+	emit(Type1Write(RegCMD, 1), uint32(CmdRCFG))
+	emit(WordNOP, WordNOP)
+	for row := prr.Row; row < prr.Row+prr.H; row++ {
+		frames := f.WindowConfigFrames(p, prr.Col, prr.W)
+		emit(Type1Write(RegFAR, 1), FAR{Block: BlockConfig, Row: row, Major: prr.Col}.Encode())
+		emit(Type1Read(RegFDRO, 0), Type2Read((frames+1)*p.FrameWords))
+	}
+	emit(Type1Write(RegCMD, 1), uint32(CmdDesync))
+	emit(WordNOP, WordNOP)
+	return w, nil
+}
+
+// SaveTransferWords returns the total ICAP transfer volume of a context
+// save in configuration words: the command stream written in, plus the
+// frame data read back out (both cross the same port).
+func SaveTransferWords(dev *device.Device, prr PRR) (int, error) {
+	cmds, err := SaveCommands(dev, prr)
+	if err != nil {
+		return 0, err
+	}
+	p := dev.Params
+	frames := dev.Fabric.WindowConfigFrames(p, prr.Col, prr.W)
+	readback := prr.H * (frames + 1) * p.FrameWords
+	return len(cmds) + readback, nil
+}
+
+// SaveTransferBytes is SaveTransferWords in bytes.
+func SaveTransferBytes(dev *device.Device, prr PRR) (int, error) {
+	words, err := SaveTransferWords(dev, prr)
+	if err != nil {
+		return 0, err
+	}
+	return words * dev.Params.BytesPerWord, nil
+}
+
+// GenerateRestore emits the context-restoring partial bitstream for a PRR:
+// the saved frames replayed with a GRESTORE trailer. Its size is the plain
+// partial bitstream plus two trailer words.
+func GenerateRestore(dev *device.Device, prr PRR, seed uint64) ([]byte, error) {
+	words, err := GenerateWordsOpts(dev, prr, Options{Seed: seed, RestoreState: true})
+	if err != nil {
+		return nil, err
+	}
+	return Serialize(words, dev.Params.BytesPerWord), nil
+}

@@ -1,0 +1,200 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func testPRR(t *testing.T) (*device.Device, PRR) {
+	t.Helper()
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MIPS-style window: CLBs + DSP + BRAMs, one row.
+	return dev, PRR{Row: 1, Col: 18, H: 1, W: 20}
+}
+
+// TestSaveCommandsStructure: the save stream syncs, captures, requests one
+// readback per row, and desyncs.
+func TestSaveCommandsStructure(t *testing.T) {
+	dev, prr := testPRR(t)
+	prr.H = 3
+	cmds, err := SaveCommands(dev, prr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSync, captures, rcfgs, farWrites, reads, desyncs := false, 0, 0, 0, 0, 0
+	for i, w := range cmds {
+		switch {
+		case w == WordSync:
+			sawSync = true
+		case w == Type1Write(RegCMD, 1):
+			switch Command(cmds[i+1]) {
+			case CmdGCapture:
+				captures++
+			case CmdRCFG:
+				rcfgs++
+			case CmdDesync:
+				desyncs++
+			}
+		case w == Type1Write(RegFAR, 1):
+			farWrites++
+		case w == Type1Read(RegFDRO, 0):
+			reads++
+		}
+	}
+	if !sawSync || captures != 1 || rcfgs != 1 || desyncs != 1 {
+		t.Errorf("save stream: sync=%v captures=%d rcfgs=%d desyncs=%d", sawSync, captures, rcfgs, desyncs)
+	}
+	if farWrites != 3 || reads != 3 {
+		t.Errorf("save stream: %d FAR writes / %d FDRO reads, want 3/3 (one per row)", farWrites, reads)
+	}
+}
+
+// TestSaveTransferVolume: a save moves roughly the same frame volume as the
+// restore bitstream (minus BRAM init, plus command overhead).
+func TestSaveTransferVolume(t *testing.T) {
+	dev, prr := testPRR(t)
+	save, err := SaveTransferBytes(dev, prr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore, err := GenerateRestore(dev, prr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOnly := dev.Fabric.WindowConfigFrames(dev.Params, prr.Col, prr.W)
+	minBytes := cfgOnly * dev.Params.FrameWords * dev.Params.BytesPerWord
+	if save < minBytes {
+		t.Errorf("save transfer %d bytes below the raw frame volume %d", save, minBytes)
+	}
+	// This window has BRAM columns, whose 128 init frames inflate the
+	// restore side only.
+	if save >= len(restore) {
+		t.Errorf("save %d bytes should be below restore %d (no BRAM content readback)", save, len(restore))
+	}
+}
+
+// TestRestoreBitstreamParses: the GRESTORE trailer round-trips through the
+// parser, which sees the extra command.
+func TestRestoreBitstreamParses(t *testing.T) {
+	dev, prr := testPRR(t)
+	data, err := GenerateRestore(dev, prr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Parse(data, dev.Params.FrameWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range l.Commands {
+		if c == CmdGRestore {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restore bitstream commands %v missing GRESTORE", l.Commands)
+	}
+	plain, err := Generate(dev, prr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(plain)+2*dev.Params.BytesPerWord {
+		t.Errorf("restore bitstream %d bytes, want plain %d + 2 words", len(data), len(plain))
+	}
+}
+
+// TestCompressRoundTrip property: arbitrary word streams survive the RLE
+// round trip.
+func TestCompressRoundTrip(t *testing.T) {
+	prop := func(words []uint32, runs uint8) bool {
+		// Inject some runs so both record kinds are exercised.
+		for i := 0; i < int(runs%8); i++ {
+			words = append(words, 0xDEAD, 0xDEAD, 0xDEAD, 0xDEAD, 0xDEAD)
+		}
+		back, err := Decompress(Compress(words))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(words) {
+			return false
+		}
+		for i := range back {
+			if back[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompressionRatioDensity: sparse bitstreams compress well, dense random
+// ones do not — the property the FaRM model's CompressionRatio consumes.
+func TestCompressionRatioDensity(t *testing.T) {
+	dev, prr := testPRR(t)
+	dense, err := GenerateWordsOpts(dev, prr, Options{Seed: 5, Density: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := GenerateWordsOpts(dev, prr, Options{Seed: 5, Density: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense) != len(sparse) {
+		t.Fatalf("density changed the word count: %d vs %d", len(dense), len(sparse))
+	}
+	dr := CompressionRatio(dense)
+	sr := CompressionRatio(sparse)
+	if dr < 0.95 {
+		t.Errorf("dense bitstream compressed to %.2f, expected ~incompressible", dr)
+	}
+	if sr > 0.7 {
+		t.Errorf("10%%-density bitstream compressed only to %.2f", sr)
+	}
+	// The sparse stream still parses identically (same structure).
+	if _, err := ParseWords(sparse, dev.Params.FrameWords); err != nil {
+		t.Errorf("sparse bitstream does not parse: %v", err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte{recLiteral, 0, 0}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decompress([]byte{recLiteral, 0, 0, 2, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated literal accepted")
+	}
+	if _, err := Decompress([]byte{recRun, 0, 0, 2}); err == nil {
+		t.Error("truncated run accepted")
+	}
+	if _, err := Decompress([]byte{0x77, 0, 0, 1, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown record kind accepted")
+	}
+	if got, err := Decompress(nil); err != nil || len(got) != 0 {
+		t.Error("empty stream should decode to empty")
+	}
+}
+
+func TestCompressionRatioEmpty(t *testing.T) {
+	if CompressionRatio(nil) != 1 {
+		t.Error("empty stream ratio should be 1")
+	}
+}
+
+// TestSaveCommandsRejectsBadPRR covers validation.
+func TestSaveCommandsRejectsBadPRR(t *testing.T) {
+	dev, _ := testPRR(t)
+	if _, err := SaveCommands(dev, PRR{Row: 1, Col: 1, H: 1, W: 2}); err == nil {
+		t.Error("save over IOB column accepted")
+	}
+	if _, err := SaveTransferBytes(dev, PRR{}); err == nil {
+		t.Error("empty PRR accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package bitstream generates and parses partial configuration bitstreams
+// with the structure of the paper's Fig. 2 (Virtex-5, UG191-style): a
+// synchronization preamble, per-PRR-row groups of FAR/FDRI register writes
+// carrying the row's configuration frames (plus one pipeline pad frame), an
+// optional second group per row for BRAM content initialization frames, and
+// a CRC/desynchronization trailer.
+//
+// The generator is the ground truth against which the paper's bitstream size
+// cost model (package core) is validated byte-for-byte: the model computes
+// sizes from the PRR's column counts and family constants, while the
+// generator walks the actual fabric columns and emits real packets.
+package bitstream

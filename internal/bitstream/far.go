@@ -1,0 +1,57 @@
+package bitstream
+
+import "fmt"
+
+// BlockType selects which configuration memory plane a FAR addresses.
+type BlockType uint32
+
+// Configuration memory planes.
+const (
+	BlockConfig      BlockType = 0 // interconnect and block configuration
+	BlockBRAMContent BlockType = 1 // BRAM content initialization
+)
+
+// String names the block type.
+func (b BlockType) String() string {
+	switch b {
+	case BlockConfig:
+		return "CFG"
+	case BlockBRAMContent:
+		return "BRAM"
+	}
+	return fmt.Sprintf("BLK(%d)", uint32(b))
+}
+
+// FAR is a frame address: block plane, clock-region row, major column and
+// minor frame within the column. The packing (documented here rather than
+// family-switched: block[23:21], row[20:15], major[14:7], minor[6:0]) is
+// shared by all modeled families.
+type FAR struct {
+	Block BlockType
+	Row   int // 1-based clock-region row
+	Major int // 1-based fabric column
+	Minor int // frame within the column
+}
+
+// Encode packs the FAR into its register value.
+func (f FAR) Encode() uint32 {
+	if f.Row < 0 || f.Row > 0x3F || f.Major < 0 || f.Major > 0xFF || f.Minor < 0 || f.Minor > 0x7F {
+		panic(fmt.Sprintf("bitstream: FAR %+v out of range", f))
+	}
+	return uint32(f.Block)<<21 | uint32(f.Row)<<15 | uint32(f.Major)<<7 | uint32(f.Minor)
+}
+
+// DecodeFAR unpacks a FAR register value.
+func DecodeFAR(w uint32) FAR {
+	return FAR{
+		Block: BlockType(w >> 21 & 0x7),
+		Row:   int(w >> 15 & 0x3F),
+		Major: int(w >> 7 & 0xFF),
+		Minor: int(w & 0x7F),
+	}
+}
+
+// String renders the FAR as "CFG r3 c34.0".
+func (f FAR) String() string {
+	return fmt.Sprintf("%v r%d c%d.%d", f.Block, f.Row, f.Major, f.Minor)
+}

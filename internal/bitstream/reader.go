@@ -1,0 +1,210 @@
+package bitstream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is one FAR/FDRI write group of a parsed bitstream.
+type Group struct {
+	FAR       FAR
+	DataWords int // FDRI payload words
+	Frames    int // payload frames including the pad frame
+}
+
+// Layout is the structural decomposition of a parsed partial bitstream —
+// the machine form of the paper's Fig. 2.
+type Layout struct {
+	Words      int // total configuration words
+	InitWords  int // words before the first FAR write
+	FinalWords int // words after the last FDRI payload
+	Groups     []Group
+	Commands   []Command // CMD register writes in order
+	IDCode     uint32
+	CRC        uint32 // CRC register value read from the trailer
+	CRCOK      bool   // whether the trailer CRC matches the stream
+}
+
+// ConfigGroups returns the groups addressing the configuration plane.
+func (l *Layout) ConfigGroups() []Group { return l.groups(BlockConfig) }
+
+// BRAMGroups returns the groups addressing the BRAM content plane.
+func (l *Layout) BRAMGroups() []Group { return l.groups(BlockBRAMContent) }
+
+func (l *Layout) groups(b BlockType) []Group {
+	var gs []Group
+	for _, g := range l.Groups {
+		if g.FAR.Block == b {
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// Parse decodes a byte-serialized partial bitstream (32-bit-word families).
+func Parse(data []byte, frameWords int) (*Layout, error) {
+	words, err := Deserialize(data)
+	if err != nil {
+		return nil, err
+	}
+	return ParseWords(words, frameWords)
+}
+
+// ParseWords decodes a partial bitstream from its configuration words,
+// verifying the packet grammar and the trailer CRC.
+func ParseWords(words []uint32, frameWords int) (*Layout, error) {
+	l := &Layout{Words: len(words)}
+
+	// Preamble: skip dummy/bus-width words to the sync word.
+	i := 0
+	for i < len(words) && words[i] != WordSync {
+		switch words[i] {
+		case WordDummy, WordBusWidth, WordBusDetect:
+			i++
+		default:
+			return nil, fmt.Errorf("bitstream: unexpected preamble word %#08x at %d", words[i], i)
+		}
+	}
+	if i == len(words) {
+		return nil, fmt.Errorf("bitstream: no sync word")
+	}
+	i++ // consume sync
+
+	lastPayloadEnd := -1
+	lfrmPos := -1
+	var crcPos int
+	for i < len(words) {
+		w := words[i]
+		switch {
+		case IsNOP(w):
+			i++
+		case packetType(w) == 1 && packetOp(w) == opWrite:
+			reg := packetReg(w)
+			count := packetCount1(w)
+			if i+1+count > len(words) {
+				return nil, fmt.Errorf("bitstream: truncated type-1 payload at word %d", i)
+			}
+			switch reg {
+			case RegCMD:
+				if count != 1 {
+					return nil, fmt.Errorf("bitstream: CMD write with count %d", count)
+				}
+				cmd := Command(words[i+1])
+				if cmd == CmdLFRM && lfrmPos < 0 {
+					lfrmPos = i
+				}
+				l.Commands = append(l.Commands, cmd)
+			case RegIDCODE:
+				if count != 1 {
+					return nil, fmt.Errorf("bitstream: IDCODE write with count %d", count)
+				}
+				l.IDCode = words[i+1]
+			case RegFAR:
+				if count != 1 {
+					return nil, fmt.Errorf("bitstream: FAR write with count %d", count)
+				}
+				if len(l.Groups) == 0 {
+					l.InitWords = i
+				}
+				l.Groups = append(l.Groups, Group{FAR: DecodeFAR(words[i+1])})
+			case RegFDRI:
+				if len(l.Groups) == 0 {
+					return nil, fmt.Errorf("bitstream: FDRI write before any FAR at word %d", i)
+				}
+				g := &l.Groups[len(l.Groups)-1]
+				if count > 0 {
+					g.DataWords = count
+					lastPayloadEnd = i + 1 + count
+				}
+				// count == 0 means a type-2 packet follows.
+			case RegCRC:
+				if count != 1 {
+					return nil, fmt.Errorf("bitstream: CRC write with count %d", count)
+				}
+				l.CRC = words[i+1]
+				crcPos = i
+			default:
+				return nil, fmt.Errorf("bitstream: unexpected %v write at word %d", reg, i)
+			}
+			i += 1 + count
+		case packetType(w) == 2 && packetOp(w) == opWrite:
+			// A type-2 packet extends the preceding zero-count FDRI type-1.
+			count := packetCount2(w)
+			if len(l.Groups) == 0 {
+				return nil, fmt.Errorf("bitstream: type-2 payload before any FAR at word %d", i)
+			}
+			g := &l.Groups[len(l.Groups)-1]
+			if g.DataWords != 0 {
+				return nil, fmt.Errorf("bitstream: duplicate payload for group %v", g.FAR)
+			}
+			if i+1+count > len(words) {
+				return nil, fmt.Errorf("bitstream: truncated type-2 payload at word %d", i)
+			}
+			g.DataWords = count
+			lastPayloadEnd = i + 1 + count
+			i += 1 + count
+		default:
+			return nil, fmt.Errorf("bitstream: unexpected word %#08x at %d", w, i)
+		}
+	}
+	if len(l.Groups) == 0 {
+		return nil, fmt.Errorf("bitstream: no FAR/FDRI groups")
+	}
+	if lastPayloadEnd < 0 {
+		return nil, fmt.Errorf("bitstream: no frame payload")
+	}
+	l.FinalWords = len(words) - lastPayloadEnd
+
+	for gi := range l.Groups {
+		g := &l.Groups[gi]
+		if frameWords > 0 {
+			if g.DataWords%frameWords != 0 {
+				return nil, fmt.Errorf("bitstream: group %v payload %d words is not frame-aligned (%d)",
+					g.FAR, g.DataWords, frameWords)
+			}
+			g.Frames = g.DataWords / frameWords
+		}
+	}
+	// The writer signs everything before the trailer, which opens with the
+	// LFRM command.
+	if lfrmPos >= 0 && crcPos > lfrmPos {
+		l.CRCOK = Checksum(words[:lfrmPos]) == l.CRC
+	}
+	if !l.CRCOK {
+		return nil, fmt.Errorf("bitstream: CRC mismatch")
+	}
+	if !commandsOK(l.Commands) {
+		return nil, fmt.Errorf("bitstream: unexpected command sequence %v", l.Commands)
+	}
+	return l, nil
+}
+
+// commandsOK accepts the writer's command grammar: RCRC, WCFG, LFRM,
+// optional GRESTORE (context restore), DESYNC.
+func commandsOK(got []Command) bool {
+	want := []Command{CmdRCRC, CmdWCFG, CmdLFRM, CmdDesync}
+	if len(got) == 5 {
+		want = []Command{CmdRCRC, CmdWCFG, CmdLFRM, CmdGRestore, CmdDesync}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the layout in the shape of the paper's Fig. 2.
+func (l *Layout) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partial bitstream: %d words\n", l.Words)
+	fmt.Fprintf(&b, "  initial words (sync, RCRC, IDCODE %#08x, WCFG): %d\n", l.IDCode, l.InitWords)
+	for _, g := range l.Groups {
+		fmt.Fprintf(&b, "  FAR %-14v FDRI %6d words (%d frames incl. pad)\n", g.FAR, g.DataWords, g.Frames)
+	}
+	fmt.Fprintf(&b, "  final words (LFRM, CRC %#08x, DESYNC): %d\n", l.CRC, l.FinalWords)
+	return b.String()
+}

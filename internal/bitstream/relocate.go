@@ -1,0 +1,96 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Bitstream relocation (the authors' ARC'13 "HTR: on-chip hardware task
+// relocation"): a PRM's partial bitstream can target any PRR whose column
+// composition matches the original, by rewriting the frame addresses — no
+// re-implementation needed. Relocate performs the rewrite and re-signs the
+// stream; Compatible checks the precondition.
+
+// Compatible reports whether a bitstream generated for src can be relocated
+// to dst on the device: same shape and the same column-kind sequence (frame
+// counts per column must line up exactly).
+func Compatible(dev *device.Device, src, dst PRR) error {
+	if err := src.Validate(dev); err != nil {
+		return fmt.Errorf("bitstream: source: %w", err)
+	}
+	if err := dst.Validate(dev); err != nil {
+		return fmt.Errorf("bitstream: destination: %w", err)
+	}
+	if src.H != dst.H || src.W != dst.W {
+		return fmt.Errorf("bitstream: shape mismatch: %dx%d vs %dx%d", src.H, src.W, dst.H, dst.W)
+	}
+	f := &dev.Fabric
+	for i := 0; i < src.W; i++ {
+		sk, dk := f.KindAt(src.Col+i), f.KindAt(dst.Col+i)
+		if sk != dk {
+			return fmt.Errorf("bitstream: column %d kind mismatch: %v vs %v", i, sk, dk)
+		}
+	}
+	return nil
+}
+
+// Relocate rewrites a partial bitstream generated for src so it configures
+// dst instead: every FAR write is re-based and the CRC re-signed. The frame
+// payload is untouched — identical column kinds carry identical frame
+// layouts, which is what makes hardware task relocation work.
+func Relocate(dev *device.Device, words []uint32, src, dst PRR) ([]uint32, error) {
+	if err := Compatible(dev, src, dst); err != nil {
+		return nil, err
+	}
+	out := append([]uint32(nil), words...)
+	rowShift := dst.Row - src.Row
+	colShift := dst.Col - src.Col
+
+	// Walk the packet stream; rewrite the FAR payloads in place.
+	i := 0
+	for i < len(out) && out[i] != WordSync {
+		i++
+	}
+	if i == len(out) {
+		return nil, fmt.Errorf("bitstream: no sync word")
+	}
+	i++
+	var lfrmPos, crcPos int
+	for i < len(out) {
+		w := out[i]
+		switch {
+		case IsNOP(w):
+			i++
+		case packetType(w) == 1 && packetOp(w) == opWrite:
+			reg := packetReg(w)
+			count := packetCount1(w)
+			if i+1+count > len(out) {
+				return nil, fmt.Errorf("bitstream: truncated packet at %d", i)
+			}
+			switch reg {
+			case RegFAR:
+				far := DecodeFAR(out[i+1])
+				far.Row += rowShift
+				far.Major += colShift
+				out[i+1] = far.Encode()
+			case RegCMD:
+				if Command(out[i+1]) == CmdLFRM && lfrmPos == 0 {
+					lfrmPos = i
+				}
+			case RegCRC:
+				crcPos = i
+			}
+			i += 1 + count
+		case packetType(w) == 2 && packetOp(w) == opWrite:
+			i += 1 + packetCount2(w)
+		default:
+			return nil, fmt.Errorf("bitstream: unexpected word %#08x at %d", w, i)
+		}
+	}
+	if lfrmPos == 0 || crcPos <= lfrmPos {
+		return nil, fmt.Errorf("bitstream: trailer not found for re-signing")
+	}
+	out[crcPos+1] = Checksum(out[:lfrmPos])
+	return out, nil
+}

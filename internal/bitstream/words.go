@@ -1,0 +1,150 @@
+package bitstream
+
+import "fmt"
+
+// Framing words of the Virtex configuration protocol.
+const (
+	WordDummy     = 0xFFFFFFFF
+	WordBusWidth  = 0x000000BB
+	WordBusDetect = 0x11220044
+	WordSync      = 0xAA995566
+	WordNOP       = 0x20000000
+)
+
+// Register is a configuration-logic register address (UG191 Table 6-5).
+type Register uint32
+
+// Configuration registers used by partial bitstreams.
+const (
+	RegCRC    Register = 0x00
+	RegFAR    Register = 0x01
+	RegFDRI   Register = 0x02
+	RegFDRO   Register = 0x03
+	RegCMD    Register = 0x04
+	RegCTL    Register = 0x05
+	RegMASK   Register = 0x06
+	RegSTAT   Register = 0x07
+	RegIDCODE Register = 0x0C
+)
+
+// String names the register.
+func (r Register) String() string {
+	switch r {
+	case RegCRC:
+		return "CRC"
+	case RegFAR:
+		return "FAR"
+	case RegFDRI:
+		return "FDRI"
+	case RegFDRO:
+		return "FDRO"
+	case RegCMD:
+		return "CMD"
+	case RegCTL:
+		return "CTL"
+	case RegMASK:
+		return "MASK"
+	case RegSTAT:
+		return "STAT"
+	case RegIDCODE:
+		return "IDCODE"
+	}
+	return fmt.Sprintf("REG(%#x)", uint32(r))
+}
+
+// Command is a CMD-register opcode (UG191 Table 6-6).
+type Command uint32
+
+// CMD register opcodes used by partial bitstreams.
+const (
+	CmdNull     Command = 0x0
+	CmdWCFG     Command = 0x1
+	CmdLFRM     Command = 0x3 // DGHIGH/LFRM: last frame, deassert GHIGH
+	CmdRCFG     Command = 0x4 // readback configuration
+	CmdRCRC     Command = 0x7
+	CmdGRestore Command = 0xA // restore flip-flop state from configuration memory
+	CmdGCapture Command = 0xC // capture flip-flop state into configuration memory
+	CmdDesync   Command = 0xD
+)
+
+// String names the command.
+func (c Command) String() string {
+	switch c {
+	case CmdNull:
+		return "NULL"
+	case CmdWCFG:
+		return "WCFG"
+	case CmdLFRM:
+		return "LFRM"
+	case CmdRCFG:
+		return "RCFG"
+	case CmdRCRC:
+		return "RCRC"
+	case CmdGRestore:
+		return "GRESTORE"
+	case CmdGCapture:
+		return "GCAPTURE"
+	case CmdDesync:
+		return "DESYNC"
+	}
+	return fmt.Sprintf("CMD(%#x)", uint32(c))
+}
+
+// Packet opcodes (bits 28:27 of a packet header).
+const (
+	opNOP   = 0
+	opRead  = 1
+	opWrite = 2
+)
+
+// Type1Write encodes a type-1 write packet header addressing reg with the
+// given payload word count (count <= 2047).
+func Type1Write(reg Register, count int) uint32 {
+	if count < 0 || count > 0x7FF {
+		panic(fmt.Sprintf("bitstream: type-1 word count %d out of range", count))
+	}
+	return 1<<29 | opWrite<<27 | uint32(reg)<<13 | uint32(count)
+}
+
+// Type1Read encodes a type-1 read packet header addressing reg (readback).
+func Type1Read(reg Register, count int) uint32 {
+	if count < 0 || count > 0x7FF {
+		panic(fmt.Sprintf("bitstream: type-1 word count %d out of range", count))
+	}
+	return 1<<29 | opRead<<27 | uint32(reg)<<13 | uint32(count)
+}
+
+// Type2Read encodes a type-2 read packet header (large readback).
+func Type2Read(count int) uint32 {
+	if count < 0 || count > 0x07FFFFFF {
+		panic(fmt.Sprintf("bitstream: type-2 word count %d out of range", count))
+	}
+	return 2<<29 | opRead<<27 | uint32(count)
+}
+
+// Type2Write encodes a type-2 write packet header (large payload; the
+// register comes from the preceding type-1 header).
+func Type2Write(count int) uint32 {
+	if count < 0 || count > 0x07FFFFFF {
+		panic(fmt.Sprintf("bitstream: type-2 word count %d out of range", count))
+	}
+	return 2<<29 | opWrite<<27 | uint32(count)
+}
+
+// packetType extracts the header type (1, 2) or 0 for non-packets.
+func packetType(w uint32) int { return int(w >> 29) }
+
+// packetOp extracts the opcode field.
+func packetOp(w uint32) int { return int(w >> 27 & 0x3) }
+
+// packetReg extracts the type-1 register address.
+func packetReg(w uint32) Register { return Register(w >> 13 & 0x3FFF) }
+
+// packetCount1 extracts the type-1 word count.
+func packetCount1(w uint32) int { return int(w & 0x7FF) }
+
+// packetCount2 extracts the type-2 word count.
+func packetCount2(w uint32) int { return int(w & 0x07FFFFFF) }
+
+// IsNOP reports whether w is a type-1 NOP.
+func IsNOP(w uint32) bool { return packetType(w) == 1 && packetOp(w) == opNOP }

@@ -1,0 +1,218 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/device"
+)
+
+// PRR locates a partially reconfigurable region on the fabric: rows
+// [Row, Row+H) and columns [Col, Col+W), 1-based from the bottom-left.
+type PRR struct {
+	Row, Col, H, W int
+}
+
+// Validate checks the PRR is inside the fabric, contains only PRR-allowed
+// column kinds, and overlaps no hard macro.
+func (p PRR) Validate(dev *device.Device) error {
+	f := &dev.Fabric
+	if p.H < 1 || p.W < 1 {
+		return fmt.Errorf("bitstream: PRR %+v has empty extent", p)
+	}
+	if p.Row < 1 || p.Row+p.H-1 > f.Rows || p.Col < 1 || p.Col+p.W-1 > f.NumColumns() {
+		return fmt.Errorf("bitstream: PRR %+v outside %s fabric (%d rows x %d cols)",
+			p, dev.Name, f.Rows, f.NumColumns())
+	}
+	for c := p.Col; c < p.Col+p.W; c++ {
+		if k := f.KindAt(c); !k.PRRAllowed() {
+			return fmt.Errorf("bitstream: PRR %+v spans %v column %d", p, k, c)
+		}
+	}
+	if name, holed := f.HoleIn(p.Row, p.Col, p.H, p.W); holed {
+		return fmt.Errorf("bitstream: PRR %+v overlaps hard macro %s", p, name)
+	}
+	return nil
+}
+
+// Options tunes bitstream generation.
+type Options struct {
+	// Seed drives the deterministic frame payload.
+	Seed uint64
+	// Density is the fraction of payload words carrying design bits; the
+	// rest are filler zeros, the way real partial bitstreams for
+	// partially-utilized PRRs look (and what makes them compressible).
+	// Zero means fully dense.
+	Density float64
+	// RestoreState appends a GRESTORE command to the trailer so the
+	// bitstream also restores captured flip-flop state (hardware task
+	// context restore, Morales-Villanueva & Gordon-Ross FCCM'13).
+	RestoreState bool
+}
+
+// Generate emits the partial bitstream configuring the PRR on the device,
+// following the Fig. 2 structure. Frame contents are a deterministic
+// function of seed (standing in for the placed design's configuration bits).
+// The returned slice is the byte-serialized bitstream; GenerateWords returns
+// the word form.
+func Generate(dev *device.Device, prr PRR, seed uint64) ([]byte, error) {
+	words, err := GenerateWords(dev, prr, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Serialize(words, dev.Params.BytesPerWord), nil
+}
+
+// GenerateWords emits the partial bitstream as configuration words.
+func GenerateWords(dev *device.Device, prr PRR, seed uint64) ([]uint32, error) {
+	return GenerateWordsOpts(dev, prr, Options{Seed: seed})
+}
+
+// GenerateWordsOpts is GenerateWords with generation options.
+func GenerateWordsOpts(dev *device.Device, prr PRR, opt Options) ([]uint32, error) {
+	if err := prr.Validate(dev); err != nil {
+		return nil, err
+	}
+	p := dev.Params
+	f := &dev.Fabric
+
+	var w []uint32
+	emit := func(ws ...uint32) { w = append(w, ws...) }
+
+	// --- Initial words (IW): preamble, sync, CRC reset, ID check, WCFG.
+	emit(WordDummy, WordBusWidth, WordBusDetect, WordDummy, WordSync, WordNOP)
+	emit(Type1Write(RegCMD, 1), uint32(CmdRCRC))
+	emit(WordNOP, WordNOP)
+	emit(Type1Write(RegIDCODE, 1), p.IDCode)
+	emit(Type1Write(RegCMD, 1), uint32(CmdWCFG))
+	emit(WordNOP, WordNOP)
+	if len(w) != p.InitWords {
+		return nil, fmt.Errorf("bitstream: generator emitted %d initial words, family constant IW=%d",
+			len(w), p.InitWords)
+	}
+
+	rng := newRNG(opt.Seed)
+	rng.density = opt.Density
+	// --- Per-row groups: configuration frames, then BRAM content frames.
+	for row := prr.Row; row < prr.Row+prr.H; row++ {
+		cfgFrames := f.WindowConfigFrames(p, prr.Col, prr.W)
+		emitGroup(&w, p, FAR{Block: BlockConfig, Row: row, Major: prr.Col}, cfgFrames, rng)
+		if bramFrames := f.WindowBRAMContentFrames(p, prr.Col, prr.W); bramFrames > 0 {
+			firstBRAM := 0
+			for c := prr.Col; c < prr.Col+prr.W; c++ {
+				if f.KindAt(c) == device.KindBRAM {
+					firstBRAM = c
+					break
+				}
+			}
+			emitGroup(&w, p, FAR{Block: BlockBRAMContent, Row: row, Major: firstBRAM}, bramFrames, rng)
+		}
+	}
+
+	// --- Final words (FW): last frame, [GRESTORE,] CRC, desync.
+	bodyEnd := len(w)
+	emit(Type1Write(RegCMD, 1), uint32(CmdLFRM))
+	emit(WordNOP, WordNOP)
+	wantFW := p.FinalWords
+	if opt.RestoreState {
+		// Context restore: reload the captured flip-flop state from the
+		// frames just written. Two extra trailer words beyond FW.
+		emit(Type1Write(RegCMD, 1), uint32(CmdGRestore))
+		wantFW += 2
+	}
+	crc := Checksum(w[:bodyEnd])
+	emit(Type1Write(RegCRC, 1), crc)
+	emit(Type1Write(RegCMD, 1), uint32(CmdDesync))
+	emit(WordNOP, WordNOP)
+	if got := len(w) - bodyEnd; got != wantFW {
+		return nil, fmt.Errorf("bitstream: generator emitted %d final words, want %d",
+			got, wantFW)
+	}
+	return w, nil
+}
+
+// emitGroup writes one FAR/FDRI group: the FAR set, the type-1/type-2 FDRI
+// headers, and (frames+1) frames of payload — the +1 being the configuration
+// pipeline's pad frame.
+func emitGroup(w *[]uint32, p device.Params, far FAR, frames int, rng *rng) {
+	*w = append(*w,
+		Type1Write(RegFAR, 1), far.Encode(),
+		Type1Write(RegFDRI, 0), Type2Write((frames+1)*p.FrameWords))
+	for i := 0; i < (frames+1)*p.FrameWords; i++ {
+		*w = append(*w, rng.next())
+	}
+}
+
+// Checksum is the bitstream's CRC: computed over the byte form of every word
+// emitted before the CRC register write. (The real device accumulates a
+// CRC-32 variant over register writes; a Castagnoli CRC over the same stream
+// provides the equivalent integrity check for the simulator.)
+func Checksum(words []uint32) uint32 {
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	var buf [4]byte
+	for _, w := range words {
+		binary.BigEndian.PutUint32(buf[:], w)
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// Serialize writes words big-endian with the family's word width. For
+// 16-bit-word families (Spartan) the low half of each logical word is
+// emitted: the simulator models those families' bitstream sizes, not their
+// packet encoding.
+func Serialize(words []uint32, bytesPerWord int) []byte {
+	out := make([]byte, 0, len(words)*bytesPerWord)
+	for _, w := range words {
+		switch bytesPerWord {
+		case 4:
+			out = binary.BigEndian.AppendUint32(out, w)
+		case 2:
+			out = binary.BigEndian.AppendUint16(out, uint16(w))
+		default:
+			panic(fmt.Sprintf("bitstream: unsupported word width %d", bytesPerWord))
+		}
+	}
+	return out
+}
+
+// Deserialize reverses Serialize for 32-bit-word families.
+func Deserialize(data []byte) ([]uint32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("bitstream: %d bytes is not 32-bit aligned", len(data))
+	}
+	words := make([]uint32, len(data)/4)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint32(data[i*4:])
+	}
+	return words, nil
+}
+
+// rng is a xorshift64* generator for deterministic frame payloads. A
+// nonzero density below 1.0 makes the given fraction of words carry data
+// and zeros the rest.
+type rng struct {
+	s       uint64
+	density float64
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint32 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	v := uint32((r.s * 0x2545F4914F6CDD1D) >> 32)
+	if r.density > 0 && r.density < 1 {
+		if float64(v%1000)/1000 >= r.density {
+			return 0
+		}
+	}
+	return v
+}

@@ -1,0 +1,46 @@
+package core
+
+import "repro/internal/device"
+
+// BitstreamModel estimates partial bitstream sizes from PRR organization:
+// the paper's Eqs. (18)–(23).
+type BitstreamModel struct {
+	Params device.Params
+}
+
+// NewBitstreamModel returns the model for one device family's constants.
+func NewBitstreamModel(p device.Params) BitstreamModel { return BitstreamModel{Params: p} }
+
+// ConfigWordsPerRow returns NCW_row (Eq. (19)): the FAR/FDRI header words
+// plus one frame set per column (Eqs. (20)–(22)) plus the mandatory pipeline
+// pad frame.
+func (m BitstreamModel) ConfigWordsPerRow(org Organization) int {
+	p := m.Params
+	ncfCLB := org.WCLB * p.CFCLB    // Eq. (20)
+	ncfDSP := org.WDSP * p.CFDSP    // Eq. (21)
+	ncfBRAM := org.WBRAM * p.CFBRAM // Eq. (22)
+	return p.FARFDRIWords + (ncfCLB+ncfDSP+ncfBRAM+1)*p.FrameWords
+}
+
+// BRAMInitWordsPerRow returns NDW_BRAM (Eq. (23)): zero when the PRR has no
+// BRAM columns, else a second FAR/FDRI group carrying the BRAM content
+// frames plus the pad frame.
+func (m BitstreamModel) BRAMInitWordsPerRow(org Organization) int {
+	if org.WBRAM == 0 {
+		return 0
+	}
+	p := m.Params
+	return p.FARFDRIWords + (org.WBRAM*p.DFBRAM+1)*p.FrameWords
+}
+
+// SizeWords returns the partial bitstream size in configuration words.
+func (m BitstreamModel) SizeWords(org Organization) int {
+	p := m.Params
+	return p.InitWords + org.H*(m.ConfigWordsPerRow(org)+m.BRAMInitWordsPerRow(org)) + p.FinalWords
+}
+
+// SizeBytes returns S_bitstream (Eq. (18)): the partial bitstream size in
+// bytes for a PRR with H rows.
+func (m BitstreamModel) SizeBytes(org Organization) int {
+	return m.SizeWords(org) * m.Params.BytesPerWord
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+// TestBitmodelDecomposition checks Eqs. (19)-(23) against hand computation
+// for the paper's MIPS/V5 PRR (H=1, 17 CLB + 1 DSP + 2 BRAM columns).
+func TestBitmodelDecomposition(t *testing.T) {
+	p := device.ParamsFor(device.Virtex5)
+	m := NewBitstreamModel(p)
+	org := Organization{H: 1, WCLB: 17, WDSP: 1, WBRAM: 2}
+
+	ncf := 17*36 + 1*28 + 2*30 // Eqs. (20)-(22)
+	wantNCW := 4 + (ncf+1)*41  // Eq. (19) with FAR_FDRI=4, FR_size=41
+	if got := m.ConfigWordsPerRow(org); got != wantNCW {
+		t.Errorf("NCW_row = %d, want %d", got, wantNCW)
+	}
+	wantNDW := 4 + (2*128+1)*41 // Eq. (23)
+	if got := m.BRAMInitWordsPerRow(org); got != wantNDW {
+		t.Errorf("NDW_BRAM = %d, want %d", got, wantNDW)
+	}
+	wantS := (16 + 1*(wantNCW+wantNDW) + 10) * 4 // Eq. (18)
+	if got := m.SizeBytes(org); got != wantS {
+		t.Errorf("S_bitstream = %d, want %d", got, wantS)
+	}
+}
+
+// TestBitmodelNoBRAMNoInitWords: Eq. (23) contributes nothing without BRAM
+// columns.
+func TestBitmodelNoBRAMNoInitWords(t *testing.T) {
+	m := NewBitstreamModel(device.ParamsFor(device.Virtex5))
+	org := Organization{H: 5, WCLB: 2, WDSP: 1}
+	if got := m.BRAMInitWordsPerRow(org); got != 0 {
+		t.Errorf("NDW_BRAM = %d for a BRAM-free PRR, want 0", got)
+	}
+}
+
+// TestBitmodelProperties: size is positive, word-aligned, strictly monotone
+// in H and in every column count, for random organizations and families.
+func TestBitmodelProperties(t *testing.T) {
+	fams := device.Families()
+	prop := func(fi, h, wc, wd, wb uint8) bool {
+		p := device.ParamsFor(fams[int(fi)%len(fams)])
+		m := NewBitstreamModel(p)
+		org := Organization{
+			H:     int(h)%6 + 1,
+			WCLB:  int(wc) % 20,
+			WDSP:  int(wd) % 4,
+			WBRAM: int(wb) % 4,
+		}
+		if org.W() == 0 {
+			org.WCLB = 1
+		}
+		s := m.SizeBytes(org)
+		if s <= 0 || s%p.BytesPerWord != 0 {
+			return false
+		}
+		// Monotonicity in each dimension.
+		bigger := org
+		bigger.H++
+		if m.SizeBytes(bigger) <= s {
+			return false
+		}
+		bigger = org
+		bigger.WCLB++
+		if m.SizeBytes(bigger) <= s {
+			return false
+		}
+		bigger = org
+		bigger.WBRAM++
+		if m.SizeBytes(bigger) <= s {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitmodelHScaling: per Eq. (18), size is affine in H — the H sweep's
+// marginal cost is exactly NCW_row + NDW_BRAM words per added row.
+func TestBitmodelHScaling(t *testing.T) {
+	p := device.ParamsFor(device.Virtex6)
+	m := NewBitstreamModel(p)
+	org := Organization{H: 1, WCLB: 11, WDSP: 1, WBRAM: 1}
+	perRow := (m.ConfigWordsPerRow(org) + m.BRAMInitWordsPerRow(org)) * p.BytesPerWord
+	s1 := m.SizeBytes(org)
+	for h := 2; h <= 6; h++ {
+		org.H = h
+		if got, want := m.SizeBytes(org), s1+(h-1)*perRow; got != want {
+			t.Errorf("H=%d: size %d, want affine %d", h, got, want)
+		}
+	}
+}
+
+// TestPaperDataIdentities cross-checks the reconstructed paper tables: every
+// Table V/VI requirement satisfies the §III.B pairing decomposition and
+// Eq. (1)'s ceiling, and the Table VI deltas are consistent with Table V.
+func TestPaperDataIdentities(t *testing.T) {
+	lutCLB := map[string]int{"XC5VLX110T": 8, "XC6VLX75T": 8}
+	for _, row := range TableV {
+		if err := row.Req.Validate(); err != nil {
+			t.Errorf("Table V %s/%s: %v", row.PRM, row.Device, err)
+		}
+		if got := ceilDiv(row.Req.LUTFFPairs, lutCLB[row.Device]); got != row.CLBReq {
+			t.Errorf("Table V %s/%s: Eq.(1) gives %d, table says %d", row.PRM, row.Device, got, row.CLBReq)
+		}
+	}
+	for _, row := range TableVI {
+		if err := row.Req.Validate(); err != nil {
+			t.Errorf("Table VI %s/%s: %v", row.PRM, row.Device, err)
+		}
+		if got := ceilDiv(row.Req.LUTFFPairs, lutCLB[row.Device]); got != row.CLBReq {
+			t.Errorf("Table VI %s/%s: Eq.(1) gives %d, table says %d", row.PRM, row.Device, got, row.CLBReq)
+		}
+		v, ok := PaperTableVRow(row.PRM, row.Device)
+		if !ok {
+			t.Fatalf("no Table V row for %s/%s", row.PRM, row.Device)
+		}
+		// The parenthesized delta: VI = V x (1 - savings). Tolerate the
+		// paper's one-decimal rounding.
+		recon := float64(v.Req.LUTFFPairs) * (1 - float64(row.SavingsLUTFF)/1000)
+		if diff := recon - float64(row.Req.LUTFFPairs); diff > 2 || diff < -2 {
+			t.Errorf("Table VI %s/%s: savings %.1f%% of %d gives %.1f, table says %d",
+				row.PRM, row.Device, float64(row.SavingsLUTFF)/10, v.Req.LUTFFPairs,
+				recon, row.Req.LUTFFPairs)
+		}
+	}
+	if len(TableV) != 6 || len(TableVI) != 6 || len(TableVIII) != 6 {
+		t.Errorf("table sizes: V=%d VI=%d VIII=%d, want 6 each", len(TableV), len(TableVI), len(TableVIII))
+	}
+}
+
+// TestPaperRowLookups covers the lookup helpers.
+func TestPaperRowLookups(t *testing.T) {
+	if _, ok := PaperTableVRow("FIR", "XC5VLX110T"); !ok {
+		t.Error("FIR/V5 Table V row missing")
+	}
+	if _, ok := PaperTableVRow("FIR", "XC0"); ok {
+		t.Error("bogus device matched Table V")
+	}
+	if _, ok := PaperTableVIRow("SDRAM", "XC6VLX75T"); !ok {
+		t.Error("SDRAM/V6 Table VI row missing")
+	}
+	if _, ok := PaperTableVIRow("NOPE", "XC6VLX75T"); ok {
+		t.Error("bogus PRM matched Table VI")
+	}
+}

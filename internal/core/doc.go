@@ -1,0 +1,17 @@
+// Package core implements the paper's two contributions:
+//
+//   - the PRR size/organization cost model (§III.B, Eqs. (1)–(17) and the
+//     Fig. 1 search flow): from a PRM's synthesis-report resource counts,
+//     derive the smallest feasible partially reconfigurable region on a
+//     concrete device — its row count H, per-resource column counts W_CLB,
+//     W_DSP, W_BRAM — together with the region's available resources and
+//     per-resource utilization (internal fragmentation);
+//
+//   - the partial bitstream size cost model (§III.C, Eqs. (18)–(23)): from
+//     the PRR organization and the device family's frame geometry, derive
+//     the partial bitstream size in bytes.
+//
+// The package also carries the reconstructed numeric content of the paper's
+// evaluation tables (see DESIGN.md §3) so experiments can assert against the
+// published values.
+package core

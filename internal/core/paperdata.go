@@ -1,0 +1,186 @@
+package core
+
+import "time"
+
+// This file freezes the paper's evaluation numbers. The source text's tables
+// lost most digits to OCR; the values here are reconstructed from the
+// surviving Table VI cells (absolute value + percentage delta against
+// Table V), the printed RU percentages, and the ceiling identities of
+// Eqs. (1)–(7). DESIGN.md §3 records the derivation. RU values carry the
+// paper's integer rounding, so comparisons allow ±1 percentage point.
+
+// PaperRU holds the paper's printed integer RU percentages.
+type PaperRU struct {
+	CLB, FF, LUT, DSP, BRAM int
+}
+
+// TableVRow is one (PRM, device) column of the paper's Table V: the
+// synthesis-report requirements and the cost model's expected output.
+type TableVRow struct {
+	PRM    string
+	Device string
+
+	Req    Requirements
+	CLBReq int
+
+	H, WCLB, WDSP, WBRAM int
+
+	AvailCLB, AvailFF, AvailLUT, AvailDSP, AvailBRAM int
+
+	RU PaperRU
+}
+
+// TableV is the paper's Table V (application of the PRR size/organization
+// cost model to synthesis reports).
+var TableV = []TableVRow{
+	{
+		PRM: "FIR", Device: "XC5VLX110T",
+		Req:    Requirements{LUTFFPairs: 1300, LUTs: 1150, FFs: 394, DSPs: 32, BRAMs: 0},
+		CLBReq: 163,
+		H:      5, WCLB: 2, WDSP: 1, WBRAM: 0,
+		AvailCLB: 200, AvailFF: 1600, AvailLUT: 1600, AvailDSP: 40, AvailBRAM: 0,
+		RU: PaperRU{CLB: 82, FF: 25, LUT: 72, DSP: 80, BRAM: 0},
+	},
+	{
+		PRM: "MIPS", Device: "XC5VLX110T",
+		Req:    Requirements{LUTFFPairs: 2617, LUTs: 1526, FFs: 1592, DSPs: 4, BRAMs: 6},
+		CLBReq: 328,
+		H:      1, WCLB: 17, WDSP: 1, WBRAM: 2,
+		AvailCLB: 340, AvailFF: 2720, AvailLUT: 2720, AvailDSP: 8, AvailBRAM: 8,
+		RU: PaperRU{CLB: 97, FF: 59, LUT: 56, DSP: 50, BRAM: 75},
+	},
+	{
+		PRM: "SDRAM", Device: "XC5VLX110T",
+		Req:    Requirements{LUTFFPairs: 332, LUTs: 157, FFs: 292, DSPs: 0, BRAMs: 0},
+		CLBReq: 42,
+		H:      1, WCLB: 3, WDSP: 0, WBRAM: 0,
+		AvailCLB: 60, AvailFF: 480, AvailLUT: 480, AvailDSP: 0, AvailBRAM: 0,
+		RU: PaperRU{CLB: 70, FF: 61, LUT: 33, DSP: 0, BRAM: 0},
+	},
+	{
+		PRM: "FIR", Device: "XC6VLX75T",
+		Req:    Requirements{LUTFFPairs: 1467, LUTs: 1316, FFs: 394, DSPs: 27, BRAMs: 0},
+		CLBReq: 184,
+		H:      1, WCLB: 5, WDSP: 2, WBRAM: 0,
+		AvailCLB: 200, AvailFF: 3200, AvailLUT: 1600, AvailDSP: 32, AvailBRAM: 0,
+		RU: PaperRU{CLB: 92, FF: 12, LUT: 82, DSP: 84, BRAM: 0},
+	},
+	{
+		PRM: "MIPS", Device: "XC6VLX75T",
+		Req:    Requirements{LUTFFPairs: 3239, LUTs: 2095, FFs: 1860, DSPs: 4, BRAMs: 6},
+		CLBReq: 405,
+		H:      1, WCLB: 11, WDSP: 1, WBRAM: 1,
+		AvailCLB: 440, AvailFF: 7040, AvailLUT: 3520, AvailDSP: 16, AvailBRAM: 8,
+		RU: PaperRU{CLB: 92, FF: 26, LUT: 60, DSP: 25, BRAM: 75},
+	},
+	{
+		PRM: "SDRAM", Device: "XC6VLX75T",
+		Req:    Requirements{LUTFFPairs: 385, LUTs: 181, FFs: 324, DSPs: 0, BRAMs: 0},
+		CLBReq: 49,
+		H:      1, WCLB: 2, WDSP: 0, WBRAM: 0,
+		AvailCLB: 80, AvailFF: 1280, AvailLUT: 640, AvailDSP: 0, AvailBRAM: 0,
+		RU: PaperRU{CLB: 61, FF: 25, LUT: 28, DSP: 0, BRAM: 0},
+	},
+}
+
+// TableVIRow is one column of the paper's Table VI: the post-place-and-route
+// requirements (with the AREA_GROUP constraint at the Table V organization)
+// and the resulting RU. SavingsPct records the paper's parenthesized deltas
+// vs. Table V (positive = resources saved by PAR optimization).
+type TableVIRow struct {
+	PRM    string
+	Device string
+
+	Req    Requirements
+	CLBReq int
+	RU     PaperRU
+
+	// SavingsPct: LUT_FF, LUT, FF, DSP, BRAM deltas in tenths of a percent
+	// (e.g. 168 = 16.8%); negative values are increases.
+	SavingsLUTFF, SavingsLUT, SavingsFF, SavingsDSP, SavingsBRAM int
+}
+
+// TableVI is the paper's Table VI.
+var TableVI = []TableVIRow{
+	{
+		PRM: "FIR", Device: "XC5VLX110T",
+		Req:          Requirements{LUTFFPairs: 1082, LUTs: 1015, FFs: 410, DSPs: 32, BRAMs: 0},
+		CLBReq:       136,
+		RU:           PaperRU{CLB: 68, FF: 26, LUT: 63, DSP: 80, BRAM: 0},
+		SavingsLUTFF: 168, SavingsLUT: 117, SavingsFF: -41,
+	},
+	{
+		PRM: "MIPS", Device: "XC5VLX110T",
+		Req:          Requirements{LUTFFPairs: 2183, LUTs: 1528, FFs: 1592, DSPs: 4, BRAMs: 6},
+		CLBReq:       273,
+		RU:           PaperRU{CLB: 80, FF: 59, LUT: 56, DSP: 50, BRAM: 75},
+		SavingsLUTFF: 166, SavingsLUT: -1, SavingsFF: 0,
+	},
+	{
+		PRM: "SDRAM", Device: "XC5VLX110T",
+		Req:          Requirements{LUTFFPairs: 324, LUTs: 191, FFs: 292, DSPs: 0, BRAMs: 0},
+		CLBReq:       41,
+		RU:           PaperRU{CLB: 68, FF: 61, LUT: 40, DSP: 0, BRAM: 0},
+		SavingsLUTFF: 24, SavingsLUT: -217, SavingsFF: 0,
+	},
+	{
+		PRM: "FIR", Device: "XC6VLX75T",
+		Req:          Requirements{LUTFFPairs: 999, LUTs: 999, FFs: 394, DSPs: 27, BRAMs: 0},
+		CLBReq:       125,
+		RU:           PaperRU{CLB: 63, FF: 12, LUT: 62, DSP: 84, BRAM: 0},
+		SavingsLUTFF: 319, SavingsLUT: 241, SavingsFF: 0,
+	},
+	{
+		PRM: "MIPS", Device: "XC6VLX75T",
+		Req:          Requirements{LUTFFPairs: 2630, LUTs: 1932, FFs: 1860, DSPs: 4, BRAMs: 6},
+		CLBReq:       329,
+		RU:           PaperRU{CLB: 75, FF: 26, LUT: 55, DSP: 25, BRAM: 75},
+		SavingsLUTFF: 188, SavingsLUT: 78, SavingsFF: 0,
+	},
+	{
+		PRM: "SDRAM", Device: "XC6VLX75T",
+		Req:          Requirements{LUTFFPairs: 370, LUTs: 215, FFs: 324, DSPs: 0, BRAMs: 0},
+		CLBReq:       47,
+		RU:           PaperRU{CLB: 59, FF: 25, LUT: 34, DSP: 0, BRAM: 0},
+		SavingsLUTFF: 39, SavingsLUT: -188, SavingsFF: 0,
+	},
+}
+
+// TableVIIIRow is one column of the paper's Table VIII: XST synthesis and
+// ISE implementation wall-clock times on the authors' 1.8 GHz AMD Turion.
+type TableVIIIRow struct {
+	PRM            string
+	Device         string
+	Synthesis      time.Duration
+	Implementation time.Duration
+}
+
+// TableVIII is the paper's Table VIII.
+var TableVIII = []TableVIIIRow{
+	{"FIR", "XC5VLX110T", 4*time.Minute + 25*time.Second, 5*time.Minute + 35*time.Second},
+	{"MIPS", "XC5VLX110T", 4*time.Minute + 15*time.Second, 5*time.Minute + 15*time.Second},
+	{"SDRAM", "XC5VLX110T", 3*time.Minute + 20*time.Second, 2*time.Minute + 55*time.Second},
+	{"FIR", "XC6VLX75T", 4 * time.Minute, 4*time.Minute + 15*time.Second},
+	{"MIPS", "XC6VLX75T", 4*time.Minute + 50*time.Second, 5*time.Minute + 50*time.Second},
+	{"SDRAM", "XC6VLX75T", 4*time.Minute + 23*time.Second, 4*time.Minute + 30*time.Second},
+}
+
+// PaperTableVRow returns the Table V row for a PRM/device pair.
+func PaperTableVRow(prm, dev string) (TableVRow, bool) {
+	for _, r := range TableV {
+		if r.PRM == prm && r.Device == dev {
+			return r, true
+		}
+	}
+	return TableVRow{}, false
+}
+
+// PaperTableVIRow returns the Table VI row for a PRM/device pair.
+func PaperTableVIRow(prm, dev string) (TableVIRow, bool) {
+	for _, r := range TableVI {
+		if r.PRM == prm && r.Device == dev {
+			return r, true
+		}
+	}
+	return TableVIRow{}, false
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+// Organization is a PRR's size/organization: the paper's H, W_CLB, W_DSP and
+// W_BRAM outputs (for a rectangular PRR, H_CLB = H_DSP = H_BRAM = H).
+type Organization struct {
+	H     int // rows
+	WCLB  int // CLB columns
+	WDSP  int // DSP columns
+	WBRAM int // BRAM columns
+
+	// CLBReq is Eq. (1)'s derived CLB count (ceil(LUT_FF_req / LUT_CLB)).
+	CLBReq int
+	// Region is where the Fig. 1 search placed the PRR on the fabric.
+	Region floorplan.Region
+}
+
+// W returns the total column count W = W_CLB + W_DSP + W_BRAM (Eq. (6)).
+func (o Organization) W() int { return o.WCLB + o.WDSP + o.WBRAM }
+
+// Size returns PRR_size = H x W (Eq. (7)).
+func (o Organization) Size() int { return o.H * o.W() }
+
+// Need converts the organization's column mix into a floorplan need.
+func (o Organization) Need() floorplan.Need {
+	return floorplan.Need{CLB: o.WCLB, DSP: o.WDSP, BRAM: o.WBRAM}
+}
+
+// Availability is the PRR's resource capacity: Eqs. (8)–(12).
+type Availability struct {
+	CLBs  int
+	FFs   int
+	LUTs  int
+	DSPs  int
+	BRAMs int
+}
+
+// Utilization is the per-resource RU percentage: Eqs. (13)–(17). Values are
+// exact percentages (not rounded); RoundPct matches the paper's printing.
+type Utilization struct {
+	CLB  float64
+	FF   float64
+	LUT  float64
+	DSP  float64
+	BRAM float64
+}
+
+// RoundPct rounds a utilization percentage the way the paper prints it
+// (nearest integer, half away from zero).
+func RoundPct(v float64) int { return int(math.Round(v)) }
+
+// Result is the PRR size/organization model's full output for one PRM.
+type Result struct {
+	Req   Requirements
+	Org   Organization
+	Avail Availability
+	RU    Utilization
+}
+
+// PRRModel estimates PRR size/organization for PRMs targeting one device.
+type PRRModel struct {
+	// Device is the target part.
+	Device *device.Device
+	// Avoid lists fabric regions the PRR must not overlap (already-placed
+	// PRRs, the static region's floorplan).
+	Avoid []floorplan.Region
+}
+
+// NewPRRModel returns a model for the device.
+func NewPRRModel(dev *device.Device) *PRRModel { return &PRRModel{Device: dev} }
+
+// Estimate runs the paper's Fig. 1 flow: derive the CLB requirement
+// (Eq. (1)), then for H = 1, 2, ... derive the per-resource column counts
+// (Eqs. (2)–(5)), and search the fabric bottom-up for W contiguous columns
+// matching that mix. The first H that both covers the resources and admits a
+// physical window yields the smallest PRR and the lowest internal
+// fragmentation. On devices with a single DSP column the model uses Eq. (4):
+// W_DSP is pinned to 1 and the DSP requirement instead constrains H.
+func (m *PRRModel) Estimate(req Requirements) (Result, error) {
+	if err := req.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := m.Device.Params
+	fab := &m.Device.Fabric
+
+	clbReq := 0
+	if req.LUTFFPairs > 0 {
+		clbReq = ceilDiv(req.LUTFFPairs, p.LUTPerCLB) // Eq. (1)
+	}
+	singleDSPCol := fab.CountKind(device.KindDSP) == 1
+
+	for h := 1; h <= fab.Rows; h++ {
+		org, feasible := m.organizationAt(req, clbReq, h, singleDSPCol)
+		if !feasible {
+			continue
+		}
+		reg, ok := floorplan.FindWindow(fab, h, org.Need(), m.Avoid...)
+		if !ok {
+			continue
+		}
+		org.Region = reg
+		avail := m.availability(org)
+		return Result{Req: req, Org: org, Avail: avail, RU: utilization(req, clbReq, avail)}, nil
+	}
+	return Result{}, fmt.Errorf("core: no feasible PRR on %s for %v (device has %d rows)",
+		m.Device.Name, req, fab.Rows)
+}
+
+// organizationAt derives the column counts for a candidate H. It reports
+// false when H cannot cover the requirement (single-DSP-column devices need
+// H >= H_DSP from Eq. (4)).
+func (m *PRRModel) organizationAt(req Requirements, clbReq, h int, singleDSPCol bool) (Organization, bool) {
+	p := m.Device.Params
+	org := Organization{H: h, CLBReq: clbReq}
+	if clbReq > 0 {
+		org.WCLB = ceilDiv(clbReq, h*p.CLBPerCol) // Eq. (2)
+	}
+	if req.DSPs > 0 {
+		if singleDSPCol {
+			org.WDSP = 1
+			if hDSP := ceilDiv(req.DSPs, p.DSPPerCol); hDSP > h { // Eq. (4)
+				return org, false
+			}
+		} else {
+			org.WDSP = ceilDiv(req.DSPs, h*p.DSPPerCol) // Eq. (3)
+		}
+	}
+	if req.BRAMs > 0 {
+		org.WBRAM = ceilDiv(req.BRAMs, h*p.BRAMPerCol) // Eq. (5)
+	}
+	return org, org.W() > 0
+}
+
+// availability computes the PRR's capacity: Eqs. (8)–(12).
+func (m *PRRModel) availability(org Organization) Availability {
+	p := m.Device.Params
+	clbs := org.H * org.WCLB * p.CLBPerCol // Eq. (8)
+	return Availability{
+		CLBs:  clbs,
+		FFs:   clbs * p.FFPerCLB,                // Eq. (9)
+		LUTs:  clbs * p.LUTPerCLB,               // Eq. (10)
+		DSPs:  org.H * org.WDSP * p.DSPPerCol,   // Eq. (11)
+		BRAMs: org.H * org.WBRAM * p.BRAMPerCol, // Eq. (12)
+	}
+}
+
+// utilization computes RU per resource: Eqs. (13)–(17). A resource the PRR
+// does not provide reports 0%.
+func utilization(req Requirements, clbReq int, a Availability) Utilization {
+	pct := func(used, avail int) float64 {
+		if avail == 0 {
+			return 0
+		}
+		return float64(used) / float64(avail) * 100
+	}
+	return Utilization{
+		CLB:  pct(clbReq, a.CLBs),
+		FF:   pct(req.FFs, a.FFs),
+		LUT:  pct(req.LUTs, a.LUTs),
+		DSP:  pct(req.DSPs, a.DSPs),
+		BRAM: pct(req.BRAMs, a.BRAMs),
+	}
+}

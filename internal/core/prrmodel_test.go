@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+func deviceFor(t *testing.T, name string) *device.Device {
+	t.Helper()
+	d, err := device.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// ruClose checks a model RU against a paper integer percentage within one
+// percentage point (the paper's rounding is mixed; see DESIGN.md §3).
+func ruClose(model float64, paper int) bool {
+	return math.Abs(float64(RoundPct(model))-float64(paper)) <= 1
+}
+
+// TestTableVReproduction is the headline experiment: for every (PRM, device)
+// column of the paper's Table V, the PRR size/organization model applied to
+// the synthesis-report requirements must reproduce the paper's H, column
+// counts, availability, and RU percentages.
+func TestTableVReproduction(t *testing.T) {
+	for _, row := range TableV {
+		dev := deviceFor(t, row.Device)
+		res, err := NewPRRModel(dev).Estimate(row.Req)
+		if err != nil {
+			t.Errorf("%s/%s: %v", row.PRM, row.Device, err)
+			continue
+		}
+		if res.Org.CLBReq != row.CLBReq {
+			t.Errorf("%s/%s: CLB_req = %d, paper says %d", row.PRM, row.Device, res.Org.CLBReq, row.CLBReq)
+		}
+		if res.Org.H != row.H || res.Org.WCLB != row.WCLB ||
+			res.Org.WDSP != row.WDSP || res.Org.WBRAM != row.WBRAM {
+			t.Errorf("%s/%s: organization H=%d W=(%d,%d,%d), paper says H=%d W=(%d,%d,%d)",
+				row.PRM, row.Device,
+				res.Org.H, res.Org.WCLB, res.Org.WDSP, res.Org.WBRAM,
+				row.H, row.WCLB, row.WDSP, row.WBRAM)
+		}
+		if res.Avail.CLBs != row.AvailCLB || res.Avail.FFs != row.AvailFF ||
+			res.Avail.LUTs != row.AvailLUT || res.Avail.DSPs != row.AvailDSP ||
+			res.Avail.BRAMs != row.AvailBRAM {
+			t.Errorf("%s/%s: availability %+v, paper says CLB=%d FF=%d LUT=%d DSP=%d BRAM=%d",
+				row.PRM, row.Device, res.Avail,
+				row.AvailCLB, row.AvailFF, row.AvailLUT, row.AvailDSP, row.AvailBRAM)
+		}
+		checks := []struct {
+			name  string
+			model float64
+			paper int
+		}{
+			{"RU_CLB", res.RU.CLB, row.RU.CLB},
+			{"RU_FF", res.RU.FF, row.RU.FF},
+			{"RU_LUT", res.RU.LUT, row.RU.LUT},
+			{"RU_DSP", res.RU.DSP, row.RU.DSP},
+			{"RU_BRAM", res.RU.BRAM, row.RU.BRAM},
+		}
+		for _, c := range checks {
+			if !ruClose(c.model, c.paper) {
+				t.Errorf("%s/%s: %s = %.1f%%, paper says %d%%",
+					row.PRM, row.Device, c.name, c.model, c.paper)
+			}
+		}
+	}
+}
+
+// TestTableVIReEstimation reproduces the paper's §IV follow-up: re-running
+// the model with the post-PAR (Table VI) requirements leaves the SDRAM PRR
+// unchanged on both devices and shrinks the FIR PRR (one fewer CLB column on
+// the Virtex-6).
+func TestTableVIReEstimation(t *testing.T) {
+	for _, row := range TableVI {
+		dev := deviceFor(t, row.Device)
+		res, err := NewPRRModel(dev).Estimate(row.Req)
+		if err != nil {
+			t.Errorf("%s/%s: %v", row.PRM, row.Device, err)
+			continue
+		}
+		if res.Org.CLBReq != row.CLBReq {
+			t.Errorf("%s/%s: post-PAR CLB_req = %d, paper says %d",
+				row.PRM, row.Device, res.Org.CLBReq, row.CLBReq)
+		}
+		v, _ := PaperTableVRow(row.PRM, row.Device)
+		switch {
+		case row.PRM == "SDRAM":
+			if res.Org.H != v.H || res.Org.WCLB != v.WCLB {
+				t.Errorf("SDRAM/%s: organization changed with post-PAR inputs (H=%d W_CLB=%d, was H=%d W_CLB=%d); paper says unchanged",
+					row.Device, res.Org.H, res.Org.WCLB, v.H, v.WCLB)
+			}
+		case row.PRM == "FIR" && row.Device == "XC6VLX75T":
+			if res.Org.WCLB != v.WCLB-1 {
+				t.Errorf("FIR/V6: post-PAR W_CLB = %d, paper saved one CLB column from %d", res.Org.WCLB, v.WCLB)
+			}
+		default:
+			// FIR/V5 and MIPS shrink too (the paper reports column or row
+			// savings); assert the PRR never grows.
+			if res.Org.Size() > v.H*(v.WCLB+v.WDSP+v.WBRAM) {
+				t.Errorf("%s/%s: post-PAR PRR grew to %d tiles from %d",
+					row.PRM, row.Device, res.Org.Size(), v.H*(v.WCLB+v.WDSP+v.WBRAM))
+			}
+		}
+	}
+}
+
+// TestFIRV5SearchIteratesH: the Fig. 1 outer loop must pass through
+// infeasible H values (1..4) before settling on H=5 for FIR on the LX110T —
+// H=4 is geometrically blocked by the DSP column's BRAM neighbor even though
+// Eq. (4) is satisfied there.
+func TestFIRV5SearchIteratesH(t *testing.T) {
+	dev := deviceFor(t, "XC5VLX110T")
+	row, _ := PaperTableVRow("FIR", "XC5VLX110T")
+	m := NewPRRModel(dev)
+	res, err := m.Estimate(row.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Org.H != 5 {
+		t.Fatalf("FIR H = %d, want 5", res.Org.H)
+	}
+	// At H=4 Eq. (4) is satisfied (H_DSP = ceil(32/8) = 4) and W_CLB = 3,
+	// but no {3xCLB+1xDSP} window exists.
+	org4, feasible := m.organizationAt(row.Req, res.Org.CLBReq, 4, true)
+	if !feasible {
+		t.Fatal("H=4 should satisfy Eq. (4)")
+	}
+	if org4.WCLB != 3 {
+		t.Errorf("H=4 W_CLB = %d, want 3", org4.WCLB)
+	}
+	if _, ok := floorplan.FindWindow(&dev.Fabric, 4, org4.Need()); ok {
+		t.Error("H=4 window should be geometrically infeasible on the LX110T")
+	}
+}
+
+// TestEstimateErrors covers invalid requirements and infeasible devices.
+func TestEstimateErrors(t *testing.T) {
+	dev := deviceFor(t, "XC5VLX50T")
+	m := NewPRRModel(dev)
+	if _, err := m.Estimate(Requirements{}); err == nil {
+		t.Error("empty requirements accepted")
+	}
+	if _, err := m.Estimate(Requirements{LUTFFPairs: 10, LUTs: 20}); err == nil {
+		t.Error("pairs < LUTs accepted")
+	}
+	// More DSPs than the whole device holds.
+	if _, err := m.Estimate(Requirements{LUTFFPairs: 8, LUTs: 8, DSPs: 10000}); err == nil {
+		t.Error("impossible DSP requirement accepted")
+	}
+}
+
+// TestEstimateAvoid: an avoided region forces the PRR elsewhere when an
+// alternative window exists (SDRAM, pure CLB) and fails when it does not
+// (FIR, which must reach the LX110T's single DSP column).
+func TestEstimateAvoid(t *testing.T) {
+	dev := deviceFor(t, "XC5VLX110T")
+
+	sdramRow, _ := PaperTableVRow("SDRAM", "XC5VLX110T")
+	base, err := NewPRRModel(dev).Estimate(sdramRow.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := &PRRModel{Device: dev, Avoid: []floorplan.Region{base.Org.Region}}
+	res, err := blocked.Estimate(sdramRow.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Org.Region.Overlaps(base.Org.Region) {
+		t.Errorf("avoided region reused: %v vs %v", res.Org.Region, base.Org.Region)
+	}
+
+	firRow, _ := PaperTableVRow("FIR", "XC5VLX110T")
+	firBase, err := NewPRRModel(dev).Estimate(firRow.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firBlocked := &PRRModel{Device: dev, Avoid: []floorplan.Region{firBase.Org.Region}}
+	if _, err := firBlocked.Estimate(firRow.Req); err == nil {
+		t.Error("FIR should be unplaceable when the single DSP column's region is taken")
+	}
+}
+
+// TestDSPOnlyAndBRAMOnly: requirements with no CLBs still produce regions.
+func TestDSPOnlyAndBRAMOnly(t *testing.T) {
+	dev := deviceFor(t, "XC6VLX75T")
+	m := NewPRRModel(dev)
+	res, err := m.Estimate(Requirements{DSPs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Org.WCLB != 0 || res.Org.WDSP != 1 {
+		t.Errorf("DSP-only organization = %+v", res.Org)
+	}
+	if res.RU.DSP != 100 {
+		t.Errorf("DSP-only RU = %.1f, want 100", res.RU.DSP)
+	}
+	res, err = m.Estimate(Requirements{BRAMs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Org.WBRAM != 1 || res.Avail.BRAMs != 8 {
+		t.Errorf("BRAM-only organization = %+v avail %+v", res.Org, res.Avail)
+	}
+}
+
+// TestEstimateMonotonicity property: growing any requirement never shrinks
+// the PRR tile count (Eq. (7) monotonicity under the ceiling functions).
+func TestEstimateMonotonicity(t *testing.T) {
+	dev := deviceFor(t, "XC6VLX240T")
+	m := NewPRRModel(dev)
+	prop := func(pairs, dsps, brams, dPairs, dDSP uint8) bool {
+		base := Requirements{
+			LUTFFPairs: int(pairs)%800 + 1,
+			DSPs:       int(dsps) % 40,
+			BRAMs:      int(brams) % 16,
+		}
+		base.LUTs = base.LUTFFPairs / 2
+		base.FFs = base.LUTFFPairs / 2
+		bigger := base
+		bigger.LUTFFPairs += int(dPairs) % 200
+		bigger.DSPs += int(dDSP) % 8
+		r1, err1 := m.Estimate(base)
+		r2, err2 := m.Estimate(bigger)
+		if err1 != nil {
+			return true // infeasible base: nothing to compare
+		}
+		if err2 != nil {
+			// Feasibility is not monotone: adding a resource can demand a
+			// column mix with no contiguous window anywhere (the paper calls
+			// this out as internal fragmentation from layout mismatch).
+			return true
+		}
+		return r2.Org.Size() >= r1.Org.Size()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUtilizationNeverExceeds100InCLB: the found region always covers the
+// requirement (RU <= 100 for every resource).
+func TestUtilizationNeverExceeds100(t *testing.T) {
+	dev := deviceFor(t, "XC7K325T")
+	m := NewPRRModel(dev)
+	prop := func(pairs, dsps, brams uint16) bool {
+		req := Requirements{
+			LUTFFPairs: int(pairs)%3000 + 1,
+			DSPs:       int(dsps) % 100,
+			BRAMs:      int(brams) % 40,
+		}
+		req.LUTs = req.LUTFFPairs * 2 / 3
+		req.FFs = req.LUTFFPairs / 2
+		res, err := m.Estimate(req)
+		if err != nil {
+			return true
+		}
+		return res.RU.CLB <= 100 && res.RU.FF <= 100 && res.RU.LUT <= 100 &&
+			res.RU.DSP <= 100 && res.RU.BRAM <= 100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedPRR: merging the paper's MIPS and SDRAM PRMs on the LX110T takes
+// the per-resource maxima.
+func TestSharedPRR(t *testing.T) {
+	dev := deviceFor(t, "XC5VLX110T")
+	mipsRow, _ := PaperTableVRow("MIPS", "XC5VLX110T")
+	sdramRow, _ := PaperTableVRow("SDRAM", "XC5VLX110T")
+	shared, err := NewPRRModel(dev).EstimateShared([]Requirements{mipsRow.Req, sdramRow.Req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Org.H != 1 || shared.Org.WCLB != 17 || shared.Org.WDSP != 1 || shared.Org.WBRAM != 2 {
+		t.Errorf("shared organization = %+v, want MIPS-dominated 1x(17,1,2)", shared.Org)
+	}
+	if len(shared.SharedRU) != 2 {
+		t.Fatalf("shared RU count = %d", len(shared.SharedRU))
+	}
+	// SDRAM wastes most of the shared PRR: its CLB utilization must be far
+	// below its private-PRR 70%.
+	if shared.SharedRU[1].CLB >= 20 {
+		t.Errorf("SDRAM RU in shared PRR = %.1f%%, expected heavy fragmentation", shared.SharedRU[1].CLB)
+	}
+}
+
+func TestSharedPRREmpty(t *testing.T) {
+	if _, err := NewPRRModel(deviceFor(t, "XC5VLX110T")).EstimateShared(nil); err == nil {
+		t.Error("empty PRM list accepted")
+	}
+}
+
+func TestOrganizationAccessors(t *testing.T) {
+	o := Organization{H: 5, WCLB: 2, WDSP: 1}
+	if o.W() != 3 || o.Size() != 15 {
+		t.Errorf("W=%d Size=%d, want 3/15", o.W(), o.Size())
+	}
+	n := o.Need()
+	if n.CLB != 2 || n.DSP != 1 || n.BRAM != 0 {
+		t.Errorf("need = %+v", n)
+	}
+}
+
+func TestRoundPct(t *testing.T) {
+	cases := map[float64]int{81.5: 82, 96.47: 96, 82.25: 82, 70.0: 70, 0: 0}
+	for in, want := range cases {
+		if got := RoundPct(in); got != want {
+			t.Errorf("RoundPct(%v) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+)
+
+// Requirements are a PRM's resource needs as read from a synthesis report:
+// the paper's LUT_FF_req, LUT_req, FF_req, DSP_req and BRAM_req parameters
+// (Table I).
+type Requirements struct {
+	LUTFFPairs int // LUT_FF_req
+	LUTs       int // LUT_req
+	FFs        int // FF_req
+	DSPs       int // DSP_req
+	BRAMs      int // BRAM_req
+}
+
+// FromReport extracts the cost-model inputs from a synthesis report.
+func FromReport(r synth.Report) Requirements {
+	return Requirements{
+		LUTFFPairs: r.LUTFFPairs,
+		LUTs:       r.LUTs,
+		FFs:        r.FFs,
+		DSPs:       r.DSPs,
+		BRAMs:      r.BRAMs,
+	}
+}
+
+// Validate checks the requirement values are non-negative and mutually
+// consistent (pairs cover both LUTs and FFs, per the paper's §III.B pairing
+// decomposition).
+func (r Requirements) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"LUT_FF_req", r.LUTFFPairs}, {"LUT_req", r.LUTs}, {"FF_req", r.FFs},
+		{"DSP_req", r.DSPs}, {"BRAM_req", r.BRAMs},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("core: %s = %d is negative", v.name, v.val)
+		}
+	}
+	if r.LUTFFPairs < r.LUTs || r.LUTFFPairs < r.FFs {
+		return fmt.Errorf("core: LUT_FF_req %d below max(LUT_req %d, FF_req %d)",
+			r.LUTFFPairs, r.LUTs, r.FFs)
+	}
+	if r.LUTFFPairs == 0 && r.DSPs == 0 && r.BRAMs == 0 {
+		return fmt.Errorf("core: empty requirements")
+	}
+	return nil
+}
+
+// String renders the requirements with the paper's parameter names.
+func (r Requirements) String() string {
+	return fmt.Sprintf("LUT_FF=%d LUT=%d FF=%d DSP=%d BRAM=%d",
+		r.LUTFFPairs, r.LUTs, r.FFs, r.DSPs, r.BRAMs)
+}
+
+// ceilDiv returns ceil(a/b); the ceiling functions of Eqs. (1)–(5).
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("core: ceilDiv by %d", b))
+	}
+	return (a + b - 1) / b
+}

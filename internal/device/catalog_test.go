@@ -1,0 +1,182 @@
+package device
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCatalogValid validates every shipped part.
+func TestCatalogValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestLX110TStructure pins the structural facts the paper relies on for its
+// Virtex-5 evaluation device: 8 clock-region rows and a single DSP column
+// (which is why the paper uses Eq. (4) instead of Eq. (3) on this part), with
+// the real part's 64 DSP48E and 148 RAMB36 totals.
+func TestLX110TStructure(t *testing.T) {
+	d := XC5VLX110T
+	if d.Fabric.Rows != 8 {
+		t.Errorf("LX110T rows = %d, paper says 8", d.Fabric.Rows)
+	}
+	if n := d.Fabric.CountKind(KindDSP); n != 1 {
+		t.Errorf("LX110T DSP columns = %d, paper says exactly 1", n)
+	}
+	_, dsps, brams := d.Fabric.Resources(d.Params)
+	if dsps != 64 {
+		t.Errorf("LX110T DSP48 total = %d, real part has 64", dsps)
+	}
+	if brams != 148 {
+		t.Errorf("LX110T RAMB36 total = %d, real part has 148", brams)
+	}
+}
+
+// TestLX75TStructure pins the Virtex-6 evaluation device: 3 rows, paired DSP
+// columns, the real part's 288 DSP48E1 total.
+func TestLX75TStructure(t *testing.T) {
+	d := XC6VLX75T
+	if d.Fabric.Rows != 3 {
+		t.Errorf("LX75T rows = %d, paper says 3", d.Fabric.Rows)
+	}
+	_, dsps, _ := d.Fabric.Resources(d.Params)
+	if dsps != 288 {
+		t.Errorf("LX75T DSP48E1 total = %d, real part has 288", dsps)
+	}
+	// DSP columns come in adjacent pairs on this part.
+	cols := d.Fabric.Columns
+	for i := 0; i < len(cols); i++ {
+		if cols[i] != KindDSP {
+			continue
+		}
+		left := i > 0 && cols[i-1] == KindDSP
+		right := i+1 < len(cols) && cols[i+1] == KindDSP
+		if !left && !right {
+			t.Errorf("LX75T DSP column %d is unpaired", i+1)
+		}
+	}
+}
+
+// windowExists reports whether some window of the given width anywhere on the
+// fabric has exactly the wanted composition.
+func windowExists(f *Fabric, want Composition) bool {
+	width := want.Total()
+	for c := 1; c+width-1 <= f.NumColumns(); c++ {
+		if f.CompositionOf(c, width) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLX110TWindowFeasibility checks the contiguous-window facts that make
+// the paper's Table V PRR organizations come out of the Fig. 1 search:
+// FIR is infeasible until H=5 (no window with >=3 CLB columns plus the DSP
+// column and nothing else), while MIPS's 20-column window exists at H=1.
+func TestLX110TWindowFeasibility(t *testing.T) {
+	f := &XC5VLX110T.Fabric
+	mk := func(clb, dsp, bram int) Composition {
+		var c Composition
+		c.Add(KindCLB, clb)
+		c.Add(KindDSP, dsp)
+		c.Add(KindBRAM, bram)
+		return c
+	}
+	// FIR at H=1..4 requires {9,5,3,3}xCLB + 1xDSP: none may exist.
+	for _, clbs := range []int{9, 5, 3} {
+		if windowExists(f, mk(clbs, 1, 0)) {
+			t.Errorf("LX110T has a {%dxCLB+1xDSP} window; paper's FIR would not need H=5", clbs)
+		}
+	}
+	// FIR at H=5 requires {2xCLB+1xDSP}: must exist.
+	if !windowExists(f, mk(2, 1, 0)) {
+		t.Error("LX110T lacks the {2xCLB+1xDSP} window the paper's FIR PRR uses")
+	}
+	// MIPS at H=1 requires {17xCLB+1xDSP+2xBRAM}: must exist.
+	if !windowExists(f, mk(17, 1, 2)) {
+		t.Error("LX110T lacks the {17xCLB+1xDSP+2xBRAM} window the paper's MIPS PRR uses")
+	}
+	// SDRAM at H=1 requires {3xCLB}.
+	if !windowExists(f, mk(3, 0, 0)) {
+		t.Error("LX110T lacks a {3xCLB} window")
+	}
+}
+
+// TestLX75TWindowFeasibility mirrors the Virtex-6 Table V organizations:
+// all three PRMs fit at H=1.
+func TestLX75TWindowFeasibility(t *testing.T) {
+	f := &XC6VLX75T.Fabric
+	mk := func(clb, dsp, bram int) Composition {
+		var c Composition
+		c.Add(KindCLB, clb)
+		c.Add(KindDSP, dsp)
+		c.Add(KindBRAM, bram)
+		return c
+	}
+	if !windowExists(f, mk(5, 2, 0)) {
+		t.Error("LX75T lacks the {5xCLB+2xDSP} window the paper's FIR PRR uses")
+	}
+	if !windowExists(f, mk(11, 1, 1)) {
+		t.Error("LX75T lacks the {11xCLB+1xDSP+1xBRAM} window the paper's MIPS PRR uses")
+	}
+	if !windowExists(f, mk(2, 0, 0)) {
+		t.Error("LX75T lacks a {2xCLB} window")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, err := Lookup("XC5VLX110T")
+	if err != nil || d != XC5VLX110T {
+		t.Fatalf("Lookup(XC5VLX110T) = %v, %v", d, err)
+	}
+	if _, err := Lookup("XC9999"); err == nil {
+		t.Error("Lookup accepted unknown part")
+	} else if !strings.Contains(err.Error(), "XC5VLX110T") {
+		t.Errorf("lookup error should list known parts, got %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(All()) {
+		t.Errorf("Names()/All() length mismatch: %d vs %d", len(names), len(All()))
+	}
+	if len(names) < 7 {
+		t.Errorf("catalog unexpectedly small: %v", names)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	s := XC6VLX75T.String()
+	for _, want := range []string{"XC6VLX75T", "Virtex-6", "3 rows"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("device string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestFullBitstreamBytes sanity-checks the full-reconfiguration size estimate
+// used by the multitasking simulator: megabit scale, larger on the larger
+// part, word-aligned.
+func TestFullBitstreamBytes(t *testing.T) {
+	small := XC5VLX50T.FullBitstreamBytes()
+	large := XC5VLX110T.FullBitstreamBytes()
+	if small <= 0 || large <= small {
+		t.Errorf("full bitstream sizes: LX50T=%d LX110T=%d, want 0 < LX50T < LX110T", small, large)
+	}
+	if large%4 != 0 {
+		t.Errorf("V5 full bitstream size %d not 32-bit aligned", large)
+	}
+	// Real LX110T full bitstreams are ~3.9 MB; accept the right order of
+	// magnitude from the modeled layout.
+	if large < 1<<21 || large > 1<<24 {
+		t.Errorf("LX110T full bitstream estimate %d bytes is out of the plausible range", large)
+	}
+}

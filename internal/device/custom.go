@@ -1,0 +1,47 @@
+package device
+
+import "fmt"
+
+// Spec describes a user-defined device for the cost models: the paper's
+// portability claim is that only the family constants and the fabric layout
+// change. New builds a validated Device from it without touching the
+// catalog.
+type Spec struct {
+	// Name is the part name reported by the models.
+	Name string
+	// Family selects a registered constant set; use Params to override.
+	Family Family
+	// Params optionally replaces the family constants entirely (custom
+	// families). Leave zero to use ParamsFor(Family).
+	Params *Params
+	// Rows is the clock-region row count.
+	Rows int
+	// Layout is the column string ("I C*6 B ... I", see ParseLayout).
+	Layout string
+	// Holes marks hard-macro tiles.
+	Holes map[Coord]string
+}
+
+// New builds and validates a device from the spec.
+func New(spec Spec) (*Device, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("device: spec needs a name")
+	}
+	params := ParamsFor(spec.Family)
+	if spec.Params != nil {
+		params = *spec.Params
+	}
+	cols, err := ParseLayout(spec.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: %w", spec.Name, err)
+	}
+	d := &Device{
+		Name:   spec.Name,
+		Params: params,
+		Fabric: Fabric{Rows: spec.Rows, Columns: cols, Holes: spec.Holes},
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

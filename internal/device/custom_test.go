@@ -1,0 +1,52 @@
+package device
+
+import "testing"
+
+func TestNewCustomDevice(t *testing.T) {
+	d, err := New(Spec{
+		Name:   "MYPART",
+		Family: Virtex5,
+		Rows:   2,
+		Layout: "I C*4 D B C*4 I",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clbs, dsps, brams := d.Fabric.Resources(d.Params)
+	if clbs != 320 || dsps != 16 || brams != 8 {
+		t.Errorf("resources = %d/%d/%d, want 320/16/8", clbs, dsps, brams)
+	}
+}
+
+func TestNewCustomDeviceOverridesParams(t *testing.T) {
+	p := ParamsFor(Virtex5)
+	p.CLBPerCol = 24
+	d, err := New(Spec{Name: "X", Family: Virtex4, Params: &p, Rows: 1, Layout: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Params.CLBPerCol != 24 || d.Params.Family != Virtex5 {
+		t.Errorf("params not overridden: %+v", d.Params)
+	}
+}
+
+func TestNewCustomDeviceErrors(t *testing.T) {
+	if _, err := New(Spec{Family: Virtex5, Rows: 1, Layout: "C"}); err == nil {
+		t.Error("nameless spec accepted")
+	}
+	if _, err := New(Spec{Name: "X", Family: Virtex5, Rows: 1, Layout: "Q"}); err == nil {
+		t.Error("bad layout accepted")
+	}
+	if _, err := New(Spec{Name: "X", Family: Virtex5, Rows: 0, Layout: "C"}); err == nil {
+		t.Error("zero rows accepted")
+	}
+	bad := ParamsFor(Virtex5)
+	bad.FrameWords = 0
+	if _, err := New(Spec{Name: "X", Family: Virtex5, Params: &bad, Rows: 1, Layout: "C"}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := New(Spec{Name: "X", Family: Virtex5, Rows: 1, Layout: "C",
+		Holes: map[Coord]string{{Row: 9, Col: 1}: "X"}}); err == nil {
+		t.Error("out-of-bounds hole accepted")
+	}
+}

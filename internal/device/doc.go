@@ -1,0 +1,13 @@
+// Package device models Xilinx partially reconfigurable FPGA fabrics at the
+// granularity the paper's cost models require: a device is a grid of clock
+// regions ("rows") by typed resource columns (CLB, DSP, BRAM, IOB, CLK), and
+// each device family carries the constants of the paper's Table II (resources
+// per column per row, LUTs/FFs per CLB) and Table IV (configuration frames per
+// column, frame size, bitstream framing words).
+//
+// The package ships a catalog of concrete devices, including the two devices
+// evaluated in the paper (Virtex-5 XC5VLX110T and Virtex-6 XC6VLX75T), whose
+// column layouts are constructed so that their resource totals and the
+// feasibility properties the paper reports (e.g. the LX110T's single DSP
+// column) hold.
+package device

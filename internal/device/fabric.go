@@ -1,0 +1,190 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Coord addresses one (row, column) tile of the fabric grid. Rows are
+// numbered 1..Rows from the bottom of the device, matching the paper's Fig. 1
+// search convention; columns are numbered 1..len(Columns) from the left.
+type Coord struct {
+	Row, Col int
+}
+
+// Fabric is the row/column resource grid of one device. All rows share the
+// same column sequence (the Virtex column-uniform layout); hard macros that
+// consume individual tiles (PCIe endpoints, Ethernet MACs, the configuration
+// center) are modeled as holes that a PRR may not overlap.
+type Fabric struct {
+	// Rows is the number of clock-region rows (the paper's R).
+	Rows int
+	// Columns is the left-to-right column kind sequence.
+	Columns []ColumnKind
+	// Holes maps grid tiles occupied by hard macros to the macro name.
+	Holes map[Coord]string
+}
+
+// ParseLayout builds a column sequence from a compact layout string using the
+// single-letter codes C/D/B/I/K (see ColumnKind.Rune). Spaces and '|' are
+// ignored so layouts can be visually grouped. A run-length form "C*15" is
+// accepted after any letter.
+func ParseLayout(layout string) ([]ColumnKind, error) {
+	var cols []ColumnKind
+	rs := []rune(strings.Map(func(r rune) rune {
+		if r == ' ' || r == '|' || r == '\n' || r == '\t' {
+			return -1
+		}
+		return r
+	}, layout))
+	for i := 0; i < len(rs); i++ {
+		k, ok := KindForRune(rs[i])
+		if !ok {
+			return nil, fmt.Errorf("device: layout position %d: unknown column code %q", i, rs[i])
+		}
+		n := 1
+		if i+1 < len(rs) && rs[i+1] == '*' {
+			j := i + 2
+			n = 0
+			for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+				n = n*10 + int(rs[j]-'0')
+				j++
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("device: layout position %d: bad repeat count", i)
+			}
+			i = j - 1
+		}
+		for ; n > 0; n-- {
+			cols = append(cols, k)
+		}
+	}
+	return cols, nil
+}
+
+// MustParseLayout is ParseLayout for static layouts; it panics on error.
+func MustParseLayout(layout string) []ColumnKind {
+	cols, err := ParseLayout(layout)
+	if err != nil {
+		panic(err)
+	}
+	return cols
+}
+
+// Layout renders the column sequence back to its compact letter form.
+func (f *Fabric) Layout() string {
+	var b strings.Builder
+	for _, k := range f.Columns {
+		b.WriteRune(k.Rune())
+	}
+	return b.String()
+}
+
+// Validate checks grid invariants: at least one row and column, holes within
+// bounds, and holes only on PRR-allowed columns (hard macros displace fabric
+// resources, not I/O rings).
+func (f *Fabric) Validate() error {
+	if f.Rows < 1 {
+		return fmt.Errorf("device: fabric must have at least one row, got %d", f.Rows)
+	}
+	if len(f.Columns) == 0 {
+		return fmt.Errorf("device: fabric must have at least one column")
+	}
+	for c, name := range f.Holes {
+		if c.Row < 1 || c.Row > f.Rows || c.Col < 1 || c.Col > len(f.Columns) {
+			return fmt.Errorf("device: hole %q at %v outside %dx%d fabric", name, c, f.Rows, len(f.Columns))
+		}
+	}
+	return nil
+}
+
+// NumColumns returns the number of fabric columns.
+func (f *Fabric) NumColumns() int { return len(f.Columns) }
+
+// KindAt returns the column kind at 1-based column index col.
+func (f *Fabric) KindAt(col int) ColumnKind { return f.Columns[col-1] }
+
+// CountKind returns the number of columns of kind k.
+func (f *Fabric) CountKind(k ColumnKind) int {
+	n := 0
+	for _, c := range f.Columns {
+		if c == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CompositionOf returns the column composition of the half-open window of
+// columns [col, col+width) (1-based col).
+func (f *Fabric) CompositionOf(col, width int) Composition {
+	var comp Composition
+	for i := col - 1; i < col-1+width && i < len(f.Columns); i++ {
+		comp.Add(f.Columns[i], 1)
+	}
+	return comp
+}
+
+// HoleIn reports whether any hard-macro hole overlaps the rectangle spanning
+// rows [row, row+h) and columns [col, col+w), returning the macro name.
+func (f *Fabric) HoleIn(row, col, h, w int) (string, bool) {
+	for hc, name := range f.Holes {
+		if hc.Row >= row && hc.Row < row+h && hc.Col >= col && hc.Col < col+w {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Resources returns the total device resource counts implied by the grid,
+// excluding hole tiles, for params p.
+func (f *Fabric) Resources(p Params) (clbs, dsps, brams int) {
+	for ci, k := range f.Columns {
+		per := p.ResourcesPerColumn(k)
+		if per == 0 {
+			continue
+		}
+		rows := f.Rows
+		for r := 1; r <= f.Rows; r++ {
+			if _, holed := f.Holes[Coord{Row: r, Col: ci + 1}]; holed {
+				rows--
+			}
+		}
+		switch k {
+		case KindCLB:
+			clbs += per * rows
+		case KindDSP:
+			dsps += per * rows
+		case KindBRAM:
+			brams += per * rows
+		}
+	}
+	return clbs, dsps, brams
+}
+
+// ConfigFrames returns the total number of configuration frames in the
+// device's configuration memory (all rows, all columns, excluding BRAM
+// content frames) for params p. It approximates the size of a full
+// reconfiguration.
+func (f *Fabric) ConfigFrames(p Params) int {
+	frames := 0
+	for _, k := range f.Columns {
+		frames += p.FramesPerColumn(k)
+	}
+	return frames * f.Rows
+}
+
+// BRAMContentFrames returns the total BRAM initialization frames in the
+// device for params p.
+func (f *Fabric) BRAMContentFrames(p Params) int {
+	return f.CountKind(KindBRAM) * p.DFBRAM * f.Rows
+}
+
+// String summarizes the fabric ("8 rows x 64 cols: 54xCLB+1xDSP+5xBRAM+...").
+func (f *Fabric) String() string {
+	var comp Composition
+	for _, k := range f.Columns {
+		comp.Add(k, 1)
+	}
+	return fmt.Sprintf("%d rows x %d cols: %s", f.Rows, len(f.Columns), comp)
+}

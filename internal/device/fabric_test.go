@@ -1,0 +1,187 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLayout(t *testing.T) {
+	cols, err := ParseLayout("I C*3 B D K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ColumnKind{KindIOB, KindCLB, KindCLB, KindCLB, KindBRAM, KindDSP, KindCLK}
+	if len(cols) != len(want) {
+		t.Fatalf("parsed %d columns, want %d", len(cols), len(want))
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Errorf("column %d = %v, want %v", i, cols[i], want[i])
+		}
+	}
+}
+
+func TestParseLayoutSeparatorsIgnored(t *testing.T) {
+	a, err := ParseLayout("CC|BB\nDD\tII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseLayout("C*2 B*2 D*2 I*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("separator form parsed %d cols, repeat form %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("col %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseLayoutErrors(t *testing.T) {
+	if _, err := ParseLayout("CXB"); err == nil {
+		t.Error("accepted unknown column code")
+	}
+	if _, err := ParseLayout("C*zB"); err == nil {
+		t.Error("accepted malformed repeat count")
+	}
+	if _, err := ParseLayout("C*0"); err == nil {
+		t.Error("accepted zero repeat count")
+	}
+}
+
+func TestMustParseLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseLayout did not panic on bad layout")
+		}
+	}()
+	MustParseLayout("Q")
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	for _, d := range All() {
+		back, err := ParseLayout(d.Fabric.Layout())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(back) != len(d.Fabric.Columns) {
+			t.Fatalf("%s: layout round-trip length %d != %d", d.Name, len(back), len(d.Fabric.Columns))
+		}
+		for i := range back {
+			if back[i] != d.Fabric.Columns[i] {
+				t.Errorf("%s: column %d round-trips to %v, want %v", d.Name, i, back[i], d.Fabric.Columns[i])
+			}
+		}
+	}
+}
+
+func TestFabricValidate(t *testing.T) {
+	f := Fabric{Rows: 0, Columns: MustParseLayout("C")}
+	if err := f.Validate(); err == nil {
+		t.Error("accepted zero rows")
+	}
+	f = Fabric{Rows: 1}
+	if err := f.Validate(); err == nil {
+		t.Error("accepted empty column list")
+	}
+	f = Fabric{Rows: 2, Columns: MustParseLayout("CC"), Holes: map[Coord]string{{Row: 3, Col: 1}: "X"}}
+	if err := f.Validate(); err == nil {
+		t.Error("accepted out-of-bounds hole")
+	}
+}
+
+func TestCompositionOfWindow(t *testing.T) {
+	f := Fabric{Rows: 1, Columns: MustParseLayout("C C D B C")}
+	comp := f.CompositionOf(2, 3) // C D B
+	if comp.Of(KindCLB) != 1 || comp.Of(KindDSP) != 1 || comp.Of(KindBRAM) != 1 {
+		t.Errorf("window composition = %v, want 1xCLB+1xDSP+1xBRAM", comp)
+	}
+	// Window clipped at the right edge.
+	comp = f.CompositionOf(5, 10)
+	if comp.Total() != 1 || comp.Of(KindCLB) != 1 {
+		t.Errorf("clipped window composition = %v, want 1xCLB", comp)
+	}
+}
+
+// TestCompositionOfProperty: for any window, the composition total equals the
+// in-bounds width.
+func TestCompositionOfProperty(t *testing.T) {
+	f := &XC5VLX110T.Fabric
+	prop := func(col, width uint8) bool {
+		c := int(col)%f.NumColumns() + 1
+		w := int(width)%f.NumColumns() + 1
+		comp := f.CompositionOf(c, w)
+		inBounds := w
+		if c+w-1 > f.NumColumns() {
+			inBounds = f.NumColumns() - c + 1
+		}
+		return comp.Total() == inBounds
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoleIn(t *testing.T) {
+	f := Fabric{
+		Rows:    4,
+		Columns: MustParseLayout("CCCC"),
+		Holes:   map[Coord]string{{Row: 3, Col: 2}: "PCIE"},
+	}
+	if name, hit := f.HoleIn(1, 1, 4, 4); !hit || name != "PCIE" {
+		t.Errorf("full-fabric rectangle should hit PCIE hole, got %q %v", name, hit)
+	}
+	if _, hit := f.HoleIn(1, 1, 2, 4); hit {
+		t.Error("rows 1-2 rectangle should not hit a row-3 hole")
+	}
+	if _, hit := f.HoleIn(3, 3, 1, 2); hit {
+		t.Error("cols 3-4 rectangle should not hit a col-2 hole")
+	}
+}
+
+func TestFabricResourceAccounting(t *testing.T) {
+	f := Fabric{Rows: 2, Columns: MustParseLayout("C D B I K")}
+	p := ParamsFor(Virtex5)
+	clbs, dsps, brams := f.Resources(p)
+	if clbs != 40 || dsps != 16 || brams != 8 {
+		t.Errorf("resources = %d/%d/%d, want 40/16/8", clbs, dsps, brams)
+	}
+	// A hole on the BRAM column removes one row's worth of BRAMs.
+	f.Holes = map[Coord]string{{Row: 2, Col: 3}: "X"}
+	_, _, brams = f.Resources(p)
+	if brams != 4 {
+		t.Errorf("holed BRAM total = %d, want 4", brams)
+	}
+}
+
+func TestConfigFrameAccounting(t *testing.T) {
+	f := Fabric{Rows: 2, Columns: MustParseLayout("C D B I K")}
+	p := ParamsFor(Virtex5)
+	wantPerRow := 36 + 28 + 30 + 54 + 4
+	if got := f.ConfigFrames(p); got != 2*wantPerRow {
+		t.Errorf("config frames = %d, want %d", got, 2*wantPerRow)
+	}
+	if got := f.BRAMContentFrames(p); got != 2*128 {
+		t.Errorf("BRAM content frames = %d, want %d", got, 2*128)
+	}
+	if got := f.WindowConfigFrames(p, 1, 3); got != 36+28+30 {
+		t.Errorf("window config frames = %d, want %d", got, 36+28+30)
+	}
+	if got := f.WindowBRAMContentFrames(p, 1, 3); got != 128 {
+		t.Errorf("window BRAM frames = %d, want 128", got)
+	}
+	if got := f.WindowBRAMContentFrames(p, 1, 2); got != 0 {
+		t.Errorf("BRAM-free window BRAM frames = %d, want 0", got)
+	}
+}
+
+func TestFabricString(t *testing.T) {
+	s := XC5VLX110T.Fabric.String()
+	if !strings.Contains(s, "8 rows") || !strings.Contains(s, "CLB") {
+		t.Errorf("fabric summary %q missing row count or composition", s)
+	}
+}

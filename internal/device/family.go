@@ -1,0 +1,216 @@
+package device
+
+import "fmt"
+
+// Family identifies a Xilinx device family. The paper's cost models are
+// portable across families by swapping the family constants (Tables II, IV).
+type Family uint8
+
+// Modeled families. Virtex-4/-5/-6 are the families of the paper's Tables II
+// and IV; Series-7 (including Zynq-7000) and Spartan-6 exercise portability,
+// the latter with 16-bit configuration words.
+const (
+	Virtex4 Family = iota
+	Virtex5
+	Virtex6
+	Series7
+	Spartan6
+)
+
+// String returns the family's marketing name.
+func (f Family) String() string {
+	switch f {
+	case Virtex4:
+		return "Virtex-4"
+	case Virtex5:
+		return "Virtex-5"
+	case Virtex6:
+		return "Virtex-6"
+	case Series7:
+		return "Series-7"
+	case Spartan6:
+		return "Spartan-6"
+	}
+	return fmt.Sprintf("Family(%d)", uint8(f))
+}
+
+// Params carries every device-family-dependent constant of the paper's cost
+// models: Table II (PRR size/organization model) and Table IV (bitstream size
+// model), plus slice geometry used by the synthesis packer.
+type Params struct {
+	Family Family
+
+	// Table II — fabric geometry per clock-region row.
+	CLBPerCol  int // CLB_col: CLBs in one CLB column per row
+	DSPPerCol  int // DSP_col: DSPs in one DSP column per row
+	BRAMPerCol int // BRAM_col: BRAMs in one BRAM column per row
+	LUTPerCLB  int // LUT_CLB: LUTs per CLB
+	FFPerCLB   int // FF_CLB: flip-flops per CLB
+
+	// Slice geometry (UG190-class facts; used by internal/synth packing).
+	SlicesPerCLB int
+	LUTPerSlice  int
+	FFPerSlice   int
+
+	// Table IV — configuration frame geometry.
+	CFCLB      int // configuration frames per CLB column
+	CFDSP      int // configuration frames per DSP column
+	CFBRAM     int // configuration frames per BRAM column (interconnect/config)
+	CFIOB      int // configuration frames per IOB column (outside PRRs)
+	CFCLK      int // configuration frames per CLK column (outside PRRs)
+	DFBRAM     int // BRAM content initialization data frames per BRAM column
+	FrameWords int // FR_size: words per configuration frame
+
+	// Bitstream framing word counts. These are defined by the partial
+	// bitstream command sequences in internal/bitstream (IW = words from the
+	// sync preamble through the WCFG command, FAR_FDRI = words to set the FAR
+	// plus the FDRI type-1/type-2 headers, FW = trailer from the LFRM command
+	// through the final post-desync NOPs) and the bitstream size model is
+	// validated byte-exact against that generator.
+	InitWords    int // IW
+	FinalWords   int // FW
+	FARFDRIWords int // FAR_FDRI
+	BytesPerWord int // Bytes_word (4 on Virtex/7-series, 2 on Spartan-3/-6)
+
+	// IDCode is the family-representative JTAG ID planted in bitstreams.
+	IDCode uint32
+}
+
+// familyParams holds the per-family constant tables. Virtex-5 values follow
+// the paper's §III.A verbatim (20 CLBs / 8 DSPs / 4 BRAMs per column per row;
+// 2 slices of 4 LUTs + 4 FFs per CLB; 41-word frames; 36/28/30/54/4 frames
+// for CLB/DSP/BRAM/IOB/CLK columns; 128 BRAM data frames). Virtex-4 and
+// Virtex-6 values are the reconstructed Table II/IV entries (see DESIGN.md
+// §3); Series-7 and Spartan-6 extend the same model for portability.
+var familyParams = map[Family]Params{
+	Virtex4: {
+		Family:    Virtex4,
+		CLBPerCol: 16, DSPPerCol: 8, BRAMPerCol: 4,
+		LUTPerCLB: 8, FFPerCLB: 8,
+		SlicesPerCLB: 4, LUTPerSlice: 2, FFPerSlice: 2,
+		CFCLB: 22, CFDSP: 21, CFBRAM: 20, CFIOB: 30, CFCLK: 4,
+		DFBRAM: 64, FrameWords: 41,
+		InitWords: 16, FinalWords: 10, FARFDRIWords: 4, BytesPerWord: 4,
+		IDCode: 0x01658093,
+	},
+	Virtex5: {
+		Family:    Virtex5,
+		CLBPerCol: 20, DSPPerCol: 8, BRAMPerCol: 4,
+		LUTPerCLB: 8, FFPerCLB: 8,
+		SlicesPerCLB: 2, LUTPerSlice: 4, FFPerSlice: 4,
+		CFCLB: 36, CFDSP: 28, CFBRAM: 30, CFIOB: 54, CFCLK: 4,
+		DFBRAM: 128, FrameWords: 41,
+		InitWords: 16, FinalWords: 10, FARFDRIWords: 4, BytesPerWord: 4,
+		IDCode: 0x02AD6093,
+	},
+	Virtex6: {
+		Family:    Virtex6,
+		CLBPerCol: 40, DSPPerCol: 16, BRAMPerCol: 8,
+		LUTPerCLB: 8, FFPerCLB: 16,
+		SlicesPerCLB: 2, LUTPerSlice: 4, FFPerSlice: 8,
+		CFCLB: 36, CFDSP: 28, CFBRAM: 28, CFIOB: 44, CFCLK: 38,
+		DFBRAM: 128, FrameWords: 81,
+		InitWords: 16, FinalWords: 10, FARFDRIWords: 4, BytesPerWord: 4,
+		IDCode: 0x04244093,
+	},
+	Series7: {
+		Family:    Series7,
+		CLBPerCol: 50, DSPPerCol: 20, BRAMPerCol: 10,
+		LUTPerCLB: 8, FFPerCLB: 16,
+		SlicesPerCLB: 2, LUTPerSlice: 4, FFPerSlice: 8,
+		CFCLB: 36, CFDSP: 28, CFBRAM: 28, CFIOB: 42, CFCLK: 30,
+		DFBRAM: 128, FrameWords: 101,
+		InitWords: 16, FinalWords: 10, FARFDRIWords: 4, BytesPerWord: 4,
+		IDCode: 0x03651093,
+	},
+	Spartan6: {
+		Family:    Spartan6,
+		CLBPerCol: 16, DSPPerCol: 4, BRAMPerCol: 2,
+		LUTPerCLB: 8, FFPerCLB: 16,
+		SlicesPerCLB: 2, LUTPerSlice: 4, FFPerSlice: 8,
+		CFCLB: 31, CFDSP: 24, CFBRAM: 25, CFIOB: 30, CFCLK: 4,
+		DFBRAM: 72, FrameWords: 65,
+		InitWords: 16, FinalWords: 10, FARFDRIWords: 4, BytesPerWord: 2,
+		IDCode: 0x04008093,
+	},
+}
+
+// ParamsFor returns the constants for family f. It panics on an unknown
+// family, which indicates a programming error rather than bad input.
+func ParamsFor(f Family) Params {
+	p, ok := familyParams[f]
+	if !ok {
+		panic(fmt.Sprintf("device: no parameters registered for %v", f))
+	}
+	return p
+}
+
+// Families returns all modeled families in declaration order.
+func Families() []Family {
+	return []Family{Virtex4, Virtex5, Virtex6, Series7, Spartan6}
+}
+
+// FramesPerColumn returns the number of configuration frames in one column of
+// kind k for one clock-region row (Table IV's CF_* constants).
+func (p Params) FramesPerColumn(k ColumnKind) int {
+	switch k {
+	case KindCLB:
+		return p.CFCLB
+	case KindDSP:
+		return p.CFDSP
+	case KindBRAM:
+		return p.CFBRAM
+	case KindIOB:
+		return p.CFIOB
+	case KindCLK:
+		return p.CFCLK
+	}
+	return 0
+}
+
+// ResourcesPerColumn returns how many resource units (CLBs, DSPs or BRAMs) a
+// column of kind k holds per clock-region row; zero for IOB/CLK columns.
+func (p Params) ResourcesPerColumn(k ColumnKind) int {
+	switch k {
+	case KindCLB:
+		return p.CLBPerCol
+	case KindDSP:
+		return p.DSPPerCol
+	case KindBRAM:
+		return p.BRAMPerCol
+	}
+	return 0
+}
+
+// Validate checks internal consistency of the family constants (slice
+// geometry must multiply out to the CLB totals, frame geometry must be
+// positive). It returns nil for every registered family; it exists so that
+// user-supplied Params for custom families can be vetted.
+func (p Params) Validate() error {
+	if p.SlicesPerCLB*p.LUTPerSlice != p.LUTPerCLB {
+		return fmt.Errorf("device: %v slice LUT geometry %d*%d != LUT_CLB %d",
+			p.Family, p.SlicesPerCLB, p.LUTPerSlice, p.LUTPerCLB)
+	}
+	if p.SlicesPerCLB*p.FFPerSlice != p.FFPerCLB {
+		return fmt.Errorf("device: %v slice FF geometry %d*%d != FF_CLB %d",
+			p.Family, p.SlicesPerCLB, p.FFPerSlice, p.FFPerCLB)
+	}
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"CLB_col", p.CLBPerCol}, {"DSP_col", p.DSPPerCol}, {"BRAM_col", p.BRAMPerCol},
+		{"LUT_CLB", p.LUTPerCLB}, {"FF_CLB", p.FFPerCLB},
+		{"CF_CLB", p.CFCLB}, {"CF_DSP", p.CFDSP}, {"CF_BRAM", p.CFBRAM},
+		{"DF_BRAM", p.DFBRAM}, {"FR_size", p.FrameWords},
+		{"IW", p.InitWords}, {"FW", p.FinalWords}, {"FAR_FDRI", p.FARFDRIWords},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("device: %v parameter %s must be positive, got %d", p.Family, v.name, v.val)
+		}
+	}
+	if p.BytesPerWord != 2 && p.BytesPerWord != 4 {
+		return fmt.Errorf("device: %v Bytes_word must be 2 or 4, got %d", p.Family, p.BytesPerWord)
+	}
+	return nil
+}

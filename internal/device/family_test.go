@@ -1,0 +1,227 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestVirtex5PaperConstants pins the Virtex-5 constants the paper states
+// verbatim in §III.A: frame geometry, frames per column kind, resources per
+// column per row, and CLB slice composition.
+func TestVirtex5PaperConstants(t *testing.T) {
+	p := ParamsFor(Virtex5)
+	if p.FrameWords != 41 {
+		t.Errorf("V5 frame words = %d, paper says 41", p.FrameWords)
+	}
+	if p.BytesPerWord != 4 {
+		t.Errorf("V5 bytes/word = %d, paper says 32-bit words", p.BytesPerWord)
+	}
+	frames := map[ColumnKind]int{KindCLB: 36, KindDSP: 28, KindBRAM: 30, KindIOB: 54, KindCLK: 4}
+	for k, want := range frames {
+		if got := p.FramesPerColumn(k); got != want {
+			t.Errorf("V5 frames per %v column = %d, paper says %d", k, got, want)
+		}
+	}
+	if p.DFBRAM != 128 {
+		t.Errorf("V5 BRAM data frames = %d, paper says 128", p.DFBRAM)
+	}
+	if p.CLBPerCol != 20 || p.DSPPerCol != 8 || p.BRAMPerCol != 4 {
+		t.Errorf("V5 per-row column resources = %d/%d/%d, paper says 20/8/4",
+			p.CLBPerCol, p.DSPPerCol, p.BRAMPerCol)
+	}
+	if p.SlicesPerCLB != 2 || p.LUTPerSlice != 4 || p.FFPerSlice != 4 {
+		t.Errorf("V5 CLB = %d slices x (%d LUT + %d FF), paper says 2 x (4+4)",
+			p.SlicesPerCLB, p.LUTPerSlice, p.FFPerSlice)
+	}
+	if p.LUTPerCLB != 8 || p.FFPerCLB != 8 {
+		t.Errorf("V5 LUT_CLB/FF_CLB = %d/%d, want 8/8", p.LUTPerCLB, p.FFPerCLB)
+	}
+}
+
+// TestTable2Reconstruction pins the reconstructed Table II values for
+// Virtex-4 and Virtex-6 (see DESIGN.md §3).
+func TestTable2Reconstruction(t *testing.T) {
+	cases := []struct {
+		fam                                          Family
+		clbCol, dspCol, bramCol, lutPerCLB, ffPerCLB int
+	}{
+		{Virtex4, 16, 8, 4, 8, 8},
+		{Virtex5, 20, 8, 4, 8, 8},
+		{Virtex6, 40, 16, 8, 8, 16},
+	}
+	for _, c := range cases {
+		p := ParamsFor(c.fam)
+		if p.CLBPerCol != c.clbCol || p.DSPPerCol != c.dspCol || p.BRAMPerCol != c.bramCol ||
+			p.LUTPerCLB != c.lutPerCLB || p.FFPerCLB != c.ffPerCLB {
+			t.Errorf("%v Table II = CLB_col %d, DSP_col %d, BRAM_col %d, LUT_CLB %d, FF_CLB %d; want %d/%d/%d/%d/%d",
+				c.fam, p.CLBPerCol, p.DSPPerCol, p.BRAMPerCol, p.LUTPerCLB, p.FFPerCLB,
+				c.clbCol, c.dspCol, c.bramCol, c.lutPerCLB, c.ffPerCLB)
+		}
+	}
+}
+
+// TestTable4FrameSizes pins the reconstructed Table IV frame geometry.
+func TestTable4FrameSizes(t *testing.T) {
+	cases := []struct {
+		fam                                 Family
+		cfCLB, cfDSP, cfBRAM, dfBRAM, frame int
+	}{
+		{Virtex4, 22, 21, 20, 64, 41},
+		{Virtex5, 36, 28, 30, 128, 41},
+		{Virtex6, 36, 28, 28, 128, 81},
+	}
+	for _, c := range cases {
+		p := ParamsFor(c.fam)
+		if p.CFCLB != c.cfCLB || p.CFDSP != c.cfDSP || p.CFBRAM != c.cfBRAM ||
+			p.DFBRAM != c.dfBRAM || p.FrameWords != c.frame {
+			t.Errorf("%v Table IV = CF %d/%d/%d, DF %d, FR %d; want %d/%d/%d/%d/%d",
+				c.fam, p.CFCLB, p.CFDSP, p.CFBRAM, p.DFBRAM, p.FrameWords,
+				c.cfCLB, c.cfDSP, c.cfBRAM, c.dfBRAM, c.frame)
+		}
+	}
+}
+
+// TestSpartan6WordWidth verifies the 16-bit configuration word path the paper
+// calls out for Spartan-3/-6 portability.
+func TestSpartan6WordWidth(t *testing.T) {
+	if p := ParamsFor(Spartan6); p.BytesPerWord != 2 {
+		t.Errorf("Spartan-6 bytes/word = %d, want 2", p.BytesPerWord)
+	}
+}
+
+// TestAllFamilyParamsValid runs the consistency validator over every family.
+func TestAllFamilyParamsValid(t *testing.T) {
+	for _, f := range Families() {
+		if err := ParamsFor(f).Validate(); err != nil {
+			t.Errorf("family %v: %v", f, err)
+		}
+	}
+}
+
+// TestParamsValidateRejects checks that the validator catches inconsistent
+// user-supplied parameter sets.
+func TestParamsValidateRejects(t *testing.T) {
+	good := ParamsFor(Virtex5)
+
+	bad := good
+	bad.LUTPerSlice = 6
+	if err := bad.Validate(); err == nil {
+		t.Error("validator accepted mismatched slice LUT geometry")
+	}
+
+	bad = good
+	bad.FrameWords = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("validator accepted zero frame size")
+	}
+
+	bad = good
+	bad.BytesPerWord = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("validator accepted 3-byte configuration words")
+	}
+
+	bad = good
+	bad.FFPerSlice = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("validator accepted mismatched slice FF geometry")
+	}
+}
+
+// TestFramesPerColumnNonPRRKinds checks IOB/CLK frame counts are defined (the
+// full-bitstream estimate needs them) and that those kinds are barred from
+// PRRs.
+func TestFramesPerColumnNonPRRKinds(t *testing.T) {
+	for _, f := range Families() {
+		p := ParamsFor(f)
+		for _, k := range []ColumnKind{KindIOB, KindCLK} {
+			if p.FramesPerColumn(k) <= 0 {
+				t.Errorf("%v: frames per %v column = %d, want > 0", f, k, p.FramesPerColumn(k))
+			}
+			if k.PRRAllowed() {
+				t.Errorf("%v columns must not be PRR-allowed", k)
+			}
+			if p.ResourcesPerColumn(k) != 0 {
+				t.Errorf("%v columns should report zero PRR resources", k)
+			}
+		}
+		for _, k := range []ColumnKind{KindCLB, KindDSP, KindBRAM} {
+			if !k.PRRAllowed() {
+				t.Errorf("%v columns must be PRR-allowed", k)
+			}
+		}
+	}
+}
+
+// TestResourcesPerColumnMatchesTable2 cross-checks the per-kind accessor
+// against the named fields.
+func TestResourcesPerColumnMatchesTable2(t *testing.T) {
+	for _, f := range Families() {
+		p := ParamsFor(f)
+		if p.ResourcesPerColumn(KindCLB) != p.CLBPerCol ||
+			p.ResourcesPerColumn(KindDSP) != p.DSPPerCol ||
+			p.ResourcesPerColumn(KindBRAM) != p.BRAMPerCol {
+			t.Errorf("%v: ResourcesPerColumn disagrees with Table II fields", f)
+		}
+	}
+}
+
+// TestColumnKindStrings covers the mnemonics and the rune round-trip.
+func TestColumnKindStrings(t *testing.T) {
+	for k := ColumnKind(0); k < numKinds; k++ {
+		r := k.Rune()
+		back, ok := KindForRune(r)
+		if !ok || back != k {
+			t.Errorf("rune round-trip failed for %v (rune %q)", k, r)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if _, ok := KindForRune('X'); ok {
+		t.Error("KindForRune accepted unknown rune")
+	}
+	if s := ColumnKind(200).String(); s != "ColumnKind(200)" {
+		t.Errorf("out-of-range kind string = %q", s)
+	}
+}
+
+// TestCompositionProperties property-tests Composition arithmetic: the total
+// equals the sum of per-kind counts for arbitrary additions.
+func TestCompositionProperties(t *testing.T) {
+	prop := func(adds []uint8) bool {
+		var c Composition
+		want := 0
+		for _, a := range adds {
+			k := ColumnKind(a % uint8(numKinds))
+			n := int(a%7) + 1
+			c.Add(k, n)
+			want += n
+		}
+		return c.Total() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompositionString covers rendering including the empty case.
+func TestCompositionString(t *testing.T) {
+	var c Composition
+	if c.String() != "empty" {
+		t.Errorf("empty composition renders as %q", c.String())
+	}
+	c.Add(KindCLB, 17)
+	c.Add(KindDSP, 1)
+	c.Add(KindBRAM, 2)
+	if got, want := c.String(), "17xCLB+1xDSP+2xBRAM"; got != want {
+		t.Errorf("composition renders as %q, want %q", got, want)
+	}
+	if !((Composition{}).HasForbidden() == false) {
+		t.Error("empty composition flagged as forbidden")
+	}
+	c.Add(KindCLK, 1)
+	if !c.HasForbidden() {
+		t.Error("composition with CLK column not flagged as forbidden")
+	}
+}

@@ -1,0 +1,36 @@
+package device
+
+// WindowConfigFrames returns the configuration frames needed to reconfigure
+// one clock-region row of the column window [col, col+width) on fabric f,
+// excluding BRAM content frames.
+func (f *Fabric) WindowConfigFrames(p Params, col, width int) int {
+	frames := 0
+	for i := col - 1; i < col-1+width && i < len(f.Columns); i++ {
+		frames += p.FramesPerColumn(f.Columns[i])
+	}
+	return frames
+}
+
+// WindowBRAMContentFrames returns the BRAM initialization frames for one
+// clock-region row of the column window [col, col+width) on fabric f.
+func (f *Fabric) WindowBRAMContentFrames(p Params, col, width int) int {
+	frames := 0
+	for i := col - 1; i < col-1+width && i < len(f.Columns); i++ {
+		if f.Columns[i] == KindBRAM {
+			frames += p.DFBRAM
+		}
+	}
+	return frames
+}
+
+// FullBitstreamBytes estimates the size in bytes of a full-device
+// configuration bitstream: every configuration frame plus every BRAM content
+// frame, framed by the same initial/final word sequences partial bitstreams
+// use. The multitasking simulator uses this to compare full reconfiguration
+// against partial reconfiguration.
+func (d *Device) FullBitstreamBytes() int {
+	p := d.Params
+	frames := d.Fabric.ConfigFrames(p) + d.Fabric.BRAMContentFrames(p)
+	words := p.InitWords + p.FARFDRIWords + (frames+1)*p.FrameWords + p.FinalWords
+	return words * p.BytesPerWord
+}

@@ -1,0 +1,122 @@
+package device
+
+import "fmt"
+
+// ColumnKind identifies the resource type of one fabric column. On Virtex-5
+// and newer families every column of the fabric holds exactly one resource
+// type, and a column crossed with one clock-region row is the unit of
+// configuration addressed by a frame address (FAR).
+type ColumnKind uint8
+
+// Column kinds present on the modeled families. IOB and CLK columns exist in
+// the fabric but are not allowed inside PRRs (paper §III.A).
+const (
+	KindCLB  ColumnKind = iota // configurable logic block column
+	KindDSP                    // DSP48 column
+	KindBRAM                   // block RAM column
+	KindIOB                    // input/output block column
+	KindCLK                    // clock (CMT/global clock) column
+	numKinds
+)
+
+// String returns the short mnemonic used in layouts and reports.
+func (k ColumnKind) String() string {
+	switch k {
+	case KindCLB:
+		return "CLB"
+	case KindDSP:
+		return "DSP"
+	case KindBRAM:
+		return "BRAM"
+	case KindIOB:
+		return "IOB"
+	case KindCLK:
+		return "CLK"
+	}
+	return fmt.Sprintf("ColumnKind(%d)", uint8(k))
+}
+
+// Rune returns the single-letter code used by ParseLayout.
+func (k ColumnKind) Rune() rune {
+	switch k {
+	case KindCLB:
+		return 'C'
+	case KindDSP:
+		return 'D'
+	case KindBRAM:
+		return 'B'
+	case KindIOB:
+		return 'I'
+	case KindCLK:
+		return 'K'
+	}
+	return '?'
+}
+
+// KindForRune is the inverse of Rune. ok is false for unknown letters.
+func KindForRune(r rune) (k ColumnKind, ok bool) {
+	switch r {
+	case 'C':
+		return KindCLB, true
+	case 'D':
+		return KindDSP, true
+	case 'B':
+		return KindBRAM, true
+	case 'I':
+		return KindIOB, true
+	case 'K':
+		return KindCLK, true
+	}
+	return 0, false
+}
+
+// PRRAllowed reports whether columns of this kind may be included in a
+// partially reconfigurable region. IOB and CLK columns are excluded by the
+// Xilinx tools the paper models.
+func (k ColumnKind) PRRAllowed() bool {
+	return k == KindCLB || k == KindDSP || k == KindBRAM
+}
+
+// Composition counts columns by kind. It is the currency of the Fig. 1
+// feasibility search: a candidate window is feasible when its composition
+// equals the required one.
+type Composition [numKinds]int
+
+// Add increments the count for kind k by n.
+func (c *Composition) Add(k ColumnKind, n int) { c[k] += n }
+
+// Of returns the count for kind k.
+func (c Composition) Of(k ColumnKind) int { return c[k] }
+
+// Total returns the total number of columns counted.
+func (c Composition) Total() int {
+	t := 0
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// HasForbidden reports whether the composition includes any column kind that
+// may not appear inside a PRR.
+func (c Composition) HasForbidden() bool {
+	return c[KindIOB] > 0 || c[KindCLK] > 0
+}
+
+// String renders the composition as e.g. "17xCLB+1xDSP+2xBRAM".
+func (c Composition) String() string {
+	s := ""
+	for k := ColumnKind(0); k < numKinds; k++ {
+		if c[k] == 0 {
+			continue
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("%dx%s", c[k], k)
+	}
+	if s == "" {
+		return "empty"
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package dse
+
+import "sort"
+
+// ExploreBeam explores partitionings with a beam search for PRM counts where
+// Bell(n) explodes (n > ~10): PRMs are added one at a time, each either
+// joining an existing group or opening a new one, and only the beamWidth
+// best partial design points (by a tiles + reconfig scalarization) survive
+// each step. For small n with a wide enough beam it finds the same best
+// points as ExploreAll.
+func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
+	if len(prms) == 0 {
+		return nil
+	}
+	if beamWidth < 1 {
+		beamWidth = 8
+	}
+	type cand struct {
+		groups [][]int
+		dp     DesignPoint
+	}
+	score := func(dp DesignPoint) float64 {
+		if !dp.Feasible {
+			return 1e18
+		}
+		return float64(dp.TotalTiles) + dp.WorstReconfig.Seconds()*1e4
+	}
+	beam := []cand{{groups: [][]int{{0}}}}
+	beam[0].dp = e.Evaluate(prms[:1], beam[0].groups)
+	for i := 1; i < len(prms); i++ {
+		var next []cand
+		sub := prms[:i+1]
+		for _, c := range beam {
+			// Join each existing group.
+			for g := range c.groups {
+				groups := copyGroups(c.groups)
+				groups[g] = append(groups[g], i)
+				next = append(next, cand{groups: groups, dp: e.Evaluate(sub, groups)})
+			}
+			// Open a new group.
+			groups := copyGroups(c.groups)
+			groups = append(groups, []int{i})
+			next = append(next, cand{groups: groups, dp: e.Evaluate(sub, groups)})
+		}
+		sort.SliceStable(next, func(a, b int) bool { return score(next[a].dp) < score(next[b].dp) })
+		if len(next) > beamWidth {
+			next = next[:beamWidth]
+		}
+		beam = next
+	}
+	points := make([]DesignPoint, len(beam))
+	for i, c := range beam {
+		points[i] = c.dp
+	}
+	return points
+}
+
+func copyGroups(groups [][]int) [][]int {
+	out := make([][]int, len(groups))
+	for i, g := range groups {
+		out[i] = append([]int(nil), g...)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package dse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestBeamMatchesExhaustiveBest: with a generous beam, the beam search finds
+// a design point at least as good as the exhaustive best on the
+// scalarization it optimizes.
+func TestBeamMatchesExhaustiveBest(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := paperPRMs(t, "XC6VLX75T")
+
+	score := func(dp DesignPoint) float64 {
+		if !dp.Feasible {
+			return 1e18
+		}
+		return float64(dp.TotalTiles) + dp.WorstReconfig.Seconds()*1e4
+	}
+	bestOf := func(points []DesignPoint) float64 {
+		best := 1e18
+		for _, p := range points {
+			if s := score(p); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	exhaustive := bestOf(e.ExploreAll(prms))
+	beam := bestOf(e.ExploreBeam(prms, 32))
+	if beam > exhaustive {
+		t.Errorf("beam best %.1f worse than exhaustive best %.1f", beam, exhaustive)
+	}
+}
+
+// TestBeamScalesToManyPRMs: twelve PRMs (Bell(12) ≈ 4.2 million) explore in
+// bounded time with a narrow beam and return feasible points.
+func TestBeamScalesToManyPRMs(t *testing.T) {
+	e := explorer(t, "XC6VLX240T")
+	var prms []PRM
+	for i := 0; i < 12; i++ {
+		prms = append(prms, PRM{
+			Name: string(rune('A' + i)),
+			Req: core.Requirements{
+				LUTFFPairs: 200 + i*60,
+				LUTs:       150 + i*40,
+				FFs:        100 + i*30,
+			},
+		})
+	}
+	start := time.Now()
+	points := e.ExploreBeam(prms, 8)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("beam took %v", elapsed)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points returned")
+	}
+	feasible := 0
+	for _, p := range points {
+		if p.Feasible {
+			feasible++
+			if len(flatten(p.Groups)) != 12 {
+				t.Errorf("point covers %d PRMs, want 12", len(flatten(p.Groups)))
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Error("no feasible point among the beam survivors")
+	}
+}
+
+func TestBeamEmpty(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	if pts := e.ExploreBeam(nil, 4); pts != nil {
+		t.Errorf("empty PRM list returned %d points", len(pts))
+	}
+}
+
+func flatten(groups [][]int) []int {
+	var all []int
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	return all
+}

@@ -1,0 +1,8 @@
+// Package dse is the consumer the paper builds its productivity argument
+// around (§I, Table VIII): early design-space exploration of PR
+// partitionings. It enumerates the ways a set of PRMs can be grouped onto
+// PRRs, evaluates every design point with the paper's cost models in
+// microseconds, and contrasts that with the hours the full vendor flow would
+// need — using a tool-time model calibrated to the paper's measured XST/ISE
+// runtimes plus this repository's own simulated flow.
+package dse

@@ -1,0 +1,196 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/icap"
+)
+
+// PRM names one module to place in the exploration.
+type PRM struct {
+	Name string
+	Req  core.Requirements
+}
+
+// DesignPoint is one PR partitioning: a grouping of PRMs onto shared PRRs,
+// evaluated entirely with the paper's cost models.
+type DesignPoint struct {
+	// Groups lists PRM indexes per PRR (a set partition of the PRMs).
+	Groups [][]int
+	// Feasible is false when some group's merged PRR has no window or the
+	// groups cannot be placed disjointly.
+	Feasible bool
+	// Infeasibility carries the reason when Feasible is false.
+	Infeasibility string
+
+	// TotalTiles is the summed PRR_size over groups (area cost).
+	TotalTiles int
+	// MaxBitstreamBytes is the largest partial bitstream any reconfiguration
+	// moves (latency cost).
+	MaxBitstreamBytes int
+	// TotalBitstreamBytes sums each group's bitstream (storage cost).
+	TotalBitstreamBytes int
+	// WorstReconfig is the estimator's time for the largest bitstream.
+	WorstReconfig time.Duration
+	// MinRU is the worst per-PRM CLB utilization across shared PRRs
+	// (fragmentation cost; 0-100).
+	MinRU float64
+}
+
+// Explorer evaluates PR partitionings on one device.
+type Explorer struct {
+	Device    *device.Device
+	Estimator icap.Estimator
+}
+
+// Evaluate prices one partitioning with the cost models.
+func (e *Explorer) Evaluate(prms []PRM, groups [][]int) DesignPoint {
+	dp := DesignPoint{Groups: groups, Feasible: true, MinRU: 100}
+	model := core.NewPRRModel(e.Device)
+	bit := core.NewBitstreamModel(e.Device.Params)
+
+	var placed []floorplan.Region
+	for _, g := range groups {
+		reqs := make([]core.Requirements, len(g))
+		for i, idx := range g {
+			reqs[i] = prms[idx].Req
+		}
+		m := &core.PRRModel{Device: e.Device, Avoid: placed}
+		shared, err := m.EstimateShared(reqs)
+		if err != nil {
+			dp.Feasible = false
+			dp.Infeasibility = err.Error()
+			return dp
+		}
+		placed = append(placed, shared.Org.Region)
+		dp.TotalTiles += shared.Org.Size()
+		bytes := bit.SizeBytes(shared.Org)
+		dp.TotalBitstreamBytes += bytes
+		if bytes > dp.MaxBitstreamBytes {
+			dp.MaxBitstreamBytes = bytes
+		}
+		for _, ru := range shared.SharedRU {
+			if ru.CLB < dp.MinRU {
+				dp.MinRU = ru.CLB
+			}
+		}
+	}
+	_ = model
+	dp.WorstReconfig = e.Estimator.Estimate(dp.MaxBitstreamBytes)
+	return dp
+}
+
+// ExploreAll enumerates every set partition of the PRMs (Bell(n) points; n
+// is small in PR floorplanning practice) and evaluates each.
+func (e *Explorer) ExploreAll(prms []PRM) []DesignPoint {
+	var points []DesignPoint
+	forEachPartition(len(prms), func(groups [][]int) {
+		gs := make([][]int, len(groups))
+		for i, g := range groups {
+			gs[i] = append([]int(nil), g...)
+		}
+		points = append(points, e.Evaluate(prms, gs))
+	})
+	return points
+}
+
+// forEachPartition enumerates set partitions of {0..n-1} via restricted
+// growth strings.
+func forEachPartition(n int, visit func([][]int)) {
+	if n == 0 {
+		return
+	}
+	rgs := make([]int, n)
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == n {
+			k := maxUsed + 1
+			groups := make([][]int, k)
+			for idx, g := range rgs {
+				groups[g] = append(groups[g], idx)
+			}
+			visit(groups)
+			return
+		}
+		for g := 0; g <= maxUsed+1; g++ {
+			rgs[i] = g
+			next := maxUsed
+			if g > maxUsed {
+				next = g
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, -1)
+}
+
+// Pareto returns the feasible points not dominated on (TotalTiles,
+// WorstReconfig, -MinRU): smaller area, faster worst-case reconfiguration
+// and lower fragmentation.
+func Pareto(points []DesignPoint) []DesignPoint {
+	var feas []DesignPoint
+	for _, p := range points {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	var front []DesignPoint
+	for i, p := range feas {
+		dominated := false
+		for j, q := range feas {
+			if i == j {
+				continue
+			}
+			if q.TotalTiles <= p.TotalTiles && q.WorstReconfig <= p.WorstReconfig && q.MinRU >= p.MinRU &&
+				(q.TotalTiles < p.TotalTiles || q.WorstReconfig < p.WorstReconfig || q.MinRU > p.MinRU) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].TotalTiles < front[j].TotalTiles })
+	return front
+}
+
+// Describe renders a design point's grouping like "{FIR,MIPS}{SDRAM}".
+func Describe(prms []PRM, dp DesignPoint) string {
+	s := ""
+	for _, g := range dp.Groups {
+		s += "{"
+		for i, idx := range g {
+			if i > 0 {
+				s += ","
+			}
+			s += prms[idx].Name
+		}
+		s += "}"
+	}
+	if !dp.Feasible {
+		s += " (infeasible)"
+	}
+	return s
+}
+
+// Productivity compares cost-model exploration against the vendor flow: the
+// measured model time for evaluating all points versus the tool-time model's
+// estimate of implementing each PRM once per design point.
+type Productivity struct {
+	Points        int
+	ModelTime     time.Duration // measured
+	FlowTime      time.Duration // estimated via ToolTimeModel
+	SpeedupFactor float64
+}
+
+// String renders the productivity summary.
+func (p Productivity) String() string {
+	return fmt.Sprintf("%d design points: cost models %v vs full flow ~%v (%.0fx)",
+		p.Points, p.ModelTime, p.FlowTime, p.SpeedupFactor)
+}

@@ -1,0 +1,47 @@
+package dse
+
+import (
+	"time"
+
+	"repro/internal/synth"
+)
+
+// ToolTimeModel estimates vendor-tool wall-clock from design size: a fixed
+// startup cost plus a per-primitive term for synthesis, and a fixed cost
+// plus a per-pair term for implementation (placement and routing scale with
+// packed slice pairs).
+type ToolTimeModel struct {
+	SynthBase    time.Duration
+	SynthPerCell time.Duration
+	ImplBase     time.Duration
+	ImplPerPair  time.Duration
+}
+
+// ISE124 is calibrated against the paper's Table VIII (Xilinx ISE 12.4 on a
+// 1.8 GHz AMD Turion ML-32): synthesis of the three PRMs took 3m20s-4m50s
+// and implementation 2m55s-5m50s, with only weak size dependence — tool
+// startup and device-database loading dominate at these design sizes.
+var ISE124 = ToolTimeModel{
+	SynthBase:    195 * time.Second,
+	SynthPerCell: 18 * time.Millisecond,
+	ImplBase:     150 * time.Second,
+	ImplPerPair:  55 * time.Millisecond,
+}
+
+// Synthesis estimates XST wall-clock for a design with the given primitive
+// count.
+func (m ToolTimeModel) Synthesis(cells int) time.Duration {
+	return m.SynthBase + time.Duration(cells)*m.SynthPerCell
+}
+
+// Implementation estimates MAP/PAR wall-clock for a post-synthesis report.
+func (m ToolTimeModel) Implementation(r synth.Report) time.Duration {
+	return m.ImplBase + time.Duration(r.LUTFFPairs)*m.ImplPerPair
+}
+
+// FullFlow estimates one complete PR design-flow iteration for a PRM:
+// synthesis plus implementation (the paper's point is that every explored
+// partitioning would pay this, per PRM, without the cost models).
+func (m ToolTimeModel) FullFlow(cells int, r synth.Report) time.Duration {
+	return m.Synthesis(cells) + m.Implementation(r)
+}

@@ -1,0 +1,6 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation plus the ablations DESIGN.md lists. Each experiment returns a
+// report.Table (or text block) so cmd/paper can print it and the root
+// benchmarks can time it; EXPERIMENTS.md records paper-versus-measured for
+// each.
+package experiments

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+// Figure1 reproduces the paper's Fig. 1 flow as a narrated search: the FIR
+// PRM on the XC5VLX110T walks H = 1..5, recomputing the column counts per
+// Eqs. (2)-(5) and probing the fabric bottom-up, until the H=5 window is
+// found.
+func Figure1() (string, error) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		return "", err
+	}
+	row, _ := core.PaperTableVRow("FIR", "XC5VLX110T")
+	p := dev.Params
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — PRR search flow: FIR (%v) on %s\n", row.Req, dev.Name)
+	clbReq := (row.Req.LUTFFPairs + p.LUTPerCLB - 1) / p.LUTPerCLB
+	fmt.Fprintf(&b, "Eq.(1): CLB_req = ceil(%d / %d) = %d\n", row.Req.LUTFFPairs, p.LUTPerCLB, clbReq)
+	for h := 1; h <= dev.Fabric.Rows; h++ {
+		wCLB := (clbReq + h*p.CLBPerCol - 1) / (h * p.CLBPerCol)
+		hDSP := (row.Req.DSPs + p.DSPPerCol - 1) / p.DSPPerCol
+		fmt.Fprintf(&b, "H=%d: Eq.(2) W_CLB=%d; Eq.(4) W_DSP=1, H_DSP=%d", h, wCLB, hDSP)
+		if hDSP > h {
+			fmt.Fprintf(&b, " -> H < H_DSP, increment H\n")
+			continue
+		}
+		need := floorplan.Need{CLB: wCLB, DSP: 1}
+		reg, ok, steps := floorplan.FindWindowTrace(&dev.Fabric, h, need)
+		if !ok {
+			fmt.Fprintf(&b, " -> no %v window in %d probes, increment H\n", need, len(steps))
+			continue
+		}
+		fmt.Fprintf(&b, " -> %v window found at %v after %d probes\n", need, reg, len(steps))
+		fmt.Fprintf(&b, "PRR: H=%d, W=%d, PRR_size=%d tiles\n", h, need.Width(), h*need.Width())
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("figure1: search failed")
+}
+
+// Figure2 reproduces the paper's Fig. 2: the structure of a partial
+// bitstream for a two-row PRR containing CLB, DSP and BRAM columns on the
+// Virtex-5, decomposed by the parser.
+func Figure2() (string, error) {
+	dev, err := device.Lookup("XC5VLX110T")
+	if err != nil {
+		return "", err
+	}
+	// A 2-row window with CLBs, the DSP column and a BRAM column: columns
+	// 33-37 of the LX110T layout (B C C D B).
+	prr := bitstream.PRR{Row: 1, Col: 33, H: 2, W: 5}
+	data, err := bitstream.Generate(dev, prr, 2015)
+	if err != nil {
+		return "", err
+	}
+	layout, err := bitstream.Parse(data, dev.Params.FrameWords)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — partial bitstream structure (2-row CLB+DSP+BRAM PRR on %s, %d bytes)\n",
+		dev.Name, len(data))
+	b.WriteString(layout.Describe())
+	return b.String(), nil
+}

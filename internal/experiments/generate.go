@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// generateFor emits the partial bitstream for a model-placed organization.
+func generateFor(dev *device.Device, org core.Organization) ([]byte, error) {
+	r := org.Region
+	return bitstream.Generate(dev, bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, 1)
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/par"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+// PaperDevices are the two parts of the paper's evaluation (§IV).
+func PaperDevices() []string { return []string{"XC5VLX110T", "XC6VLX75T"} }
+
+// Table2 regenerates Table II: the PRR-model family constants.
+func Table2() *report.Table {
+	t := &report.Table{
+		Title:   "Table II — PRR size/organization model constants per family",
+		Headers: []string{"Parameter", "Virtex-4", "Virtex-5", "Virtex-6"},
+	}
+	fams := []device.Family{device.Virtex4, device.Virtex5, device.Virtex6}
+	get := func(f func(device.Params) int) []any {
+		var vals []any
+		for _, fam := range fams {
+			vals = append(vals, f(device.ParamsFor(fam)))
+		}
+		return vals
+	}
+	t.Add(append([]any{"CLB_col"}, get(func(p device.Params) int { return p.CLBPerCol })...)...)
+	t.Add(append([]any{"DSP_col"}, get(func(p device.Params) int { return p.DSPPerCol })...)...)
+	t.Add(append([]any{"BRAM_col"}, get(func(p device.Params) int { return p.BRAMPerCol })...)...)
+	t.Add(append([]any{"LUT_CLB"}, get(func(p device.Params) int { return p.LUTPerCLB })...)...)
+	t.Add(append([]any{"FF_CLB"}, get(func(p device.Params) int { return p.FFPerCLB })...)...)
+	return t
+}
+
+// Table4 regenerates Table IV: the bitstream-model family constants.
+func Table4() *report.Table {
+	t := &report.Table{
+		Title:   "Table IV — bitstream size model constants per family",
+		Headers: []string{"Parameter", "Virtex-4", "Virtex-5", "Virtex-6"},
+	}
+	fams := []device.Family{device.Virtex4, device.Virtex5, device.Virtex6}
+	add := func(name string, f func(device.Params) int) {
+		row := []any{name}
+		for _, fam := range fams {
+			row = append(row, f(device.ParamsFor(fam)))
+		}
+		t.Add(row...)
+	}
+	add("CF_CLB", func(p device.Params) int { return p.CFCLB })
+	add("CF_DSP", func(p device.Params) int { return p.CFDSP })
+	add("CF_BRAM", func(p device.Params) int { return p.CFBRAM })
+	add("DF_BRAM", func(p device.Params) int { return p.DFBRAM })
+	add("FR_size", func(p device.Params) int { return p.FrameWords })
+	add("IW", func(p device.Params) int { return p.InitWords })
+	add("FW", func(p device.Params) int { return p.FinalWords })
+	add("FAR_FDRI", func(p device.Params) int { return p.FARFDRIWords })
+	add("Bytes_word", func(p device.Params) int { return p.BytesPerWord })
+	return t
+}
+
+// Table5 regenerates Table V: the PRR size/organization model applied to the
+// paper's recorded synthesis requirements, side by side with the paper's
+// printed values.
+func Table5() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table V — PRR size/organization cost model (model value [paper value])",
+		Headers: []string{"Parameter",
+			"FIR/V5", "MIPS/V5", "SDRAM/V5", "FIR/V6", "MIPS/V6", "SDRAM/V6"},
+	}
+	var results []core.Result
+	var rows []core.TableVRow
+	for _, devName := range PaperDevices() {
+		for _, prm := range rtl.PaperPRMs() {
+			row, ok := core.PaperTableVRow(prm, devName)
+			if !ok {
+				return nil, fmt.Errorf("missing Table V row %s/%s", prm, devName)
+			}
+			dev, err := device.Lookup(devName)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.NewPRRModel(dev).Estimate(row.Req)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prm, devName, err)
+			}
+			results = append(results, res)
+			rows = append(rows, row)
+		}
+	}
+	// Reorder: paper's column order is per device then PRM; we built V5
+	// first — already matching the header order above after swap.
+	order := []int{0, 1, 2, 3, 4, 5}
+	add := func(name string, f func(core.Result, core.TableVRow) string) {
+		row := []any{name}
+		for _, i := range order {
+			row = append(row, f(results[i], rows[i]))
+		}
+		t.Add(row...)
+	}
+	num := func(model, paper int) string { return fmt.Sprintf("%d [%d]", model, paper) }
+	pct := func(model float64, paper int) string {
+		return fmt.Sprintf("%d%% [%d%%]", core.RoundPct(model), paper)
+	}
+	add("LUT_FF_req", func(r core.Result, p core.TableVRow) string { return fmt.Sprintf("%d", r.Req.LUTFFPairs) })
+	add("DSP_req", func(r core.Result, p core.TableVRow) string { return fmt.Sprintf("%d", r.Req.DSPs) })
+	add("BRAM_req", func(r core.Result, p core.TableVRow) string { return fmt.Sprintf("%d", r.Req.BRAMs) })
+	add("CLB_req", func(r core.Result, p core.TableVRow) string { return num(r.Org.CLBReq, p.CLBReq) })
+	add("H", func(r core.Result, p core.TableVRow) string { return num(r.Org.H, p.H) })
+	add("W_CLB", func(r core.Result, p core.TableVRow) string { return num(r.Org.WCLB, p.WCLB) })
+	add("W_DSP", func(r core.Result, p core.TableVRow) string { return num(r.Org.WDSP, p.WDSP) })
+	add("W_BRAM", func(r core.Result, p core.TableVRow) string { return num(r.Org.WBRAM, p.WBRAM) })
+	add("CLB_avail", func(r core.Result, p core.TableVRow) string { return num(r.Avail.CLBs, p.AvailCLB) })
+	add("FF_avail", func(r core.Result, p core.TableVRow) string { return num(r.Avail.FFs, p.AvailFF) })
+	add("LUT_avail", func(r core.Result, p core.TableVRow) string { return num(r.Avail.LUTs, p.AvailLUT) })
+	add("DSP_avail", func(r core.Result, p core.TableVRow) string { return num(r.Avail.DSPs, p.AvailDSP) })
+	add("BRAM_avail", func(r core.Result, p core.TableVRow) string { return num(r.Avail.BRAMs, p.AvailBRAM) })
+	add("RU_CLB", func(r core.Result, p core.TableVRow) string { return pct(r.RU.CLB, p.RU.CLB) })
+	add("RU_FF", func(r core.Result, p core.TableVRow) string { return pct(r.RU.FF, p.RU.FF) })
+	add("RU_LUT", func(r core.Result, p core.TableVRow) string { return pct(r.RU.LUT, p.RU.LUT) })
+	add("RU_DSP", func(r core.Result, p core.TableVRow) string { return pct(r.RU.DSP, p.RU.DSP) })
+	add("RU_BRAM", func(r core.Result, p core.TableVRow) string { return pct(r.RU.BRAM, p.RU.BRAM) })
+	return t, nil
+}
+
+// Table6 regenerates Table VI on this repository's own substrate: the RTL
+// cores are synthesized, the cost model sizes their PRRs, PAR implements
+// them with the region constraint, and the table reports the resource deltas
+// (paper deltas in brackets).
+func Table6() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table VI — post-PAR resources vs synthesis (savings%% [paper savings%%])",
+		Headers: []string{"PRM/Device", "pairs synth", "pairs PAR", "pairs saved",
+			"LUT saved", "DSP saved", "BRAM saved"},
+	}
+	for _, devName := range PaperDevices() {
+		dev, err := device.Lookup(devName)
+		if err != nil {
+			return nil, err
+		}
+		for _, prm := range rtl.PaperPRMs() {
+			m, err := rtl.Generate(prm)
+			if err != nil {
+				return nil, err
+			}
+			sr := synth.Synthesize(m, dev)
+			est, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prm, devName, err)
+			}
+			res, err := par.PlaceAndRoute(m, dev, est.Org.Region)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prm, devName, err)
+			}
+			paper, _ := core.PaperTableVIRow(prm, devName)
+			sav := func(synthV, parV int) float64 {
+				if synthV == 0 {
+					return 0
+				}
+				return float64(synthV-parV) / float64(synthV) * 100
+			}
+			t.Add(prm+"/"+devName,
+				sr.LUTFFPairs, res.Report.LUTFFPairs,
+				fmt.Sprintf("%.1f%% [%.1f%%]", sav(sr.LUTFFPairs, res.Report.LUTFFPairs), float64(paper.SavingsLUTFF)/10),
+				fmt.Sprintf("%.1f%% [%.1f%%]", sav(sr.LUTs, res.Report.LUTs), float64(paper.SavingsLUT)/10),
+				fmt.Sprintf("%.1f%% [0.0%%]", sav(sr.DSPs, res.Report.DSPs)),
+				fmt.Sprintf("%.1f%% [0.0%%]", sav(sr.BRAMs, res.Report.BRAMs)))
+		}
+	}
+	return t, nil
+}
+
+// Table7 regenerates Table VII: partial bitstream sizes per PRM and device —
+// the model's prediction against the byte length of an actually generated
+// bitstream.
+func Table7() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table VII — partial bitstream sizes (bytes)",
+		Headers: []string{"PRM", "Device", "model", "generated", "exact"},
+	}
+	for _, devName := range PaperDevices() {
+		dev, err := device.Lookup(devName)
+		if err != nil {
+			return nil, err
+		}
+		for _, prm := range rtl.PaperPRMs() {
+			row, _ := core.PaperTableVRow(prm, devName)
+			res, err := core.NewPRRModel(dev).Estimate(row.Req)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prm, devName, err)
+			}
+			model := core.NewBitstreamModel(dev.Params).SizeBytes(res.Org)
+			r := res.Org.Region
+			data, err := bitstream.Generate(dev, bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prm, devName, err)
+			}
+			t.Add(prm, devName, model, len(data), model == len(data))
+		}
+	}
+	return t, nil
+}
+
+// Table8 regenerates Table VIII: vendor-tool wall-clock (paper measurement
+// and our calibrated model) against this repository's simulated flow and the
+// cost models themselves.
+func Table8() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table VIII — flow times: paper [tool model] vs simulated flow vs cost model",
+		Headers: []string{"PRM/Device", "paper synth", "paper impl",
+			"tool model synth", "tool model impl", "sim flow", "cost model"},
+	}
+	for _, pr := range core.TableVIII {
+		dev, err := device.Lookup(pr.Device)
+		if err != nil {
+			return nil, err
+		}
+		m, err := rtl.Generate(pr.PRM)
+		if err != nil {
+			return nil, err
+		}
+		// Simulated flow, measured.
+		start := time.Now()
+		sr := synth.Synthesize(m, dev)
+		est, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := par.PlaceAndRoute(m, dev, est.Org.Region); err != nil {
+			return nil, err
+		}
+		simFlow := time.Since(start)
+		// Cost model alone, measured.
+		start = time.Now()
+		res, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+		if err != nil {
+			return nil, err
+		}
+		core.NewBitstreamModel(dev.Params).SizeBytes(res.Org)
+		modelTime := time.Since(start)
+
+		t.Add(pr.PRM+"/"+pr.Device,
+			pr.Synthesis, pr.Implementation,
+			dse.ISE124.Synthesis(len(m.Cells)).Round(time.Second),
+			dse.ISE124.Implementation(sr).Round(time.Second),
+			simFlow.Round(time.Millisecond),
+			modelTime.Round(time.Microsecond))
+	}
+	return t, nil
+}

@@ -1,0 +1,11 @@
+// Package floorplan implements the geometric half of the paper's PRR
+// size/organization cost model: the Fig. 1 search for a physical region of H
+// rows and W contiguous columns whose column composition matches the PRM's
+// requirements (W_CLB CLB columns, W_DSP DSP columns, W_BRAM BRAM columns, in
+// any order, with no IOB or CLK columns and no hard-macro overlap).
+//
+// Beyond the paper's rectangle search it provides multi-PRR placement (the
+// hardware-multitasking scenario needs several disjoint PRRs on one device)
+// and the non-rectangular L-shaped regions the paper's §IV discussion names
+// as a way to raise resource utilization.
+package floorplan

@@ -1,0 +1,90 @@
+package floorplan
+
+import "repro/internal/device"
+
+// LRegion is a non-rectangular PRR made of two vertically stacked rectangles
+// sharing their left edge: the base spans H1 rows of W1 columns, the
+// extension the next H2 rows of the leftmost W2 <= W1 columns. The paper's
+// §IV notes such L (or T) shapes can raise resource utilization at the cost
+// of harder routing.
+type LRegion struct {
+	Base Region
+	Ext  Region
+}
+
+// Tiles returns the total tile count of the L region.
+func (l LRegion) Tiles() int { return l.Base.H*l.Base.W + l.Ext.H*l.Ext.W }
+
+// FindLShape searches for an L-shaped region whose combined column-row
+// composition covers the per-kind tile requirement exactly where a
+// rectangle would overshoot. tileNeed counts column-rows (a column counted
+// once per row it spans). The search tries every base/extension split of the
+// requested total rows, preferring the smallest tile count.
+func FindLShape(f *device.Fabric, rows int, tileNeed Need, avoid ...Region) (LRegion, bool) {
+	best := LRegion{}
+	bestTiles := -1
+	for h1 := 1; h1 < rows; h1++ {
+		h2 := rows - h1
+		// The base must carry ceil(tileNeed/rows) columns scaled to h1 rows;
+		// enumerate plausible base widths per kind.
+		for wCLB1 := 0; wCLB1*h1 <= tileNeed.CLB+rows; wCLB1++ {
+			needCLB2 := tileNeed.CLB - wCLB1*h1
+			if needCLB2 < 0 || (h2 > 0 && needCLB2%h2 != 0) {
+				continue
+			}
+			wCLB2 := 0
+			if h2 > 0 {
+				wCLB2 = needCLB2 / h2
+			}
+			if wCLB2 > wCLB1 {
+				continue
+			}
+			// DSP and BRAM tiles are covered entirely by the base rectangle
+			// (the extension is pure CLB), matching how designers draw L
+			// shapes around fixed hard-block columns.
+			base := Need{CLB: wCLB1, DSP: ceilDiv(tileNeed.DSP, h1), BRAM: ceilDiv(tileNeed.BRAM, h1)}
+			ext := Need{CLB: wCLB2}
+			if base.Width() == 0 || base.Width() < ext.Width() {
+				continue
+			}
+			bReg, ok := FindWindow(f, h1, base, avoid...)
+			if !ok {
+				continue
+			}
+			// The extension must sit directly above the base's left columns.
+			if ext.Width() > 0 {
+				eReg := Region{Row: bReg.Row + h1, Col: bReg.Col, H: h2, W: ext.Width()}
+				if eReg.Row+eReg.H-1 > f.Rows {
+					continue
+				}
+				comp := f.CompositionOf(eReg.Col, eReg.W)
+				if comp != ext.Composition() || comp.HasForbidden() {
+					continue
+				}
+				if _, holed := f.HoleIn(eReg.Row, eReg.Col, eReg.H, eReg.W); holed {
+					continue
+				}
+				if overlapAny(eReg, avoid) != nil {
+					continue
+				}
+				cand := LRegion{Base: bReg, Ext: eReg}
+				if bestTiles < 0 || cand.Tiles() < bestTiles {
+					best, bestTiles = cand, cand.Tiles()
+				}
+			} else {
+				cand := LRegion{Base: bReg}
+				if bestTiles < 0 || cand.Tiles() < bestTiles {
+					best, bestTiles = cand, cand.Tiles()
+				}
+			}
+		}
+	}
+	return best, bestTiles >= 0
+}
+
+func ceilDiv(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

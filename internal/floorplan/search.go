@@ -1,0 +1,122 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Need is a column requirement: how many columns of each PRR-allowed kind the
+// region must contain (the paper's W_CLB, W_DSP, W_BRAM for a candidate H).
+type Need struct {
+	CLB  int
+	DSP  int
+	BRAM int
+}
+
+// Width returns the total column count W = W_CLB + W_DSP + W_BRAM (Eq. (6)).
+func (n Need) Width() int { return n.CLB + n.DSP + n.BRAM }
+
+// Composition converts the need into a fabric composition for window
+// matching.
+func (n Need) Composition() device.Composition {
+	var c device.Composition
+	c.Add(device.KindCLB, n.CLB)
+	c.Add(device.KindDSP, n.DSP)
+	c.Add(device.KindBRAM, n.BRAM)
+	return c
+}
+
+// String renders the need as "{17xCLB+1xDSP+2xBRAM}".
+func (n Need) String() string { return "{" + n.Composition().String() + "}" }
+
+// Region is a placed rectangular PRR: rows [Row, Row+H) and columns
+// [Col, Col+W) of the fabric, 1-based from the bottom-left.
+type Region struct {
+	Row, Col int
+	H, W     int
+}
+
+// Overlaps reports whether two regions share any tile.
+func (r Region) Overlaps(o Region) bool {
+	return r.Row < o.Row+o.H && o.Row < r.Row+r.H &&
+		r.Col < o.Col+o.W && o.Col < r.Col+r.W
+}
+
+// String renders the region as "rows 1-5, cols 34-36 (5x3)".
+func (r Region) String() string {
+	return fmt.Sprintf("rows %d-%d, cols %d-%d (%dx%d)",
+		r.Row, r.Row+r.H-1, r.Col, r.Col+r.W-1, r.H, r.W)
+}
+
+// Step records one probe of the Fig. 1 search, for trace output.
+type Step struct {
+	Row, Col int
+	Found    bool
+	Reason   string // why the probe failed, empty when Found
+}
+
+// FindWindow runs the paper's Fig. 1 inner search: scan the fabric bottom-up
+// (row 1 first) and left-to-right for a window of H rows and need.Width()
+// contiguous columns whose composition exactly matches the need, containing
+// no IOB or CLK columns and overlapping no hard-macro hole. avoid lists
+// regions the window must not overlap (already-placed PRRs or the static
+// region). It returns the first matching region.
+func FindWindow(f *device.Fabric, h int, need Need, avoid ...Region) (Region, bool) {
+	r, ok, _ := findWindow(f, h, need, false, avoid)
+	return r, ok
+}
+
+// FindWindowTrace is FindWindow with a per-probe trace, used to reproduce
+// the paper's Fig. 1 flow as a narrated search.
+func FindWindowTrace(f *device.Fabric, h int, need Need, avoid ...Region) (Region, bool, []Step) {
+	return findWindow(f, h, need, true, avoid)
+}
+
+func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) (Region, bool, []Step) {
+	var steps []Step
+	w := need.Width()
+	if w == 0 || h < 1 {
+		return Region{}, false, nil
+	}
+	wantComp := need.Composition()
+	record := func(s Step) {
+		if trace {
+			steps = append(steps, s)
+		}
+	}
+	for row := 1; row+h-1 <= f.Rows; row++ {
+		for col := 1; col+w-1 <= f.NumColumns(); col++ {
+			comp := f.CompositionOf(col, w)
+			if comp.HasForbidden() {
+				record(Step{Row: row, Col: col, Reason: "window contains IOB/CLK column"})
+				continue
+			}
+			if comp != wantComp {
+				record(Step{Row: row, Col: col, Reason: fmt.Sprintf("composition %v != %v", comp, wantComp)})
+				continue
+			}
+			cand := Region{Row: row, Col: col, H: h, W: w}
+			if name, holed := f.HoleIn(row, col, h, w); holed {
+				record(Step{Row: row, Col: col, Reason: "overlaps hard macro " + name})
+				continue
+			}
+			if blocked := overlapAny(cand, avoid); blocked != nil {
+				record(Step{Row: row, Col: col, Reason: "overlaps placed region " + blocked.String()})
+				continue
+			}
+			record(Step{Row: row, Col: col, Found: true})
+			return cand, true, steps
+		}
+	}
+	return Region{}, false, steps
+}
+
+func overlapAny(r Region, avoid []Region) *Region {
+	for i := range avoid {
+		if r.Overlaps(avoid[i]) {
+			return &avoid[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package icap
+
+import "time"
+
+// ContextSwitchModel prices a preemptive hardware task switch: saving the
+// running PRM's context (capture + frame readback through the ICAP), loading
+// the incoming PRM's partial bitstream, and later restoring the preempted
+// task (its saved frames replayed with a GRESTORE trailer). Byte volumes
+// come from package bitstream's SaveTransferBytes / GenerateRestore.
+type ContextSwitchModel struct {
+	// Transfer estimates directional ICAP transfers (typically SizeModel).
+	Transfer Estimator
+	// CaptureOverhead is the fixed GCAPTURE settle time.
+	CaptureOverhead time.Duration
+}
+
+// SaveTime prices a context save moving the given byte volume out.
+func (m ContextSwitchModel) SaveTime(saveBytes int) time.Duration {
+	return m.CaptureOverhead + m.Transfer.Estimate(saveBytes)
+}
+
+// RestoreTime prices a context restore (a state-carrying partial bitstream).
+func (m ContextSwitchModel) RestoreTime(restoreBytes int) time.Duration {
+	return m.Transfer.Estimate(restoreBytes)
+}
+
+// PreemptTime prices the full preemption path: save the victim, then load
+// the preemptor's bitstream.
+func (m ContextSwitchModel) PreemptTime(saveBytes, loadBytes int) time.Duration {
+	return m.SaveTime(saveBytes) + m.Transfer.Estimate(loadBytes)
+}

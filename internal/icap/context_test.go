@@ -1,0 +1,30 @@
+package icap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestContextSwitchModel(t *testing.T) {
+	m := ContextSwitchModel{
+		Transfer:        SizeModel{Port: ICAP32, Media: MediaBRAM},
+		CaptureOverhead: 2 * time.Microsecond,
+	}
+	const save, load = 80_000, 100_000
+	st := m.SaveTime(save)
+	rt := m.RestoreTime(load)
+	pt := m.PreemptTime(save, load)
+	if st <= m.CaptureOverhead {
+		t.Errorf("save time %v should exceed the capture overhead", st)
+	}
+	if pt != st+m.Transfer.Estimate(load) {
+		t.Errorf("preempt time %v != save %v + load transfer", pt, st)
+	}
+	if rt >= pt {
+		t.Errorf("restore alone (%v) should be cheaper than a full preemption (%v)", rt, pt)
+	}
+	// Bigger contexts cost more.
+	if m.SaveTime(2*save) <= st {
+		t.Error("save time not monotone in context size")
+	}
+}

@@ -1,0 +1,55 @@
+package icap
+
+import "time"
+
+// Controller serializes reconfiguration transfers over one shared ICAP — the
+// contention source Claus's busy-factor abstracts. The multitasking
+// simulator drives it with absolute simulation times.
+type Controller struct {
+	Estimator Estimator
+
+	// busyUntil is the simulation time the port frees up.
+	busyUntil time.Duration
+	// accounting
+	totalBusy time.Duration
+	transfers int
+}
+
+// NewController returns a controller using the given per-transfer estimator.
+func NewController(e Estimator) *Controller { return &Controller{Estimator: e} }
+
+// Reconfigure schedules a transfer of the given bitstream at simulation time
+// now; it returns when the transfer starts (after any queueing) and when it
+// completes.
+func (c *Controller) Reconfigure(now time.Duration, bitstreamBytes int) (start, done time.Duration) {
+	start = now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	dur := c.Estimator.Estimate(bitstreamBytes)
+	done = start + dur
+	c.busyUntil = done
+	c.totalBusy += dur
+	c.transfers++
+	return start, done
+}
+
+// BusyFactor returns the fraction of the elapsed simulation time the port
+// spent transferring — the empirical counterpart of Claus's busy factor.
+func (c *Controller) BusyFactor(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.totalBusy) / float64(elapsed)
+}
+
+// Transfers returns the number of reconfigurations performed.
+func (c *Controller) Transfers() int { return c.transfers }
+
+// TotalBusy returns the cumulative transfer time.
+func (c *Controller) TotalBusy() time.Duration { return c.totalBusy }
+
+// Reset clears the controller state for a fresh simulation run.
+func (c *Controller) Reset() {
+	c.busyUntil, c.totalBusy, c.transfers = 0, 0, 0
+}

@@ -1,0 +1,13 @@
+// Package icap models partial reconfiguration transfer time: the internal
+// configuration access port (ICAP), the storage media a partial bitstream is
+// fetched from, and the reconfiguration-time estimators the paper's related
+// work proposes — Papadimitriou's media-bound survey model (with its
+// documented 30-60% error band), Claus's ICAP busy-factor model, Duhem's
+// FaRM overlapped-prefetch controller, and Liu's DMA versus PIO designs —
+// alongside the size-derived estimator this reproduction pairs with the
+// paper's bitstream size model.
+//
+// The paper's own contribution stops at bitstream size; reconfiguration time
+// is the quantity that size feeds (§I, §II), so these estimators close the
+// loop for the multitasking and exploration experiments.
+package icap

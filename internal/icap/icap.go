@@ -1,0 +1,178 @@
+package icap
+
+import (
+	"fmt"
+	"time"
+)
+
+// Port is a configuration port: the ICAP on-fabric, or an external
+// controller path (JTAG, SelectMAP).
+type Port struct {
+	Name      string
+	WidthBits int     // data width per clock
+	ClockHz   float64 // configuration clock
+}
+
+// BytesPerSecond returns the port's peak throughput.
+func (p Port) BytesPerSecond() float64 {
+	return float64(p.WidthBits) / 8 * p.ClockHz
+}
+
+// Standard ports. ICAP32 is the Virtex-5/-6 ICAP at its rated 100 MHz;
+// JTAG is the slow external path; SelectMAP8 a byte-wide external port.
+var (
+	ICAP32     = Port{Name: "ICAP-32", WidthBits: 32, ClockHz: 100e6}
+	SelectMAP8 = Port{Name: "SelectMAP-8", WidthBits: 8, ClockHz: 50e6}
+	JTAG       = Port{Name: "JTAG", WidthBits: 1, ClockHz: 33e6}
+)
+
+// Media is a bitstream storage device (Papadimitriou's taxonomy).
+type Media struct {
+	Name           string
+	BytesPerSecond float64       // sustained read bandwidth
+	AccessLatency  time.Duration // first-byte latency
+}
+
+// Storage media from the prior-work survey: on-chip BRAM caches saturate the
+// ICAP; DDR comes close; CompactFlash and SystemACE starve it.
+var (
+	MediaBRAM         = Media{Name: "BRAM", BytesPerSecond: 400e6, AccessLatency: 100 * time.Nanosecond}
+	MediaDDRSDRAM     = Media{Name: "DDR-SDRAM", BytesPerSecond: 320e6, AccessLatency: 60 * time.Nanosecond}
+	MediaCompactFlash = Media{Name: "CompactFlash", BytesPerSecond: 4e6, AccessLatency: 2 * time.Millisecond}
+	MediaSystemACE    = Media{Name: "SystemACE", BytesPerSecond: 15e6, AccessLatency: 500 * time.Microsecond}
+)
+
+// Estimator predicts the reconfiguration time of a partial bitstream.
+type Estimator interface {
+	Name() string
+	Estimate(bitstreamBytes int) time.Duration
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// SizeModel is this reproduction's estimator: the transfer is bound by the
+// slower of the storage medium and the configuration port, plus the medium's
+// access latency. Paired with the paper's bitstream size model it turns a
+// PRR organization directly into a reconfiguration time.
+type SizeModel struct {
+	Port  Port
+	Media Media
+}
+
+// Name implements Estimator.
+func (m SizeModel) Name() string {
+	return fmt.Sprintf("size-derived (%s from %s)", m.Port.Name, m.Media.Name)
+}
+
+// Estimate implements Estimator.
+func (m SizeModel) Estimate(bytes int) time.Duration {
+	bw := m.Port.BytesPerSecond()
+	if mb := m.Media.BytesPerSecond; mb < bw {
+		bw = mb
+	}
+	return m.Media.AccessLatency + secondsToDuration(float64(bytes)/bw)
+}
+
+// ClausModel is the busy-factor model of Claus et al. (FPL'08): the ICAP is
+// a shared resource and only a (1 - busy) fraction of its throughput serves
+// this transfer. Valid only when the ICAP is the bottleneck.
+type ClausModel struct {
+	Port       Port
+	BusyFactor float64 // fraction of ICAP cycles consumed by other masters
+}
+
+// Name implements Estimator.
+func (m ClausModel) Name() string { return fmt.Sprintf("Claus busy-factor %.0f%%", m.BusyFactor*100) }
+
+// Estimate implements Estimator.
+func (m ClausModel) Estimate(bytes int) time.Duration {
+	avail := m.Port.BytesPerSecond() * (1 - m.BusyFactor)
+	if avail <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	return secondsToDuration(float64(bytes) / avail)
+}
+
+// PapadimitriouModel is the survey's media-bound model (TRETS'11): transfer
+// time follows the storage medium alone. The survey reports 30-60% error
+// against measurement; ErrorFactor reproduces that bias (measured time =
+// model time x (1 + error)).
+type PapadimitriouModel struct {
+	Media       Media
+	ErrorFactor float64 // documented 0.3..0.6 under-estimation
+}
+
+// Name implements Estimator.
+func (m PapadimitriouModel) Name() string { return "Papadimitriou media-bound" }
+
+// Estimate implements Estimator.
+func (m PapadimitriouModel) Estimate(bytes int) time.Duration {
+	return secondsToDuration(float64(bytes) / m.Media.BytesPerSecond)
+}
+
+// MeasuredError returns the survey's expected measured time given its error
+// band.
+func (m PapadimitriouModel) MeasuredError(bytes int) time.Duration {
+	return secondsToDuration(float64(bytes) / m.Media.BytesPerSecond * (1 + m.ErrorFactor))
+}
+
+// FaRMModel is Duhem's FaRM controller (IET CDT'12): prefetch FIFOs overlap
+// the media fetch with the ICAP write, so the transfer runs at the faster
+// pipeline's rate bounded by the slower stage, with a fixed controller
+// setup; optional bitstream compression scales the media-side volume.
+type FaRMModel struct {
+	Port             Port
+	Media            Media
+	Setup            time.Duration
+	CompressionRatio float64 // media-side bytes / fabric bytes (1.0 = none)
+}
+
+// Name implements Estimator.
+func (m FaRMModel) Name() string { return "Duhem FaRM" }
+
+// Estimate implements Estimator.
+func (m FaRMModel) Estimate(bytes int) time.Duration {
+	ratio := m.CompressionRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	mediaT := float64(bytes) * ratio / m.Media.BytesPerSecond
+	portT := float64(bytes) / m.Port.BytesPerSecond()
+	t := mediaT
+	if portT > t {
+		t = portT
+	}
+	return m.Setup + secondsToDuration(t)
+}
+
+// LiuModel covers Liu's FPL'09 design points: a DMA engine streams the
+// bitstream at port rate after a setup cost, while the PIO fallback is bound
+// by processor copy bandwidth.
+type LiuModel struct {
+	Port         Port
+	DMA          bool
+	DMASetup     time.Duration
+	PIOBandwidth float64 // processor-copy bytes/s when DMA is false
+}
+
+// Name implements Estimator.
+func (m LiuModel) Name() string {
+	if m.DMA {
+		return "Liu DMA"
+	}
+	return "Liu PIO"
+}
+
+// Estimate implements Estimator.
+func (m LiuModel) Estimate(bytes int) time.Duration {
+	if m.DMA {
+		return m.DMASetup + secondsToDuration(float64(bytes)/m.Port.BytesPerSecond())
+	}
+	bw := m.PIOBandwidth
+	if bw <= 0 {
+		bw = 10e6
+	}
+	return secondsToDuration(float64(bytes) / bw)
+}

@@ -1,0 +1,183 @@
+package multitask
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/icap"
+)
+
+// PRMSpec names a hardware task by its synthesis requirements and execution
+// time; BuildPRSystem turns specs into a placed PR platform using the
+// paper's cost models.
+type PRMSpec struct {
+	Name string
+	Req  core.Requirements
+	Exec time.Duration
+}
+
+// BuildPRSystem sizes one PRR per spec with the PRR model, places them
+// disjointly, derives each PRM's partial bitstream size with the bitstream
+// model, and wires the slots to a shared ICAP. sharedSlots > 0 instead
+// creates that many identical merged PRRs all specs can time-multiplex.
+func BuildPRSystem(dev *device.Device, specs []PRMSpec, sharedSlots int, est icap.Estimator, sched Scheduler) (*System, error) {
+	model := core.NewPRRModel(dev)
+	bit := core.NewBitstreamModel(dev.Params)
+	sys := &System{
+		PRMs:   map[string]PRM{},
+		Compat: map[string][]int{},
+		ICAP:   icap.NewController(est),
+		Sched:  sched,
+	}
+
+	if sharedSlots > 0 {
+		reqs := make([]core.Requirements, len(specs))
+		for i, sp := range specs {
+			reqs[i] = sp.Req
+		}
+		shared, err := model.EstimateShared(reqs)
+		if err != nil {
+			return nil, err
+		}
+		// Place sharedSlots copies of the merged organization disjointly.
+		placer := floorplan.NewPlacer(&dev.Fabric)
+		var reqsFP []floorplan.Request
+		for i := 0; i < sharedSlots; i++ {
+			reqsFP = append(reqsFP, floorplan.Request{
+				Name: fmt.Sprintf("prr%d", i), H: shared.Org.H, Need: shared.Org.Need(),
+			})
+		}
+		plan, err := placer.PlaceAll(reqsFP)
+		if err != nil {
+			return nil, fmt.Errorf("multitask: placing %d shared PRRs: %w", sharedSlots, err)
+		}
+		bytes := bit.SizeBytes(shared.Org)
+		for i := range plan.Placements {
+			sys.Slots = append(sys.Slots, &Slot{Name: plan.Placements[i].Name})
+		}
+		for _, sp := range specs {
+			sys.PRMs[sp.Name] = PRM{Name: sp.Name, BitstreamBytes: bytes, Exec: sp.Exec}
+			for i := range sys.Slots {
+				sys.Compat[sp.Name] = append(sys.Compat[sp.Name], i)
+			}
+		}
+		return sys, nil
+	}
+
+	// Dedicated PRR per PRM.
+	var avoid []floorplan.Region
+	for _, sp := range specs {
+		m := &core.PRRModel{Device: dev, Avoid: avoid}
+		res, err := m.Estimate(sp.Req)
+		if err != nil {
+			return nil, fmt.Errorf("multitask: sizing PRR for %s: %w", sp.Name, err)
+		}
+		avoid = append(avoid, res.Org.Region)
+		sys.Slots = append(sys.Slots, &Slot{Name: "prr_" + sp.Name})
+		sys.PRMs[sp.Name] = PRM{
+			Name:           sp.Name,
+			BitstreamBytes: bit.SizeBytes(res.Org),
+			Exec:           sp.Exec,
+		}
+		sys.Compat[sp.Name] = []int{len(sys.Slots) - 1}
+	}
+	return sys, nil
+}
+
+// BuildFullReconfigSystem is the §I non-PR baseline: one slot covering the
+// whole device, every task switch paying a full-bitstream reconfiguration.
+func BuildFullReconfigSystem(dev *device.Device, specs []PRMSpec, est icap.Estimator) *System {
+	sys := &System{
+		PRMs:   map[string]PRM{},
+		Slots:  []*Slot{{Name: "device"}},
+		Compat: map[string][]int{},
+		ICAP:   icap.NewController(est),
+		Sched:  FirstFree{},
+	}
+	full := dev.FullBitstreamBytes()
+	for _, sp := range specs {
+		sys.PRMs[sp.Name] = PRM{Name: sp.Name, BitstreamBytes: full, Exec: sp.Exec}
+		sys.Compat[sp.Name] = []int{0}
+	}
+	return sys
+}
+
+// BuildStaticSystem is the all-resident baseline: every PRM has a permanent
+// dedicated slot and no reconfiguration ever happens. It errors when the
+// specs' combined resources exceed the device (the case where PR is the only
+// option).
+func BuildStaticSystem(dev *device.Device, specs []PRMSpec, est icap.Estimator) (*System, error) {
+	var clbs, dsps, brams int
+	p := dev.Params
+	for _, sp := range specs {
+		clbs += (sp.Req.LUTFFPairs + p.LUTPerCLB - 1) / p.LUTPerCLB
+		dsps += sp.Req.DSPs
+		brams += sp.Req.BRAMs
+	}
+	devCLB, devDSP, devBRAM := dev.Fabric.Resources(p)
+	if clbs > devCLB || dsps > devDSP || brams > devBRAM {
+		return nil, fmt.Errorf("multitask: static design needs %d CLB / %d DSP / %d BRAM, device %s has %d/%d/%d",
+			clbs, dsps, brams, dev.Name, devCLB, devDSP, devBRAM)
+	}
+	sys := &System{
+		PRMs:   map[string]PRM{},
+		Compat: map[string][]int{},
+		ICAP:   icap.NewController(est),
+		Sched:  FirstFree{},
+	}
+	for i, sp := range specs {
+		sys.Slots = append(sys.Slots, &Slot{Name: "static_" + sp.Name, Preload: sp.Name})
+		sys.PRMs[sp.Name] = PRM{Name: sp.Name, BitstreamBytes: 0, Exec: sp.Exec}
+		sys.Compat[sp.Name] = []int{i}
+	}
+	return sys, nil
+}
+
+// Workload generators -------------------------------------------------------
+
+// RoundRobinJobs emits n jobs cycling through the PRMs with a fixed
+// inter-arrival gap — the worst case for reconfiguration churn.
+func RoundRobinJobs(prms []string, n int, gap time.Duration) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{PRM: prms[i%len(prms)], Arrival: time.Duration(i) * gap}
+	}
+	return jobs
+}
+
+// BurstyJobs emits bursts of length burst per PRM before switching — the
+// reuse-friendly case.
+func BurstyJobs(prms []string, n, burst int, gap time.Duration) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{PRM: prms[(i/burst)%len(prms)], Arrival: time.Duration(i) * gap}
+	}
+	return jobs
+}
+
+// RandomJobs emits n jobs with xorshift-driven PRM choice and exponential-ish
+// arrival gaps, deterministic in seed.
+func RandomJobs(prms []string, n int, meanGap time.Duration, seed uint64) []Job {
+	if seed == 0 {
+		seed = 1
+	}
+	s := seed
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	jobs := make([]Job, n)
+	var t time.Duration
+	for i := range jobs {
+		r := next()
+		jobs[i] = Job{PRM: prms[r%uint64(len(prms))], Arrival: t}
+		// Geometric gap: 0.5x..2x of the mean in eighths.
+		t += meanGap * time.Duration(4+next()%13) / 8
+	}
+	return jobs
+}

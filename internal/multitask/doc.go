@@ -1,0 +1,11 @@
+// Package multitask simulates hardware multitasking on a partially
+// reconfigurable FPGA — the paper's motivating scenario (§I): hardware tasks
+// (PRMs) time-multiplex PRRs, each context switch costs a partial bitstream
+// transfer over the shared ICAP, and PRR sizing decisions propagate through
+// bitstream size into reconfiguration time and end-to-end performance.
+//
+// The simulator compares the PR system against the two §I baselines — full
+// reconfiguration of the entire device per task switch, and a static
+// all-resident design — and demonstrates the paper's warning that oversized
+// PRRs can make a PR system slower than a non-PR one.
+package multitask

@@ -1,0 +1,258 @@
+package multitask
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/icap"
+)
+
+func paperSpecs(t *testing.T, devName string) (*device.Device, []PRMSpec) {
+	t.Helper()
+	dev, err := device.Lookup(devName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []PRMSpec
+	for _, prm := range []string{"FIR", "MIPS", "SDRAM"} {
+		row, ok := core.PaperTableVRow(prm, devName)
+		if !ok {
+			t.Fatalf("no Table V row for %s/%s", prm, devName)
+		}
+		specs = append(specs, PRMSpec{Name: prm, Req: row.Req, Exec: 500 * time.Microsecond})
+	}
+	return dev, specs
+}
+
+func defaultEstimator() icap.Estimator {
+	return icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+}
+
+// TestPRSystemBuilds places the paper's three PRMs as disjoint PRRs on the
+// LX110T and runs a workload.
+func TestPRSystemBuilds(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC5VLX110T")
+	sys, err := BuildPRSystem(dev, specs, 0, defaultEstimator(), FirstFree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Slots) != 3 {
+		t.Fatalf("slots = %d, want 3", len(sys.Slots))
+	}
+	jobs := RoundRobinJobs([]string{"FIR", "MIPS", "SDRAM"}, 60, 100*time.Microsecond)
+	res, err := sys.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 60 {
+		t.Errorf("completed %d jobs, want 60", res.Jobs)
+	}
+	// Dedicated slots: each PRM reconfigures exactly once (first load).
+	if res.Reconfigs != 3 {
+		t.Errorf("reconfigs = %d, want 3 (one first-load per dedicated PRR)", res.Reconfigs)
+	}
+	if res.Makespan <= 0 || res.Throughput() <= 0 {
+		t.Errorf("degenerate result: %v", res)
+	}
+}
+
+// TestPRBeatsFullReconfiguration: with right-sized PRRs, the PR system
+// outperforms the full-reconfiguration baseline — the paper's core premise.
+func TestPRBeatsFullReconfiguration(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC5VLX110T")
+	jobs := RoundRobinJobs([]string{"FIR", "MIPS", "SDRAM"}, 90, 50*time.Microsecond)
+
+	pr, err := BuildPRSystem(dev, specs, 0, defaultEstimator(), FirstFree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prRes, err := pr.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := BuildFullReconfigSystem(dev, specs, defaultEstimator())
+	fullRes, err := full.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prRes.Makespan >= fullRes.Makespan {
+		t.Errorf("PR makespan %v should beat full reconfiguration %v", prRes.Makespan, fullRes.Makespan)
+	}
+	if fullRes.Reconfigs <= prRes.Reconfigs {
+		t.Errorf("full-reconfig system should reconfigure more: %d vs %d",
+			fullRes.Reconfigs, prRes.Reconfigs)
+	}
+}
+
+// TestSharedPRRChurn: one shared PRR time-multiplexing all PRMs reconfigures
+// on almost every job of a round-robin workload, and the reuse-affinity
+// scheduler eliminates that churn when several shared slots exist.
+func TestSharedPRRChurn(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC6VLX75T")
+	names := []string{"FIR", "MIPS", "SDRAM"}
+	jobs := RoundRobinJobs(names, 30, time.Millisecond)
+
+	one, err := BuildPRSystem(dev, specs, 1, defaultEstimator(), FirstFree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneRes, err := one.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneRes.Reconfigs != 30 {
+		t.Errorf("single shared PRR: %d reconfigs for 30 round-robin jobs, want 30", oneRes.Reconfigs)
+	}
+
+	three, err := BuildPRSystem(dev, specs, 3, defaultEstimator(), ReuseAffinity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeRes, err := three.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threeRes.Reconfigs != 3 {
+		t.Errorf("three shared PRRs with reuse affinity: %d reconfigs, want 3 first-loads", threeRes.Reconfigs)
+	}
+	if threeRes.Makespan >= oneRes.Makespan {
+		t.Errorf("three warm PRRs (%v) should beat one churning PRR (%v)",
+			threeRes.Makespan, oneRes.Makespan)
+	}
+}
+
+// TestStaticBaseline: the all-resident design never reconfigures, and
+// refuses workload sets that exceed the device.
+func TestStaticBaseline(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC5VLX110T")
+	static, err := BuildStaticSystem(dev, specs, defaultEstimator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := RoundRobinJobs([]string{"FIR", "MIPS", "SDRAM"}, 30, time.Millisecond)
+	res, err := static.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigs != 0 {
+		t.Errorf("static system reconfigured %d times", res.Reconfigs)
+	}
+
+	// Six MIPS cores exceed the LX110T's single DSP column? No — DSPs fit;
+	// blow the budget with many FIR instances (32 DSPs each, device has 64).
+	var many []PRMSpec
+	for i := 0; i < 3; i++ {
+		row, _ := core.PaperTableVRow("FIR", "XC5VLX110T")
+		many = append(many, PRMSpec{Name: string(rune('a' + i)), Req: row.Req, Exec: time.Millisecond})
+	}
+	if _, err := BuildStaticSystem(dev, many, defaultEstimator()); err == nil {
+		t.Error("static design with 96 DSPs accepted on a 64-DSP device")
+	}
+}
+
+// TestOversizeSweep reproduces the §I pathology: as PRRs grow, PR throughput
+// degrades monotonically and eventually loses to full reconfiguration.
+func TestOversizeSweep(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC5VLX110T")
+	jobs := RoundRobinJobs([]string{"FIR", "MIPS", "SDRAM"}, 60, 10*time.Microsecond)
+	factors := []int{1, 2, 4, 8, 16, 32, 64}
+	points, err := OversizeSweep(dev, specs, factors, defaultEstimator(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(factors) {
+		t.Fatalf("points = %d, want %d", len(points), len(factors))
+	}
+	if !points[0].PRWins() {
+		t.Error("right-sized PRRs should beat full reconfiguration")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].BitstreamBytes <= points[i-1].BitstreamBytes {
+			t.Errorf("bitstream bytes not growing at factor %d", points[i].Factor)
+		}
+		if points[i].PRThroughput > points[i-1].PRThroughput*1.0001 {
+			t.Errorf("PR throughput increased at factor %d", points[i].Factor)
+		}
+	}
+	cross := Crossover(points)
+	if cross == 0 {
+		t.Error("no crossover found: oversizing never hurt enough, pathology not reproduced")
+	} else {
+		t.Logf("PR loses to full reconfiguration at oversize factor %d", cross)
+	}
+}
+
+// TestBurstyVsRoundRobin: bursty workloads reconfigure less on a shared PRR.
+func TestBurstyVsRoundRobin(t *testing.T) {
+	dev, specs := paperSpecs(t, "XC6VLX75T")
+	names := []string{"FIR", "MIPS", "SDRAM"}
+	sys, err := BuildPRSystem(dev, specs, 1, defaultEstimator(), FirstFree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sys.Run(RoundRobinJobs(names, 30, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := sys.Run(BurstyJobs(names, 30, 10, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Reconfigs >= rr.Reconfigs {
+		t.Errorf("bursty reconfigs %d should be below round-robin %d", bursty.Reconfigs, rr.Reconfigs)
+	}
+	if bursty.Reconfigs != 3 {
+		t.Errorf("bursty reconfigs = %d, want 3 (one per burst)", bursty.Reconfigs)
+	}
+}
+
+// TestRandomJobsDeterminism: the generator is reproducible per seed.
+func TestRandomJobsDeterminism(t *testing.T) {
+	a := RandomJobs([]string{"x", "y"}, 50, time.Millisecond, 7)
+	b := RandomJobs([]string{"x", "y"}, 50, time.Millisecond, 7)
+	c := RandomJobs([]string{"x", "y"}, 50, time.Millisecond, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+// TestRunErrors covers unknown PRMs and empty compatibility.
+func TestRunErrors(t *testing.T) {
+	sys := &System{
+		PRMs:   map[string]PRM{"a": {Name: "a", Exec: time.Millisecond}},
+		Slots:  []*Slot{{Name: "s"}},
+		Compat: map[string][]int{"a": {0}},
+		ICAP:   icap.NewController(defaultEstimator()),
+		Sched:  FirstFree{},
+	}
+	if _, err := sys.Run([]Job{{PRM: "ghost"}}); err == nil {
+		t.Error("unknown PRM accepted")
+	}
+	sys.PRMs["b"] = PRM{Name: "b"}
+	if _, err := sys.Run([]Job{{PRM: "b"}}); err == nil {
+		t.Error("PRM without compatible slot accepted")
+	}
+}
+
+// TestSchedulerNames keeps the policy labels stable for reports.
+func TestSchedulerNames(t *testing.T) {
+	for _, s := range []Scheduler{FirstFree{}, ReuseAffinity{}, &RoundRobin{}} {
+		if s.Name() == "" {
+			t.Error("scheduler with empty name")
+		}
+	}
+}

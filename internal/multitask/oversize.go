@@ -1,0 +1,97 @@
+package multitask
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/icap"
+)
+
+// OversizePoint is one step of the oversized-PRR sweep: PRR column counts
+// inflated by Factor, the resulting bitstream bytes, and the PR system's
+// throughput against the full-reconfiguration baseline.
+type OversizePoint struct {
+	Factor         int
+	BitstreamBytes int
+	PRThroughput   float64
+	FullThroughput float64
+}
+
+// PRWins reports whether the PR system still beats full reconfiguration at
+// this oversize factor.
+func (p OversizePoint) PRWins() bool { return p.PRThroughput > p.FullThroughput }
+
+// OversizeSweep quantifies the paper's §I warning: oversized PRRs inflate
+// partial bitstreams and reconfiguration time until the PR system performs
+// worse than a non-PR (full reconfiguration) design. The PRMs time-multiplex
+// one shared PRR — the hardware-multitasking scenario, where every task
+// switch pays a reconfiguration. For each factor k the shared PRR's merged
+// organization gets k times the CLB columns (the "designer drew the region k
+// times too wide" case) and the same workload runs through the PR system and
+// the full-reconfiguration baseline.
+func OversizeSweep(dev *device.Device, specs []PRMSpec, factors []int, est icap.Estimator, jobs []Job) ([]OversizePoint, error) {
+	model := core.NewPRRModel(dev)
+	bit := core.NewBitstreamModel(dev.Params)
+
+	// Baseline: full reconfiguration per switch, independent of k.
+	fullSys := BuildFullReconfigSystem(dev, specs, est)
+	fullRes, err := fullSys.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := make([]core.Requirements, len(specs))
+	for i, sp := range specs {
+		reqs[i] = sp.Req
+	}
+	shared, err := model.EstimateShared(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []OversizePoint
+	for _, k := range factors {
+		org := shared.Org
+		org.WCLB *= k // the oversizing: k times the CLB columns
+		bytes := bit.SizeBytes(org)
+		sys := &System{
+			PRMs:   map[string]PRM{},
+			Slots:  []*Slot{{Name: "shared_prr"}},
+			Compat: map[string][]int{},
+			ICAP:   icap.NewController(est),
+			Sched:  FirstFree{},
+		}
+		for _, sp := range specs {
+			sys.PRMs[sp.Name] = PRM{Name: sp.Name, BitstreamBytes: bytes, Exec: sp.Exec}
+			sys.Compat[sp.Name] = []int{0}
+		}
+		prRes, err := sys.Run(jobs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, OversizePoint{
+			Factor:         k,
+			BitstreamBytes: bytes,
+			PRThroughput:   prRes.Throughput(),
+			FullThroughput: fullRes.Throughput(),
+		})
+	}
+	return points, nil
+}
+
+// Crossover returns the first factor at which PR stops winning, or 0 if PR
+// wins throughout the sweep.
+func Crossover(points []OversizePoint) int {
+	for _, p := range points {
+		if !p.PRWins() {
+			return p.Factor
+		}
+	}
+	return 0
+}
+
+// DefaultExecTimes gives the paper-scale PRM execution times used by the
+// examples: short compute bursts comparable to reconfiguration cost, which
+// is the regime where PRR sizing decisions dominate system performance.
+func DefaultExecTimes() time.Duration { return 500 * time.Microsecond }

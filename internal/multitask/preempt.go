@@ -1,0 +1,258 @@
+package multitask
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/icap"
+)
+
+// PreemptiveSystem extends the PR platform with hardware task preemption via
+// on-chip context save/restore (the authors' FCCM'13 mechanism): a
+// higher-priority job may evict a running PRM, paying a context save
+// (capture + frame readback) plus its own reconfiguration; the victim
+// resumes later from a state-restoring bitstream.
+type PreemptiveSystem struct {
+	PRMs  map[string]PreemptPRM
+	Slots []*Slot
+	ICAP  *icap.Controller
+	Model icap.ContextSwitchModel
+}
+
+// PreemptPRM is a preemptible hardware task: bitstream sizes for plain load,
+// context save and context restore, plus execution time.
+type PreemptPRM struct {
+	Name         string
+	LoadBytes    int
+	SaveBytes    int
+	RestoreBytes int
+	Exec         time.Duration
+}
+
+// PJob is a prioritized job (higher Priority preempts lower).
+type PJob struct {
+	PRM      string
+	Arrival  time.Duration
+	Priority int
+}
+
+// PreemptResult aggregates a preemptive run.
+type PreemptResult struct {
+	Jobs        int
+	Makespan    time.Duration
+	Preemptions int
+	Reconfigs   int
+	// TotalResponse sums completion - arrival over jobs.
+	TotalResponse time.Duration
+	// HighPriorityResponse sums response over jobs with Priority > 0.
+	HighPriorityResponse time.Duration
+	HighPriorityJobs     int
+}
+
+// MeanResponse returns the mean job response time.
+func (r PreemptResult) MeanResponse() time.Duration {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return r.TotalResponse / time.Duration(r.Jobs)
+}
+
+// MeanHighPriorityResponse returns the mean response of priority jobs.
+func (r PreemptResult) MeanHighPriorityResponse() time.Duration {
+	if r.HighPriorityJobs == 0 {
+		return 0
+	}
+	return r.HighPriorityResponse / time.Duration(r.HighPriorityJobs)
+}
+
+// running tracks one slot's active job in the event simulation.
+type running struct {
+	job       PJob
+	remaining time.Duration
+	started   time.Duration // when the current burst started executing
+	endEvent  int           // sequence of the scheduled completion event
+}
+
+// event is a simulation event: a job arrival or a slot completion.
+type event struct {
+	at   time.Duration
+	seq  int // tiebreaker and cancellation token
+	kind int // 0 = arrival, 1 = completion
+	job  PJob
+	slot int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run simulates the prioritized job list with preemption. Every slot can
+// host every PRM (the preemptive scenario assumes merged PRRs).
+func (s *PreemptiveSystem) Run(jobs []PJob) (PreemptResult, error) {
+	if len(s.Slots) == 0 {
+		return PreemptResult{}, fmt.Errorf("multitask: preemptive system has no slots")
+	}
+	for _, sl := range s.Slots {
+		sl.Loaded, sl.freeAt = "", 0
+	}
+	s.ICAP.Reset()
+
+	sorted := append([]PJob(nil), jobs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	var h eventHeap
+	seq := 0
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	for _, j := range sorted {
+		push(event{at: j.Arrival, kind: 0, job: j})
+	}
+
+	runningAt := make([]*running, len(s.Slots))
+	cancelled := map[int]bool{}
+	// ready holds preempted/waiting jobs with remaining time.
+	type waiting struct {
+		job       PJob
+		remaining time.Duration
+		preempted bool // resume needs a state restore, not a plain load
+	}
+	var ready []waiting
+
+	var res PreemptResult
+
+	// startJob begins (or resumes) a job on slot i at time now.
+	startJob := func(i int, w waiting, now time.Duration) {
+		prm := s.PRMs[w.job.PRM]
+		start := now
+		if s.Slots[i].Loaded != w.job.PRM || w.preempted {
+			bytes := prm.LoadBytes
+			if w.preempted {
+				bytes = prm.RestoreBytes
+			}
+			_, done := s.ICAP.Reconfigure(start, bytes)
+			res.Reconfigs++
+			s.Slots[i].Loaded = w.job.PRM
+			start = done
+		}
+		end := start + w.remaining
+		runningAt[i] = &running{job: w.job, remaining: w.remaining, started: start, endEvent: seq}
+		push(event{at: end, kind: 1, slot: i})
+	}
+
+	popReady := func() (waiting, bool) {
+		if len(ready) == 0 {
+			return waiting{}, false
+		}
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i].job.Priority > ready[best].job.Priority ||
+				(ready[i].job.Priority == ready[best].job.Priority &&
+					ready[i].job.Arrival < ready[best].job.Arrival) {
+				best = i
+			}
+		}
+		w := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		return w, true
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.kind == 1 && cancelled[e.seq] {
+			continue
+		}
+		switch e.kind {
+		case 0: // arrival
+			prm, ok := s.PRMs[e.job.PRM]
+			if !ok {
+				return PreemptResult{}, fmt.Errorf("multitask: unknown PRM %q", e.job.PRM)
+			}
+			w := waiting{job: e.job, remaining: prm.Exec}
+			// A free slot?
+			free := -1
+			for i := range runningAt {
+				if runningAt[i] == nil {
+					free = i
+					break
+				}
+			}
+			if free >= 0 {
+				startJob(free, w, e.at)
+				continue
+			}
+			// Preempt the lowest-priority running job if strictly lower.
+			victim := -1
+			for i, r := range runningAt {
+				if r == nil {
+					continue
+				}
+				if r.job.Priority < e.job.Priority &&
+					(victim < 0 || r.job.Priority < runningAt[victim].job.Priority) {
+					victim = i
+				}
+			}
+			if victim < 0 {
+				ready = append(ready, w)
+				continue
+			}
+			v := runningAt[victim]
+			// Cancel the victim's completion, save its context.
+			cancelled[v.endEvent] = true
+			executed := e.at - v.started
+			if executed < 0 {
+				executed = 0
+			}
+			rem := v.remaining - executed
+			if rem < 0 {
+				rem = 0
+			}
+			vPRM := s.PRMs[v.job.PRM]
+			// The context save occupies the shared ICAP like any transfer,
+			// after the capture settle time.
+			_, saveDone := s.ICAP.Reconfigure(e.at+s.Model.CaptureOverhead, vPRM.SaveBytes)
+			res.Preemptions++
+			ready = append(ready, waiting{job: v.job, remaining: rem, preempted: true})
+			runningAt[victim] = nil
+			s.Slots[victim].Loaded = "" // context clobbered by the preemptor
+			startJob(victim, w, saveDone)
+		case 1: // completion
+			r := runningAt[e.slot]
+			if r == nil || e.at < r.started {
+				continue // stale event
+			}
+			// Verify this is the live completion (not a cancelled one).
+			if r.started+r.remaining != e.at {
+				continue
+			}
+			res.Jobs++
+			resp := e.at - r.job.Arrival
+			res.TotalResponse += resp
+			if r.job.Priority > 0 {
+				res.HighPriorityResponse += resp
+				res.HighPriorityJobs++
+			}
+			if e.at > res.Makespan {
+				res.Makespan = e.at
+			}
+			runningAt[e.slot] = nil
+			if w, ok := popReady(); ok {
+				startJob(e.slot, w, e.at)
+			}
+		}
+	}
+	return res, nil
+}

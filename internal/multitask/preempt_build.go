@@ -1,0 +1,68 @@
+package multitask
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/icap"
+)
+
+// BuildPreemptiveSystem sizes one merged PRR for all specs (they must be
+// interchangeable for preemption), places nSlots copies, and derives each
+// PRM's load, context-save and context-restore transfer volumes from the
+// cost models and the bitstream generator's save/restore framing.
+func BuildPreemptiveSystem(dev *device.Device, specs []PRMSpec, nSlots int, model icap.ContextSwitchModel) (*PreemptiveSystem, error) {
+	if nSlots < 1 {
+		return nil, fmt.Errorf("multitask: preemptive system needs at least one slot")
+	}
+	reqs := make([]core.Requirements, len(specs))
+	for i, sp := range specs {
+		reqs[i] = sp.Req
+	}
+	shared, err := core.NewPRRModel(dev).EstimateShared(reqs)
+	if err != nil {
+		return nil, err
+	}
+	placer := floorplan.NewPlacer(&dev.Fabric)
+	var fpReqs []floorplan.Request
+	for i := 0; i < nSlots; i++ {
+		fpReqs = append(fpReqs, floorplan.Request{
+			Name: fmt.Sprintf("pslot%d", i), H: shared.Org.H, Need: shared.Org.Need(),
+		})
+	}
+	plan, err := placer.PlaceAll(fpReqs)
+	if err != nil {
+		return nil, fmt.Errorf("multitask: placing %d preemptive slots: %w", nSlots, err)
+	}
+
+	loadBytes := core.NewBitstreamModel(dev.Params).SizeBytes(shared.Org)
+	r := shared.Org.Region
+	prr := bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}
+	saveBytes, err := bitstream.SaveTransferBytes(dev, prr)
+	if err != nil {
+		return nil, err
+	}
+	restoreBytes := loadBytes + 2*dev.Params.BytesPerWord // GRESTORE trailer
+
+	sys := &PreemptiveSystem{
+		PRMs:  map[string]PreemptPRM{},
+		ICAP:  icap.NewController(model.Transfer),
+		Model: model,
+	}
+	for i := range plan.Placements {
+		sys.Slots = append(sys.Slots, &Slot{Name: plan.Placements[i].Name})
+	}
+	for _, sp := range specs {
+		sys.PRMs[sp.Name] = PreemptPRM{
+			Name:         sp.Name,
+			LoadBytes:    loadBytes,
+			SaveBytes:    saveBytes,
+			RestoreBytes: restoreBytes,
+			Exec:         sp.Exec,
+		}
+	}
+	return sys, nil
+}

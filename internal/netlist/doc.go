@@ -1,0 +1,11 @@
+// Package netlist defines the structural intermediate representation shared
+// by the RTL generators (internal/rtl), the synthesis simulator
+// (internal/synth) and the place-and-route simulator (internal/par): a module
+// is a directed graph of technology primitives (LUTs, flip-flops, DSP48
+// blocks, block RAMs) connected by single-driver nets.
+//
+// The IR is deliberately at the post-technology-mapping level — the paper's
+// cost models consume primitive counts from synthesis reports, so the
+// interesting transformations (packing into slices/CLBs, cross-module
+// deduplication during place and route) all operate on primitives.
+package netlist

@@ -1,0 +1,95 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the module as a Graphviz digraph, for inspecting generator
+// output and optimizer transformations. Large modules render their kind
+// histogram instead of the full graph when full is false.
+func (m *Module) DOT(full bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", m.Name)
+	if !full && len(m.Cells) > 2000 {
+		s := m.CountStats()
+		fmt.Fprintf(&b, "  summary [shape=box, label=\"%s\\n%d cells, %d nets\"];\n",
+			s, len(m.Cells), m.NumNets())
+		b.WriteString("}\n")
+		return b.String()
+	}
+	for i, in := range m.Inputs {
+		fmt.Fprintf(&b, "  in%d [shape=triangle, label=\"in[%d]\"];\n", in, i)
+	}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		label := c.Kind.String()
+		if c.Name != "" {
+			label = c.Name + "\\n" + label
+		}
+		shape := "ellipse"
+		switch {
+		case c.Kind == FDRE || c.Kind == FDCE:
+			shape = "box"
+		case c.Kind == DSP48 || c.Kind == RAMB:
+			shape = "box3d"
+		}
+		fmt.Fprintf(&b, "  c%d [shape=%s, label=%q];\n", i, shape, label)
+	}
+	inputSet := map[NetID]bool{}
+	for _, in := range m.Inputs {
+		inputSet[in] = true
+	}
+	for i := range m.Cells {
+		for _, in := range m.Cells[i].Inputs {
+			if inputSet[in] {
+				fmt.Fprintf(&b, "  in%d -> c%d;\n", in, i)
+			} else if d := m.Driver(in); d != NoCell {
+				fmt.Fprintf(&b, "  c%d -> c%d;\n", d, i)
+			}
+		}
+	}
+	for i, out := range m.Outputs {
+		fmt.Fprintf(&b, "  out%d [shape=invtriangle, label=\"out[%d]\"];\n", i, i)
+		if d := m.Driver(out); d != NoCell {
+			fmt.Fprintf(&b, "  c%d -> out%d;\n", d, i)
+		} else if inputSet[out] {
+			fmt.Fprintf(&b, "  in%d -> out%d;\n", out, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary renders a per-kind histogram plus hierarchy scopes (from cell name
+// prefixes), the shape a synthesis log prints.
+func (m *Module) Summary() string {
+	var b strings.Builder
+	s := m.CountStats()
+	fmt.Fprintf(&b, "module %s: %d cells, %d nets, %d inputs, %d outputs\n",
+		m.Name, len(m.Cells), m.NumNets(), len(m.Inputs), len(m.Outputs))
+	fmt.Fprintf(&b, "  %s (+%d carry, %d const)\n", s, s.Carries, s.Consts)
+	scopes := map[string]int{}
+	for i := range m.Cells {
+		name := m.Cells[i].Name
+		scope := ""
+		if j := strings.IndexByte(name, '/'); j >= 0 {
+			scope = name[:j]
+		}
+		scopes[scope]++
+	}
+	names := make([]string, 0, len(scopes))
+	for n := range scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		label := n
+		if label == "" {
+			label = "(top)"
+		}
+		fmt.Fprintf(&b, "  scope %-12s %5d cells\n", label, scopes[n])
+	}
+	return b.String()
+}

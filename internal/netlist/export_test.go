@@ -1,0 +1,60 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func exportModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("exp")
+	a, b := m.AddInput(), m.AddInput()
+	x := m.AddCell(LUT2, "u1/and", 0b1000, a, b)
+	q := m.AddCell(FDRE, "u1/q", 0, x)
+	m.MarkOutput(q)
+	m.MarkOutput(a) // feedthrough
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDOT(t *testing.T) {
+	out := exportModule(t).DOT(true)
+	for _, want := range []string{
+		"digraph", "rankdir=LR", "LUT2", "FDRE", "triangle", "invtriangle",
+		"c0 -> c1", "-> out0", "in1 -> out1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTSummarizesLargeModules(t *testing.T) {
+	m := NewModule("big")
+	in := m.AddInput()
+	for i := 0; i < 2500; i++ {
+		m.AddCell(LUT1, "", 0b01, in)
+	}
+	out := m.DOT(false)
+	if !strings.Contains(out, "summary") {
+		t.Error("large module did not summarize")
+	}
+	if strings.Contains(out, "c2000") {
+		t.Error("large module rendered full graph")
+	}
+	full := m.DOT(true)
+	if !strings.Contains(full, "c2000") {
+		t.Error("full=true did not render the full graph")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := exportModule(t).Summary()
+	for _, want := range []string{"module exp", "1 LUT, 1 FF", "scope u1", "2 cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

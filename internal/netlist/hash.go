@@ -1,0 +1,40 @@
+package netlist
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// StructuralKey is a content hash of a cell's function and its input nets.
+// Two cells with equal keys compute the same value from the same nets, so the
+// place-and-route optimizer can merge them (common subexpression
+// elimination). The key deliberately ignores the instance name: synthesis
+// keeps per-module duplicates apart by name, PAR merges them by structure —
+// which is exactly the optimization gap the paper's Table VI measures.
+type StructuralKey uint64
+
+// Key computes the structural key of cell c. Nets must already be in
+// canonical form (the optimizer rewrites inputs through its union-find before
+// hashing). DSP and RAMB cells are never merged — their internal state
+// differs even when inputs match — so their keys include the cell index salt.
+func Key(c *Cell, salt uint64) StructuralKey {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(c.Kind))
+	put(c.Init)
+	// Register merge (FDRE/FDCE) is legal exactly when the D (and CE) input
+	// nets match, which the input hash below captures. DSP and RAMB cells
+	// carry opaque internal configuration, so salt them apart: they never
+	// merge.
+	if c.Kind == DSP48 || c.Kind == RAMB {
+		put(salt)
+	}
+	for _, in := range c.Inputs {
+		put(uint64(in))
+	}
+	return StructuralKey(h.Sum64())
+}

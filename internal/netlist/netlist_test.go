@@ -1,0 +1,246 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildAnd returns a module computing out = a AND b with a registered output.
+func buildAnd(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("and2")
+	a, b := m.AddInput(), m.AddInput()
+	and := m.AddCell(LUT2, "and", 0b1000, a, b)
+	q := m.AddCell(FDRE, "q", 0, and)
+	m.MarkOutput(q)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("buildAnd: %v", err)
+	}
+	return m
+}
+
+func TestModuleBasics(t *testing.T) {
+	m := buildAnd(t)
+	if got := m.NumNets(); got != 4 {
+		t.Errorf("nets = %d, want 4", got)
+	}
+	s := m.CountStats()
+	if s.LUTs != 1 || s.FFs != 1 || s.DSPs != 0 || s.BRAMs != 0 {
+		t.Errorf("stats = %v, want 1 LUT, 1 FF", s)
+	}
+	if len(m.Inputs) != 2 || len(m.Outputs) != 1 {
+		t.Errorf("ports = %d in / %d out, want 2/1", len(m.Inputs), len(m.Outputs))
+	}
+}
+
+func TestDriverTracking(t *testing.T) {
+	m := buildAnd(t)
+	lutOut := m.Cells[0].Output
+	if d := m.Driver(lutOut); d != 0 {
+		t.Errorf("driver of LUT output = %d, want cell 0", d)
+	}
+	if d := m.Driver(m.Inputs[0]); d != NoCell {
+		t.Errorf("driver of primary input = %d, want NoCell", d)
+	}
+	m.RebuildDrivers()
+	if d := m.Driver(lutOut); d != 0 {
+		t.Errorf("driver after rebuild = %d, want cell 0", d)
+	}
+}
+
+func TestDoubleDrivePanics(t *testing.T) {
+	m := NewModule("bad")
+	a := m.AddInput()
+	n := m.AddCell(LUT1, "inv", 0b01, a)
+	defer func() {
+		if recover() == nil {
+			t.Error("driving an already-driven net did not panic")
+		}
+	}()
+	m.AddCellDriving(LUT1, "dup", 0b01, n, a)
+}
+
+func TestFanout(t *testing.T) {
+	m := NewModule("fan")
+	a := m.AddInput()
+	x := m.AddCell(LUT1, "x", 0b01, a)
+	m.AddCell(LUT1, "y", 0b01, x)
+	m.AddCell(LUT1, "z", 0b10, x)
+	fo := m.Fanout()
+	if len(fo[x]) != 2 {
+		t.Errorf("fanout of shared net = %d, want 2", len(fo[x]))
+	}
+	if len(fo[a]) != 1 {
+		t.Errorf("fanout of input net = %d, want 1", len(fo[a]))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := buildAnd(t)
+	c := m.Clone()
+	c.Cells[0].Inputs[0] = c.Cells[0].Inputs[1]
+	c.Cells[0].Init = 0b1110
+	if m.Cells[0].Inputs[0] == m.Cells[0].Inputs[1] {
+		t.Error("mutating clone inputs aliased the original")
+	}
+	if m.Cells[0].Init == 0b1110 {
+		t.Error("mutating clone init aliased the original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone validates: %v", err)
+	}
+}
+
+func TestValidateCatchesPinCount(t *testing.T) {
+	m := NewModule("bad")
+	a := m.AddInput()
+	out := m.NewNet()
+	m.Cells = append(m.Cells, Cell{Kind: LUT3, Name: "short", Inputs: []NetID{a}, Output: out})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "inputs") {
+		t.Errorf("pin-count violation not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesUndrivenRead(t *testing.T) {
+	m := NewModule("bad")
+	dangling := m.NewNet()
+	m.AddCell(LUT1, "r", 0b01, dangling)
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Errorf("undriven read not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesDoubleDriver(t *testing.T) {
+	m := NewModule("bad")
+	a := m.AddInput()
+	out := m.NewNet()
+	m.Cells = append(m.Cells,
+		Cell{Kind: LUT1, Name: "d1", Inputs: []NetID{a}, Output: out},
+		Cell{Kind: LUT1, Name: "d2", Inputs: []NetID{a}, Output: out})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "driven by both") {
+		t.Errorf("double driver not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesWideTruthTable(t *testing.T) {
+	m := NewModule("bad")
+	a := m.AddInput()
+	m.AddCell(LUT1, "wide", 0b100, a) // 3-bit table on a 2-entry LUT1
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "truth table") {
+		t.Errorf("oversized truth table not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesUndrivenOutput(t *testing.T) {
+	m := NewModule("bad")
+	m.MarkOutput(m.NewNet())
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "output") {
+		t.Errorf("undriven output not caught: %v", err)
+	}
+}
+
+func TestValidateAcceptsFeedthroughOutput(t *testing.T) {
+	m := NewModule("wire")
+	a := m.AddInput()
+	m.MarkOutput(a)
+	if err := m.Validate(); err != nil {
+		t.Errorf("input-to-output feedthrough rejected: %v", err)
+	}
+}
+
+func TestPrimKindProperties(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		k := LUTKind(n)
+		if !k.IsLUT() || k.LUTInputs() != n || k.NumInputs() != n {
+			t.Errorf("LUTKind(%d) = %v with %d inputs", n, k, k.LUTInputs())
+		}
+	}
+	if FDRE.IsLUT() || DSP48.IsLUT() {
+		t.Error("non-LUT kinds report IsLUT")
+	}
+	if !GND.IsConst() || !VCC.IsConst() || LUT1.IsConst() {
+		t.Error("IsConst misclassifies")
+	}
+	if GND.NumInputs() != 0 || FDRE.NumInputs() != 1 || FDCE.NumInputs() != 2 {
+		t.Error("NumInputs misreports")
+	}
+	if DSP48.NumInputs() != -1 || RAMB.NumInputs() != -1 {
+		t.Error("DSP48/RAMB should be variadic")
+	}
+	for k := PrimKind(0); k < numPrimKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestLUTKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LUTKind(7) did not panic")
+		}
+	}()
+	LUTKind(7)
+}
+
+// TestStructuralKeyMergesDuplicates: two LUTs with the same function and the
+// same inputs hash equal; changing the truth table or an input changes the
+// key; DSP cells with identical inputs stay distinct.
+func TestStructuralKey(t *testing.T) {
+	m := NewModule("k")
+	a, b := m.AddInput(), m.AddInput()
+	c1 := Cell{Kind: LUT2, Init: 0b0110, Inputs: []NetID{a, b}}
+	c2 := Cell{Kind: LUT2, Init: 0b0110, Inputs: []NetID{a, b}}
+	if Key(&c1, 1) != Key(&c2, 2) {
+		t.Error("identical LUTs hash differently")
+	}
+	c2.Init = 0b1001
+	if Key(&c1, 1) == Key(&c2, 2) {
+		t.Error("different truth tables hash equal")
+	}
+	d1 := Cell{Kind: DSP48, Inputs: []NetID{a, b, a}}
+	d2 := Cell{Kind: DSP48, Inputs: []NetID{a, b, a}}
+	if Key(&d1, 1) == Key(&d2, 2) {
+		t.Error("distinct DSP cells hash equal despite salt")
+	}
+	f1 := Cell{Kind: FDRE, Inputs: []NetID{a}}
+	f2 := Cell{Kind: FDRE, Inputs: []NetID{a}}
+	if Key(&f1, 1) != Key(&f2, 2) {
+		t.Error("FDREs with identical D inputs should hash equal (register merge)")
+	}
+}
+
+// TestStatsProperty: stats totals always equal the cell count partitioned by
+// class, for arbitrary random cell mixes.
+func TestStatsProperty(t *testing.T) {
+	prop := func(kinds []uint8) bool {
+		m := NewModule("p")
+		in := m.AddInput()
+		for _, kb := range kinds {
+			k := PrimKind(kb % uint8(numPrimKinds))
+			n := k.NumInputs()
+			if n < 0 {
+				n = 3 // variadic kinds: any positive pin count
+			}
+			ins := make([]NetID, n)
+			for i := range ins {
+				ins[i] = in
+			}
+			m.AddCell(k, "", 0, ins...)
+		}
+		s := m.CountStats()
+		return s.LUTs+s.FFs+s.DSPs+s.BRAMs+s.Consts+s.Carries == len(m.Cells)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{LUTs: 1530, FFs: 1592, DSPs: 4, BRAMs: 6}
+	want := "1530 LUT, 1592 FF, 4 DSP48, 6 RAMB"
+	if s.String() != want {
+		t.Errorf("stats string = %q, want %q", s.String(), want)
+	}
+}

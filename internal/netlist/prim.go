@@ -1,0 +1,100 @@
+package netlist
+
+import "fmt"
+
+// PrimKind identifies a technology primitive. The set matches what the
+// paper's synthesis reports count: slice LUTs (of any input width), slice
+// flip-flops, DSP48 blocks and block RAMs, plus the constant drivers that
+// optimization passes introduce.
+type PrimKind uint8
+
+// Primitive kinds. LUT1..LUT6 are lookup tables of the given input count;
+// FDRE is a D flip-flop with clock enable and synchronous reset; DSP48 is a
+// multiply-accumulate block; RAMB is one block RAM; GND and VCC drive
+// constant nets.
+const (
+	LUT1 PrimKind = iota
+	LUT2
+	LUT3
+	LUT4
+	LUT5
+	LUT6
+	FDRE
+	// FDCE is a D flip-flop with a clock-enable data pin. The CE pin is
+	// dedicated slice routing, so an FDCE costs one flip-flop and no LUTs.
+	FDCE
+	DSP48
+	RAMB
+	GND
+	VCC
+	// CARRY models one bit of the dedicated carry chain (MUXCY/XORCY).
+	// Carry chains are fabric wiring, not slice LUTs, so synthesis reports —
+	// and therefore Stats — do not count them as LUTs.
+	CARRY
+	numPrimKinds
+)
+
+// String returns the Xilinx-style primitive name.
+func (k PrimKind) String() string {
+	switch k {
+	case LUT1, LUT2, LUT3, LUT4, LUT5, LUT6:
+		return fmt.Sprintf("LUT%d", k.LUTInputs())
+	case FDRE:
+		return "FDRE"
+	case FDCE:
+		return "FDCE"
+	case DSP48:
+		return "DSP48"
+	case RAMB:
+		return "RAMB"
+	case GND:
+		return "GND"
+	case VCC:
+		return "VCC"
+	case CARRY:
+		return "CARRY"
+	}
+	return fmt.Sprintf("PrimKind(%d)", uint8(k))
+}
+
+// IsLUT reports whether k is a lookup-table primitive.
+func (k PrimKind) IsLUT() bool { return k <= LUT6 }
+
+// IsConst reports whether k is a constant driver.
+func (k PrimKind) IsConst() bool { return k == GND || k == VCC }
+
+// LUTInputs returns the input count for LUT kinds, zero otherwise.
+func (k PrimKind) LUTInputs() int {
+	if k.IsLUT() {
+		return int(k) + 1
+	}
+	return 0
+}
+
+// LUTKind returns the LUT primitive kind with n inputs (1..6).
+func LUTKind(n int) PrimKind {
+	if n < 1 || n > 6 {
+		panic(fmt.Sprintf("netlist: no LUT primitive with %d inputs", n))
+	}
+	return PrimKind(n - 1)
+}
+
+// NumInputs returns the number of input pins cells of kind k must have, or
+// -1 for variadic kinds: DSP48 and RAMB consume whole operand/address/data
+// buses, so their pin count depends on instantiation width.
+func (k PrimKind) NumInputs() int {
+	switch {
+	case k.IsLUT():
+		return k.LUTInputs()
+	case k == FDRE:
+		return 1 // D input; clock/CE/R are implicit control, not dataflow
+	case k == FDCE:
+		return 2 // D and CE inputs
+	case k == DSP48, k == RAMB:
+		return -1
+	case k == CARRY:
+		return 3 // a, b, carry-in
+	default: // GND, VCC
+		return 0
+	}
+}

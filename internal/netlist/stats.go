@@ -1,0 +1,43 @@
+package netlist
+
+import "fmt"
+
+// Stats aggregates primitive counts the way synthesis reports do.
+type Stats struct {
+	LUTs    int // slice LUTs of any width
+	FFs     int // slice flip-flops
+	DSPs    int // DSP48 blocks
+	BRAMs   int // block RAMs
+	Consts  int // GND/VCC drivers (absorbed into the fabric, never counted as LUTs)
+	Carries int // carry-chain elements (fabric wiring, never counted as LUTs)
+	ByKind  [numPrimKinds]int
+}
+
+// CountStats tallies the module's primitives.
+func (m *Module) CountStats() Stats {
+	var s Stats
+	for i := range m.Cells {
+		k := m.Cells[i].Kind
+		s.ByKind[k]++
+		switch {
+		case k.IsLUT():
+			s.LUTs++
+		case k == FDRE, k == FDCE:
+			s.FFs++
+		case k == DSP48:
+			s.DSPs++
+		case k == RAMB:
+			s.BRAMs++
+		case k.IsConst():
+			s.Consts++
+		case k == CARRY:
+			s.Carries++
+		}
+	}
+	return s
+}
+
+// String renders the tally as "1530 LUT, 1592 FF, 4 DSP48, 6 RAMB".
+func (s Stats) String() string {
+	return fmt.Sprintf("%d LUT, %d FF, %d DSP48, %d RAMB", s.LUTs, s.FFs, s.DSPs, s.BRAMs)
+}

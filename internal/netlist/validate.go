@@ -1,0 +1,76 @@
+package netlist
+
+import "fmt"
+
+// Validate checks structural invariants: every cell has the pin count its
+// kind requires, every cell input is an allocated net, no net has two
+// drivers, every primary output is driven, and LUT truth tables fit the LUT
+// width. Every transform pass in this repository validates its result; a
+// violation is a bug in the transform, not in the design.
+func (m *Module) Validate() error {
+	driver := make(map[NetID]CellID, len(m.Cells))
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		switch want := c.Kind.NumInputs(); {
+		case want < 0: // variadic (DSP48, RAMB): at least one pin
+			if len(c.Inputs) == 0 {
+				return fmt.Errorf("netlist %s: cell %d (%s %q) has no inputs",
+					m.Name, i, c.Kind, c.Name)
+			}
+		case len(c.Inputs) != want:
+			return fmt.Errorf("netlist %s: cell %d (%s %q) has %d inputs, %v requires %d",
+				m.Name, i, c.Kind, c.Name, len(c.Inputs), c.Kind, want)
+		}
+		for pin, in := range c.Inputs {
+			if in <= 0 || in > m.netCount {
+				return fmt.Errorf("netlist %s: cell %d (%s %q) pin %d reads unallocated net %d",
+					m.Name, i, c.Kind, c.Name, pin, in)
+			}
+		}
+		if c.Output <= 0 || c.Output > m.netCount {
+			return fmt.Errorf("netlist %s: cell %d (%s %q) drives unallocated net %d",
+				m.Name, i, c.Kind, c.Name, c.Output)
+		}
+		if prev, dup := driver[c.Output]; dup {
+			return fmt.Errorf("netlist %s: net %d driven by both cell %d and cell %d",
+				m.Name, c.Output, prev, i)
+		}
+		driver[c.Output] = CellID(i)
+		if c.Kind.IsLUT() {
+			bits := uint(1) << uint(c.Kind.LUTInputs())
+			if bits < 64 && c.Init >= 1<<bits {
+				return fmt.Errorf("netlist %s: cell %d (%s %q) truth table %#x exceeds %d bits",
+					m.Name, i, c.Kind, c.Name, c.Init, bits)
+			}
+		}
+	}
+	inputSet := make(map[NetID]bool, len(m.Inputs))
+	for _, in := range m.Inputs {
+		if in <= 0 || in > m.netCount {
+			return fmt.Errorf("netlist %s: primary input is unallocated net %d", m.Name, in)
+		}
+		if _, driven := driver[in]; driven {
+			return fmt.Errorf("netlist %s: primary input net %d has a driver", m.Name, in)
+		}
+		inputSet[in] = true
+	}
+	for _, out := range m.Outputs {
+		if out <= 0 || out > m.netCount {
+			return fmt.Errorf("netlist %s: primary output is unallocated net %d", m.Name, out)
+		}
+		if _, driven := driver[out]; !driven && !inputSet[out] {
+			return fmt.Errorf("netlist %s: primary output net %d is undriven", m.Name, out)
+		}
+	}
+	// Every non-primary-input net a cell reads must have a driver: dangling
+	// reads mean a generator wired a net it never produced.
+	for i := range m.Cells {
+		for _, in := range m.Cells[i].Inputs {
+			if _, driven := driver[in]; !driven && !inputSet[in] {
+				return fmt.Errorf("netlist %s: cell %d (%s) reads undriven net %d",
+					m.Name, i, m.Cells[i].Kind, in)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package par simulates the implementation (MAP/place-and-route) step of the
+// Xilinx flow with an AREA_GROUP-style region constraint. Its optimizer
+// performs the global, cross-hierarchy transformations synthesis does not —
+// constant propagation, common-subexpression elimination across module
+// boundaries, and dead-logic trimming — which is why post-PAR resource
+// counts come in below synthesis reports (the effect the paper quantifies in
+// Table VI). The placer then assigns primitives to slice, DSP and BRAM sites
+// inside the constrained region, bounding-box wirelength is estimated, and a
+// congestion check decides routability (the paper's §IV caution that densely
+// packed PRRs may fail routing).
+package par

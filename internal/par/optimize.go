@@ -1,0 +1,230 @@
+package par
+
+import (
+	"repro/internal/netlist"
+)
+
+// OptStats counts what each optimization pass removed.
+type OptStats struct {
+	ConstFolded int // cells replaced by constants or simplified away
+	CSEMerged   int // structurally duplicate cells merged
+	DeadSwept   int // cells unreachable from any primary output
+	Rounds      int // fixpoint iterations
+}
+
+// Total returns the total removed cell count.
+func (s OptStats) Total() int { return s.ConstFolded + s.CSEMerged + s.DeadSwept }
+
+// Optimize applies the cross-hierarchy optimizations to a clone of m and
+// returns the optimized module with removal statistics. The input module is
+// not modified.
+func Optimize(m *netlist.Module) (*netlist.Module, OptStats) {
+	opt := m.Clone()
+	var stats OptStats
+	for {
+		stats.Rounds++
+		changed := 0
+		changed += constProp(opt, &stats)
+		changed += cse(opt, &stats)
+		if changed == 0 || stats.Rounds > 64 {
+			break
+		}
+	}
+	stats.DeadSwept = deadSweep(opt)
+	opt.RebuildDrivers()
+	return opt, stats
+}
+
+// constProp folds constant inputs into LUT truth tables and collapses
+// constant-output cells. Flip-flops whose data input is the constant equal
+// to their initial value never change state, so they become constants too.
+func constProp(m *netlist.Module, stats *OptStats) int {
+	// Identify constant nets and their values.
+	constVal := map[netlist.NetID]bool{} // net -> value
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		switch c.Kind {
+		case netlist.GND:
+			constVal[c.Output] = false
+		case netlist.VCC:
+			constVal[c.Output] = true
+		}
+	}
+	if len(constVal) == 0 {
+		return 0
+	}
+	changed := 0
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		switch {
+		case c.Kind.IsLUT():
+			// Fold known inputs into the table.
+			folded := false
+			for len(c.Inputs) > 0 {
+				pin := -1
+				var val bool
+				for p, in := range c.Inputs {
+					if v, ok := constVal[in]; ok {
+						pin, val = p, v
+						break
+					}
+				}
+				if pin < 0 {
+					break
+				}
+				c.Init = foldLUT(c.Init, len(c.Inputs), pin, val)
+				c.Inputs = append(c.Inputs[:pin], c.Inputs[pin+1:]...)
+				folded = true
+			}
+			if folded {
+				changed++
+				stats.ConstFolded++
+			}
+			mask := uint64(1)<<uint(1<<uint(len(c.Inputs))) - 1
+			if len(c.Inputs) > 5 {
+				mask = ^uint64(0)
+			}
+			switch {
+			case len(c.Inputs) == 0 || c.Init&mask == 0 || c.Init&mask == mask:
+				// The LUT computes a constant: become a constant driver.
+				if len(c.Inputs) > 0 && c.Init&mask == mask || len(c.Inputs) == 0 && c.Init&1 == 1 {
+					c.Kind = netlist.VCC
+					constVal[c.Output] = true
+				} else {
+					c.Kind = netlist.GND
+					constVal[c.Output] = false
+				}
+				c.Inputs = nil
+				c.Init = 0
+				if !folded {
+					changed++
+					stats.ConstFolded++
+				}
+			default:
+				c.Kind = netlist.LUTKind(len(c.Inputs))
+			}
+		case c.Kind == netlist.FDRE || c.Kind == netlist.FDCE:
+			if v, ok := constVal[c.Inputs[0]]; ok {
+				initV := c.Init&1 == 1
+				if v == initV {
+					// Holds its initial value forever: constant.
+					if v {
+						c.Kind = netlist.VCC
+					} else {
+						c.Kind = netlist.GND
+					}
+					c.Inputs = nil
+					c.Init = 0
+					constVal[c.Output] = v
+					changed++
+					stats.ConstFolded++
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldLUT specializes an n-input truth table by pinning input pin to val.
+func foldLUT(table uint64, n, pin int, val bool) uint64 {
+	var out uint64
+	outBit := 0
+	for v := 0; v < 1<<uint(n); v++ {
+		bit := v >> uint(pin) & 1
+		if (bit == 1) != val {
+			continue
+		}
+		if table>>uint(v)&1 == 1 {
+			out |= 1 << uint(outBit)
+		}
+		outBit++
+	}
+	return out
+}
+
+// cse merges structurally identical cells: same kind, same function, same
+// (canonicalized) inputs. Merged outputs are unioned and every reader is
+// rewritten, which exposes further merges on the next round.
+func cse(m *netlist.Module, stats *OptStats) int {
+	seen := make(map[netlist.StructuralKey]int, len(m.Cells))
+	replace := map[netlist.NetID]netlist.NetID{}
+	keep := m.Cells[:0]
+	merged := 0
+	for i := range m.Cells {
+		c := m.Cells[i]
+		for p, in := range c.Inputs {
+			if r, ok := replace[in]; ok {
+				c.Inputs[p] = r
+			}
+		}
+		key := netlist.Key(&c, uint64(i))
+		if j, dup := seen[key]; dup {
+			replace[c.Output] = keep[j].Output
+			merged++
+			continue
+		}
+		seen[key] = len(keep)
+		keep = append(keep, c)
+	}
+	m.Cells = keep
+	if merged > 0 {
+		// Rewrite any remaining readers of replaced nets (cells earlier in
+		// the slice than the merge point) and the primary outputs.
+		resolve := func(n netlist.NetID) netlist.NetID {
+			for {
+				r, ok := replace[n]
+				if !ok {
+					return n
+				}
+				n = r
+			}
+		}
+		for i := range m.Cells {
+			for p, in := range m.Cells[i].Inputs {
+				m.Cells[i].Inputs[p] = resolve(in)
+			}
+		}
+		for i, out := range m.Outputs {
+			m.Outputs[i] = resolve(out)
+		}
+	}
+	stats.CSEMerged += merged
+	return merged
+}
+
+// deadSweep removes cells whose output cannot reach any primary output.
+func deadSweep(m *netlist.Module) int {
+	driver := map[netlist.NetID]int{}
+	for i := range m.Cells {
+		driver[m.Cells[i].Output] = i
+	}
+	live := make([]bool, len(m.Cells))
+	var stack []int
+	markNet := func(n netlist.NetID) {
+		if i, ok := driver[n]; ok && !live[i] {
+			live[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for _, out := range m.Outputs {
+		markNet(out)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range m.Cells[i].Inputs {
+			markNet(in)
+		}
+	}
+	keep := m.Cells[:0]
+	removed := 0
+	for i := range m.Cells {
+		if live[i] {
+			keep = append(keep, m.Cells[i])
+		} else {
+			removed++
+		}
+	}
+	m.Cells = keep
+	return removed
+}

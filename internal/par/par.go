@@ -1,0 +1,45 @@
+package par
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Result is the outcome of implementing one PRM inside a region constraint.
+type Result struct {
+	// Report is the post-PAR utilization (what the paper's Table VI reads
+	// from the MAP report).
+	Report synth.Report
+	// Opt details what the optimizer removed relative to synthesis.
+	Opt OptStats
+	// Placement is the site assignment with wirelength/congestion estimates.
+	Placement *Placement
+	// Module is the optimized netlist.
+	Module *netlist.Module
+}
+
+// PlaceAndRoute implements the module on the device inside the region (the
+// AREA_GROUP constraint): optimize globally, pack, place, and check
+// routability. It fails when the optimized design exceeds the region's
+// capacity or congestion predicts a routing failure — the same failure mode
+// the paper hit with MIPS on the Virtex-6 when it shrank the region.
+func PlaceAndRoute(m *netlist.Module, dev *device.Device, region floorplan.Region) (*Result, error) {
+	opt, stats := Optimize(m)
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("par: optimizer produced invalid netlist: %w", err)
+	}
+	report := synth.Synthesize(opt, dev)
+	pl, err := place(opt, dev, region)
+	if err != nil {
+		return &Result{Report: report, Opt: stats, Placement: pl, Module: opt}, err
+	}
+	res := &Result{Report: report, Opt: stats, Placement: pl, Module: opt}
+	if !pl.Routed() {
+		return res, fmt.Errorf("par: region %v failed routing (congestion %.2f)", region, pl.Congestion)
+	}
+	return res, nil
+}

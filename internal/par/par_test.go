@@ -1,0 +1,262 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+func mustDevice(t *testing.T, name string) *device.Device {
+	t.Helper()
+	d, err := device.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// implement synthesizes a core, sizes its PRR with the cost model, and runs
+// PAR inside that region.
+func implement(t *testing.T, coreName, devName string) (synth.Report, *Result) {
+	t.Helper()
+	dev := mustDevice(t, devName)
+	m, err := rtl.Generate(coreName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := synth.Synthesize(m, dev)
+	est, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceAndRoute(m, dev, est.Org.Region)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", coreName, devName, err)
+	}
+	return sr, res
+}
+
+// TestTableVIShape reproduces the paper's Table VI phenomenon on our own
+// substrate: PAR reduces LUT-FF pairs relative to synthesis, never touches
+// DSP or BRAM counts, and the reduction is large for FIR, moderate for MIPS
+// and near-zero for SDRAM.
+func TestTableVIShape(t *testing.T) {
+	type outcome struct{ savings float64 }
+	results := map[string]outcome{}
+	for _, name := range rtl.PaperPRMs() {
+		sr, res := implement(t, name, "XC5VLX110T")
+		pr := res.Report
+		if pr.DSPs != sr.DSPs {
+			t.Errorf("%s: PAR changed DSP count %d -> %d; paper shows 0%% DSP change", name, sr.DSPs, pr.DSPs)
+		}
+		if pr.BRAMs != sr.BRAMs {
+			t.Errorf("%s: PAR changed BRAM count %d -> %d; paper shows 0%% BRAM change", name, sr.BRAMs, pr.BRAMs)
+		}
+		if pr.LUTFFPairs > sr.LUTFFPairs {
+			t.Errorf("%s: PAR increased pairs %d -> %d", name, sr.LUTFFPairs, pr.LUTFFPairs)
+		}
+		savings := float64(sr.LUTFFPairs-pr.LUTFFPairs) / float64(sr.LUTFFPairs) * 100
+		results[name] = outcome{savings}
+		t.Logf("%s: synthesis %d pairs -> PAR %d pairs (%.1f%% saved; opt: %+v)",
+			name, sr.LUTFFPairs, pr.LUTFFPairs, savings, res.Opt)
+	}
+	// Ranking: FIR saves most, SDRAM least (paper: 16.8-31.9% vs 2.4-3.9%).
+	if !(results["FIR"].savings > results["MIPS"].savings) {
+		t.Errorf("FIR savings (%.1f%%) should exceed MIPS (%.1f%%)",
+			results["FIR"].savings, results["MIPS"].savings)
+	}
+	if !(results["MIPS"].savings > results["SDRAM"].savings) {
+		t.Errorf("MIPS savings (%.1f%%) should exceed SDRAM (%.1f%%)",
+			results["MIPS"].savings, results["SDRAM"].savings)
+	}
+	if results["SDRAM"].savings > 10 {
+		t.Errorf("SDRAM savings %.1f%% too large; paper shows ~2-4%%", results["SDRAM"].savings)
+	}
+	if results["FIR"].savings < 10 {
+		t.Errorf("FIR savings %.1f%% too small; paper shows 17-32%%", results["FIR"].savings)
+	}
+}
+
+// TestOptimizedNetlistStillValid: every paper core survives optimization
+// with a valid netlist and intact primary outputs.
+func TestOptimizedNetlistStillValid(t *testing.T) {
+	for _, name := range rtl.Names() {
+		m, err := rtl.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, stats := Optimize(m)
+		if err := opt.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(opt.Outputs) != len(m.Outputs) {
+			t.Errorf("%s: output count changed %d -> %d", name, len(m.Outputs), len(opt.Outputs))
+		}
+		if len(opt.Cells) > len(m.Cells) {
+			t.Errorf("%s: optimization grew the netlist %d -> %d", name, len(m.Cells), len(opt.Cells))
+		}
+		if stats.Rounds < 1 {
+			t.Errorf("%s: no optimization rounds recorded", name)
+		}
+	}
+}
+
+// TestOptimizeIsIdempotent: re-optimizing an optimized netlist removes
+// nothing further.
+func TestOptimizeIsIdempotent(t *testing.T) {
+	m, _ := rtl.Generate("FIR")
+	opt, _ := Optimize(m)
+	again, stats := Optimize(opt)
+	if removed := len(opt.Cells) - len(again.Cells); removed != 0 {
+		t.Errorf("second optimization removed %d more cells (stats %+v)", removed, stats)
+	}
+}
+
+// TestConstProp folds constants through LUTs and FFs.
+func TestConstProp(t *testing.T) {
+	b := rtl.NewBuilder("cp")
+	a := b.Input1()
+	// x = a AND 0 -> constant 0; q = FF(x) with init 0 -> constant 0;
+	// y = a OR q -> buffer of a.
+	x := b.And(a, b.Gnd())
+	q := b.Reg1(x)
+	y := b.Or(a, q)
+	b.M.MarkOutput(y)
+	opt, stats := Optimize(b.Finish())
+	if stats.ConstFolded == 0 {
+		t.Fatalf("no constants folded: %+v", stats)
+	}
+	s := opt.CountStats()
+	if s.FFs != 0 {
+		t.Errorf("constant FF not eliminated: %v", s)
+	}
+	if s.LUTs > 1 {
+		t.Errorf("constant chain left %d LUTs, want <= 1", s.LUTs)
+	}
+}
+
+// TestConstPropKeepsLiveFF: an FF whose constant input differs from its init
+// value changes state at the first clock and must survive.
+func TestConstPropKeepsLiveFF(t *testing.T) {
+	b := rtl.NewBuilder("cp2")
+	q := b.Reg1(b.Vcc()) // init 0, D=1: a one-shot rising flag
+	b.M.MarkOutput(q)
+	opt, _ := Optimize(b.Finish())
+	if opt.CountStats().FFs != 1 {
+		t.Errorf("one-shot FF eliminated: %v", opt.CountStats())
+	}
+}
+
+// TestCSEMergesAcrossScopes: identical gating logic instantiated per tap
+// collapses to one copy.
+func TestCSEMergesAcrossScopes(t *testing.T) {
+	b := rtl.NewBuilder("cse")
+	x, y := b.Input1(), b.Input1()
+	outs := make([]netlist.NetID, 8)
+	for i := range outs {
+		tap := b.Scopef("tap%d", i)
+		outs[i] = tap.And(x, y)
+	}
+	sum := b.OrReduce(outs)
+	b.M.MarkOutput(sum)
+	opt, stats := Optimize(b.Finish())
+	if stats.CSEMerged != 7 {
+		t.Errorf("merged %d duplicates, want 7", stats.CSEMerged)
+	}
+	s := opt.CountStats()
+	if s.LUTs != 4 { // one AND + the 3-LUT OR-reduce tree over 8 terms
+		t.Errorf("optimized LUTs = %d, want 4", s.LUTs)
+	}
+}
+
+// TestCSECascades: second-level duplicates (identical after first merge)
+// merge in later rounds.
+func TestCSECascades(t *testing.T) {
+	b := rtl.NewBuilder("cse2")
+	x, y := b.Input1(), b.Input1()
+	a1 := b.And(x, y)
+	a2 := b.And(x, y)
+	o1 := b.Or(a1, x)
+	o2 := b.Or(a2, x) // identical only after a1/a2 merge
+	b.M.MarkOutput(b.Xor(o1, o2))
+	opt, stats := Optimize(b.Finish())
+	if stats.CSEMerged < 2 {
+		t.Errorf("cascaded merge count = %d, want >= 2", stats.CSEMerged)
+	}
+	// XOR of identical nets folds to... nothing automatic here, but the two
+	// OR gates must have merged.
+	luts := opt.CountStats().LUTs
+	if luts > 3 {
+		t.Errorf("optimized LUTs = %d, want <= 3", luts)
+	}
+}
+
+// TestDeadSweep removes unconnected debug logic but keeps live logic.
+func TestDeadSweep(t *testing.T) {
+	b := rtl.NewBuilder("dead")
+	a := b.Input1()
+	live := b.Not(a)
+	b.M.MarkOutput(live)
+	dbg := b.Scope("dbg")
+	d1 := dbg.Not(a)
+	d2 := dbg.And(d1, a)
+	_ = dbg.Reg1(d2)
+	opt, stats := Optimize(b.Finish())
+	// The dbg NOT duplicates the live NOT, so CSE may claim it before the
+	// sweep; together they must remove all three dbg cells.
+	if stats.DeadSwept+stats.CSEMerged < 3 {
+		t.Errorf("optimizer removed %d cells, want >= 3 (%+v)",
+			stats.DeadSwept+stats.CSEMerged, stats)
+	}
+	if opt.CountStats().LUTs != 1 {
+		t.Errorf("live logic miscounted: %v", opt.CountStats())
+	}
+}
+
+// TestFoldLUT checks truth-table specialization against direct evaluation.
+func TestFoldLUT(t *testing.T) {
+	// 3-input majority, pin 1 = true -> OR of remaining inputs.
+	maj := uint64(0b11101000)
+	folded := foldLUT(maj, 3, 1, true)
+	want := uint64(0b1110) // a OR c
+	if folded != want {
+		t.Errorf("foldLUT(maj, pin1=1) = %#b, want %#b", folded, want)
+	}
+	folded = foldLUT(maj, 3, 1, false)
+	if folded != 0b1000 { // a AND c
+		t.Errorf("foldLUT(maj, pin1=0) = %#b, want 0b1000", folded)
+	}
+}
+
+// TestCapacityFailure: forcing a large core into a tiny region fails with a
+// capacity error.
+func TestCapacityFailure(t *testing.T) {
+	dev := mustDevice(t, "XC5VLX110T")
+	m, _ := rtl.Generate("MIPS")
+	tiny := floorplan.Region{Row: 1, Col: 2, H: 1, W: 1} // one CLB column-row
+	if _, err := PlaceAndRoute(m, dev, tiny); err == nil {
+		t.Error("MIPS fit in a single CLB column-row")
+	}
+}
+
+// TestPlacementWithinRegion: all sites stay inside the region's columns.
+func TestPlacementWithinRegion(t *testing.T) {
+	_, res := implement(t, "SDRAM", "XC6VLX75T")
+	reg := res.Placement.Region
+	for ci, s := range res.Placement.Sites {
+		if s.X < reg.Col || s.X >= reg.Col+reg.W {
+			t.Fatalf("cell %d placed at column %d outside region %v", ci, s.X, reg)
+		}
+	}
+	if res.Placement.Wirelength <= 0 {
+		t.Error("wirelength estimate is zero")
+	}
+	if !res.Placement.Routed() {
+		t.Error("SDRAM placement should route")
+	}
+}

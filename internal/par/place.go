@@ -1,0 +1,252 @@
+package par
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+)
+
+// Site is a placement location inside the constrained region, in tile
+// coordinates (fabric column x, resource row y within the region).
+type Site struct {
+	X, Y int
+}
+
+// Placement maps cells to sites within the region.
+type Placement struct {
+	Region floorplan.Region
+	Sites  map[netlist.CellID]Site
+
+	// Capacity accounting.
+	PairCapacity int
+	PairsUsed    int
+	DSPCapacity  int
+	DSPsUsed     int
+	BRAMCapacity int
+	BRAMsUsed    int
+
+	// Wirelength is the half-perimeter (HPWL) estimate over all nets.
+	Wirelength int
+	// Congestion is wirelength normalized by the region's routing supply;
+	// values above 1.0 predict routing failure.
+	Congestion float64
+}
+
+// Routed reports whether the placement is expected to route: all capacities
+// respected and congestion under 1.0. The paper's §IV notes densely packed
+// PRRs "may eventually cause routing problems"; this is that check.
+func (p *Placement) Routed() bool {
+	return p.PairsUsed <= p.PairCapacity &&
+		p.DSPsUsed <= p.DSPCapacity &&
+		p.BRAMsUsed <= p.BRAMCapacity &&
+		p.Congestion <= 1.0
+}
+
+// congestionSupply is the routing capacity per region tile in HPWL units.
+// Calibrated so that the paper's PRMs route in their model-sized regions
+// (MIPS at 97% CLB utilization lands near 0.9) while meaningfully denser
+// packings fail, matching the paper's §IV routing caution.
+const congestionSupply = 900
+
+// place assigns cells to sites. LUT-FF pairs go to slice positions in
+// breadth-first connectivity order (keeping connected logic close), DSPs and
+// BRAMs to their columns in order. It then computes HPWL and congestion.
+func place(m *netlist.Module, dev *device.Device, region floorplan.Region) (*Placement, error) {
+	p := dev.Params
+	f := &dev.Fabric
+
+	// Enumerate sites by column kind inside the region.
+	var clbCols, dspCols, bramCols []int
+	for c := region.Col; c < region.Col+region.W; c++ {
+		switch f.KindAt(c) {
+		case device.KindCLB:
+			clbCols = append(clbCols, c)
+		case device.KindDSP:
+			dspCols = append(dspCols, c)
+		case device.KindBRAM:
+			bramCols = append(bramCols, c)
+		default:
+			return nil, fmt.Errorf("par: region %v spans non-PRR column %d", region, c)
+		}
+	}
+	pl := &Placement{
+		Region:       region,
+		Sites:        make(map[netlist.CellID]Site, len(m.Cells)),
+		PairCapacity: len(clbCols) * region.H * p.CLBPerCol * p.LUTPerCLB,
+		DSPCapacity:  len(dspCols) * region.H * p.DSPPerCol,
+		BRAMCapacity: len(bramCols) * region.H * p.BRAMPerCol,
+	}
+
+	// Pair LUTs with the FF they feed (same pairing as the synthesis
+	// packer); each pair or lone primitive consumes one slice position.
+	fanout := m.Fanout()
+	pairedFF := map[netlist.CellID]netlist.CellID{} // LUT -> FF sharing its site
+	ffTaken := map[netlist.CellID]bool{}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.Kind != netlist.FDRE && c.Kind != netlist.FDCE {
+			continue
+		}
+		d := m.Driver(c.Inputs[0])
+		if d == netlist.NoCell || !m.Cells[d].Kind.IsLUT() {
+			continue
+		}
+		if len(fanout[m.Cells[d].Output]) == 1 && !ffTaken[netlist.CellID(i)] {
+			if _, has := pairedFF[d]; !has {
+				pairedFF[d] = netlist.CellID(i)
+				ffTaken[netlist.CellID(i)] = true
+			}
+		}
+	}
+
+	// Order pair-consuming cells by BFS from the primary inputs so connected
+	// logic lands in adjacent sites.
+	order := bfsOrder(m)
+	slicePos := 0
+	positions := len(clbCols) * region.H * p.CLBPerCol * p.LUTPerCLB
+	siteAt := func(pos int) Site {
+		if len(clbCols) == 0 {
+			return Site{}
+		}
+		perCol := region.H * p.CLBPerCol * p.LUTPerCLB
+		col := clbCols[(pos/perCol)%len(clbCols)]
+		return Site{X: col, Y: pos % perCol}
+	}
+	dspPos, bramPos := 0, 0
+	for _, ci := range order {
+		c := &m.Cells[ci]
+		switch {
+		case c.Kind.IsLUT():
+			if slicePos >= positions && positions > 0 {
+				slicePos = positions - 1 // overflow accounted via PairsUsed
+			}
+			s := siteAt(slicePos)
+			pl.Sites[ci] = s
+			if ff, ok := pairedFF[ci]; ok {
+				pl.Sites[ff] = s
+			}
+			slicePos++
+			pl.PairsUsed++
+		case (c.Kind == netlist.FDRE || c.Kind == netlist.FDCE) && !ffTaken[ci]:
+			s := siteAt(slicePos)
+			pl.Sites[ci] = s
+			slicePos++
+			pl.PairsUsed++
+		case c.Kind == netlist.DSP48:
+			if len(dspCols) > 0 {
+				perCol := region.H * p.DSPPerCol
+				pl.Sites[ci] = Site{X: dspCols[(dspPos/perCol)%len(dspCols)], Y: dspPos % perCol}
+			}
+			dspPos++
+			pl.DSPsUsed++
+		case c.Kind == netlist.RAMB:
+			if len(bramCols) > 0 {
+				perCol := region.H * p.BRAMPerCol
+				pl.Sites[ci] = Site{X: bramCols[(bramPos/perCol)%len(bramCols)], Y: bramPos % perCol}
+			}
+			bramPos++
+			pl.BRAMsUsed++
+		}
+	}
+
+	pl.Wirelength = hpwl(m, pl.Sites, p)
+	tiles := region.H * region.W
+	if tiles > 0 {
+		pl.Congestion = float64(pl.Wirelength) / float64(tiles*congestionSupply)
+	}
+	if pl.PairsUsed > pl.PairCapacity || pl.DSPsUsed > pl.DSPCapacity || pl.BRAMsUsed > pl.BRAMCapacity {
+		return pl, fmt.Errorf("par: region %v capacity exceeded (pairs %d/%d, DSP %d/%d, BRAM %d/%d)",
+			region, pl.PairsUsed, pl.PairCapacity, pl.DSPsUsed, pl.DSPCapacity, pl.BRAMsUsed, pl.BRAMCapacity)
+	}
+	return pl, nil
+}
+
+// bfsOrder returns cell indices in breadth-first order from the primary
+// inputs, with unreached cells (pure feedback islands) appended in index
+// order for determinism.
+func bfsOrder(m *netlist.Module) []netlist.CellID {
+	fanout := m.Fanout()
+	visited := make([]bool, len(m.Cells))
+	var order []netlist.CellID
+	var queue []netlist.NetID
+	queue = append(queue, m.Inputs...)
+	seenNet := map[netlist.NetID]bool{}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seenNet[n] {
+			continue
+		}
+		seenNet[n] = true
+		sinks := append([]netlist.CellID(nil), fanout[n]...)
+		sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+		for _, ci := range sinks {
+			if visited[ci] {
+				continue
+			}
+			visited[ci] = true
+			order = append(order, ci)
+			queue = append(queue, m.Cells[ci].Output)
+		}
+	}
+	for i := range m.Cells {
+		if !visited[i] {
+			order = append(order, netlist.CellID(i))
+		}
+	}
+	return order
+}
+
+// hpwl sums the half-perimeter wirelength of every multi-terminal net.
+// Slice positions within a column are scaled to tile rows so x and y are in
+// comparable units.
+func hpwl(m *netlist.Module, sites map[netlist.CellID]Site, p device.Params) int {
+	yScale := p.CLBPerCol * p.LUTPerCLB // slice positions per tile row
+	type box struct {
+		minX, maxX, minY, maxY int
+		terms                  int
+	}
+	boxes := map[netlist.NetID]*box{}
+	touch := func(n netlist.NetID, s Site) {
+		b := boxes[n]
+		y := s.Y / yScale
+		if b == nil {
+			boxes[n] = &box{minX: s.X, maxX: s.X, minY: y, maxY: y, terms: 1}
+			return
+		}
+		b.terms++
+		if s.X < b.minX {
+			b.minX = s.X
+		}
+		if s.X > b.maxX {
+			b.maxX = s.X
+		}
+		if y < b.minY {
+			b.minY = y
+		}
+		if y > b.maxY {
+			b.maxY = y
+		}
+	}
+	for ci := range m.Cells {
+		s, ok := sites[netlist.CellID(ci)]
+		if !ok {
+			continue
+		}
+		touch(m.Cells[ci].Output, s)
+		for _, in := range m.Cells[ci].Inputs {
+			touch(in, s)
+		}
+	}
+	total := 0
+	for _, b := range boxes {
+		if b.terms < 2 {
+			continue
+		}
+		total += (b.maxX - b.minX) + (b.maxY - b.minY)
+	}
+	return total
+}

@@ -1,0 +1,195 @@
+package par
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netlist"
+)
+
+// Timing delay constants, in picoseconds, modeled after Virtex-5 speed-grade
+// -1 datasheet orders of magnitude.
+const (
+	lutDelayPS   = 900 // LUT6 propagation
+	carryDelayPS = 60  // one carry-chain element
+	ffSetupPS    = 450 // flip-flop setup + clock-to-out
+	dspDelayPS   = 2800
+	ramDelayPS   = 1800
+	netDelayPS   = 320 // routed net delay per tile of HPWL span
+)
+
+// TimingReport is the static timing result for a placed design.
+type TimingReport struct {
+	// CriticalPathPS is the slowest register-to-register (or port-to-port)
+	// combinational path including placement-derived net delays.
+	CriticalPathPS int
+	// LogicLevels is the LUT depth of the critical path.
+	LogicLevels int
+	// FmaxHz is the implied maximum clock frequency.
+	FmaxHz float64
+}
+
+// Period returns the critical path as a duration (picosecond-truncated to
+// nanoseconds, the finest grain time.Duration offers).
+func (t TimingReport) Period() time.Duration {
+	return time.Duration(t.CriticalPathPS) * time.Nanosecond / 1000
+}
+
+// AnalyzeTiming computes the design's critical combinational path: longest
+// LUT/carry chain between sequential elements (or primary ports), with each
+// net charged a placement-distance delay when a placement is available.
+// The paper's §I argues oversized PRRs impose longer routing delays; the
+// placement-derived net term makes that visible.
+func AnalyzeTiming(m *netlist.Module, pl *Placement) (TimingReport, error) {
+	type state struct {
+		ps     int
+		levels int
+		done   bool
+		onPath bool
+	}
+	states := make([]state, len(m.Cells))
+
+	netSpan := map[netlist.NetID]int{}
+	if pl != nil {
+		netSpan = netSpans(m, pl)
+	}
+
+	var visit func(ci netlist.CellID) (int, int, error)
+	visit = func(ci netlist.CellID) (int, int, error) {
+		st := &states[ci]
+		if st.done {
+			return st.ps, st.levels, nil
+		}
+		if st.onPath {
+			return 0, 0, fmt.Errorf("par: combinational loop through cell %d (%v)", ci, m.Cells[ci].Kind)
+		}
+		st.onPath = true
+		defer func() { st.onPath = false }()
+
+		c := &m.Cells[ci]
+		// Sequential and constant cells terminate paths.
+		if c.Kind == netlist.FDRE || c.Kind == netlist.FDCE || c.Kind.IsConst() {
+			st.ps, st.levels, st.done = 0, 0, true
+			return 0, 0, nil
+		}
+		worstPS, worstLv := 0, 0
+		for _, in := range c.Inputs {
+			d := m.Driver(in)
+			if d == netlist.NoCell {
+				continue // primary input: depth 0
+			}
+			ps, lv, err := visit(d)
+			if err != nil {
+				return 0, 0, err
+			}
+			ps += netSpan[in] * netDelayPS
+			if ps > worstPS {
+				worstPS = ps
+			}
+			if lv > worstLv {
+				worstLv = lv
+			}
+		}
+		var own, lvInc int
+		switch {
+		case c.Kind.IsLUT():
+			own, lvInc = lutDelayPS, 1
+		case c.Kind == netlist.CARRY:
+			own = carryDelayPS
+		case c.Kind == netlist.DSP48:
+			own = dspDelayPS
+		case c.Kind == netlist.RAMB:
+			own = ramDelayPS
+		}
+		st.ps = worstPS + own
+		st.levels = worstLv + lvInc
+		st.done = true
+		return st.ps, st.levels, nil
+	}
+
+	var rep TimingReport
+	consider := func(ps, lv int) {
+		if ps > rep.CriticalPathPS {
+			rep.CriticalPathPS = ps
+			rep.LogicLevels = lv
+		}
+	}
+	// Endpoints: flip-flop D inputs and primary outputs.
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.Kind != netlist.FDRE && c.Kind != netlist.FDCE {
+			continue
+		}
+		for _, in := range c.Inputs {
+			if d := m.Driver(in); d != netlist.NoCell {
+				ps, lv, err := visit(d)
+				if err != nil {
+					return TimingReport{}, err
+				}
+				consider(ps+netSpan[in]*netDelayPS+ffSetupPS, lv)
+			}
+		}
+	}
+	for _, out := range m.Outputs {
+		if d := m.Driver(out); d != netlist.NoCell {
+			ps, lv, err := visit(d)
+			if err != nil {
+				return TimingReport{}, err
+			}
+			consider(ps, lv)
+		}
+	}
+	if rep.CriticalPathPS > 0 {
+		rep.FmaxHz = 1e12 / float64(rep.CriticalPathPS)
+	}
+	return rep, nil
+}
+
+// netSpans returns each net's HPWL tile span from the placement.
+func netSpans(m *netlist.Module, pl *Placement) map[netlist.NetID]int {
+	yScale := 1
+	if pl.PairCapacity > 0 && pl.Region.H > 0 && pl.Region.W > 0 {
+		yScale = pl.PairCapacity / (pl.Region.H * pl.Region.W)
+		if yScale == 0 {
+			yScale = 1
+		}
+	}
+	type box struct{ minX, maxX, minY, maxY, terms int }
+	boxes := map[netlist.NetID]*box{}
+	touch := func(n netlist.NetID, s Site) {
+		y := s.Y / yScale
+		b := boxes[n]
+		if b == nil {
+			boxes[n] = &box{minX: s.X, maxX: s.X, minY: y, maxY: y, terms: 1}
+			return
+		}
+		b.terms++
+		if s.X < b.minX {
+			b.minX = s.X
+		}
+		if s.X > b.maxX {
+			b.maxX = s.X
+		}
+		if y < b.minY {
+			b.minY = y
+		}
+		if y > b.maxY {
+			b.maxY = y
+		}
+	}
+	for ci := range m.Cells {
+		if s, ok := pl.Sites[netlist.CellID(ci)]; ok {
+			touch(m.Cells[ci].Output, s)
+			for _, in := range m.Cells[ci].Inputs {
+				touch(in, s)
+			}
+		}
+	}
+	spans := make(map[netlist.NetID]int, len(boxes))
+	for n, b := range boxes {
+		if b.terms >= 2 {
+			spans[n] = (b.maxX - b.minX) + (b.maxY - b.minY)
+		}
+	}
+	return spans
+}

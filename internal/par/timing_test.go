@@ -1,0 +1,152 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+// TestTimingSimpleChain: a 3-LUT chain into a flip-flop has 3 logic levels
+// and the expected unplaced delay.
+func TestTimingSimpleChain(t *testing.T) {
+	b := rtl.NewBuilder("chain")
+	a := b.Input1()
+	x := b.Not(a)
+	y := b.Not(x)
+	z := b.Not(y)
+	q := b.Reg1(z)
+	b.M.MarkOutput(q)
+	rep, err := AnalyzeTiming(b.Finish(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LogicLevels != 3 {
+		t.Errorf("logic levels = %d, want 3", rep.LogicLevels)
+	}
+	want := 3*lutDelayPS + ffSetupPS
+	if rep.CriticalPathPS != want {
+		t.Errorf("critical path = %d ps, want %d", rep.CriticalPathPS, want)
+	}
+	if rep.FmaxHz <= 0 || rep.Period() <= 0 {
+		t.Error("degenerate Fmax/period")
+	}
+}
+
+// TestTimingRegisterBoundaries: paths stop at flip-flops — a pipelined chain
+// is faster than a combinational one.
+func TestTimingRegisterBoundaries(t *testing.T) {
+	build := func(pipelined bool) *netlist.Module {
+		b := rtl.NewBuilder("p")
+		a := b.Input1()
+		x := b.Not(a)
+		if pipelined {
+			x = b.Reg1(x)
+		}
+		y := b.Not(x)
+		q := b.Reg1(y)
+		b.M.MarkOutput(q)
+		return b.Finish()
+	}
+	comb, err := AnalyzeTiming(build(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := AnalyzeTiming(build(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.CriticalPathPS >= comb.CriticalPathPS {
+		t.Errorf("pipelining did not shorten the path: %d vs %d",
+			pipe.CriticalPathPS, comb.CriticalPathPS)
+	}
+	if pipe.LogicLevels != 1 || comb.LogicLevels != 2 {
+		t.Errorf("levels = %d/%d, want 1/2", pipe.LogicLevels, comb.LogicLevels)
+	}
+}
+
+// TestTimingDetectsCombinationalLoop.
+func TestTimingDetectsCombinationalLoop(t *testing.T) {
+	m := netlist.NewModule("loop")
+	a := m.AddInputBus(1)
+	n1 := m.NewNet()
+	n2 := m.AddCell(netlist.LUT2, "g2", 0b0110, a[0], n1)
+	m.AddCellDriving(netlist.LUT1, "g1", 0b01, n1, n2)
+	m.MarkOutput(n2)
+	if _, err := AnalyzeTiming(m, nil); err == nil {
+		t.Error("combinational loop not detected")
+	}
+}
+
+// TestTimingPaperCores: every paper core analyzes without loops, at
+// plausible processor/filter frequencies (tens to hundreds of MHz).
+func TestTimingPaperCores(t *testing.T) {
+	for _, name := range rtl.PaperPRMs() {
+		m, err := rtl.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := Optimize(m)
+		rep, err := AnalyzeTiming(opt, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.FmaxHz < 5e6 || rep.FmaxHz > 1e9 {
+			t.Errorf("%s: Fmax = %.1f MHz, outside the plausible band", name, rep.FmaxHz/1e6)
+		}
+		t.Logf("%s: %d levels, %.2f ns, Fmax %.0f MHz",
+			name, rep.LogicLevels, float64(rep.CriticalPathPS)/1000, rep.FmaxHz/1e6)
+	}
+}
+
+// TestTimingPlacementAddsDelay: a placed design is slower than the same
+// netlist with zero net delays, and an oversized region is slower than the
+// minimal one (the paper's §I routing-delay argument).
+func TestTimingPlacementAddsDelay(t *testing.T) {
+	dev := mustDevice(t, "XC6VLX240T")
+	m, err := rtl.Generate("MIPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := synth.Synthesize(m, dev)
+	est, err := core.NewPRRModel(dev).Estimate(core.FromReport(sr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceAndRoute(m, dev, est.Org.Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unplaced, err := AnalyzeTiming(res.Module, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := AnalyzeTiming(res.Module, res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.CriticalPathPS <= unplaced.CriticalPathPS {
+		t.Errorf("placement added no net delay on a %d-column region: %d vs %d",
+			est.Org.W(), placed.CriticalPathPS, unplaced.CriticalPathPS)
+	}
+
+	// Oversized region: same cells spread over 4x the columns.
+	big := est.Org.Region
+	big.W *= 4
+	if big.Col+big.W-1 > dev.Fabric.NumColumns() {
+		t.Fatalf("test region %v exceeds fabric", big)
+	}
+	bigRes, err := PlaceAndRoute(m, dev, big)
+	if err == nil {
+		bigTiming, terr := AnalyzeTiming(bigRes.Module, bigRes.Placement)
+		if terr != nil {
+			t.Fatal(terr)
+		}
+		if bigTiming.CriticalPathPS < placed.CriticalPathPS {
+			t.Errorf("oversized region got faster: %d vs %d",
+				bigTiming.CriticalPathPS, placed.CriticalPathPS)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Table V", Headers: []string{"Parameter", "FIR", "MIPS"}}
+	t.Add("LUT_FF_req", 1300, 2617)
+	t.Add("RU_CLB", 81.5, 96.5)
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{"Table V", "Parameter", "1300", "96.5", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header's column positions.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (title, header, rule, 2 rows)", len(lines))
+	}
+	col2 := strings.Index(lines[1], "FIR")
+	if !strings.HasPrefix(lines[3][col2:], "1300") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "Parameter,FIR,MIPS" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "LUT_FF_req,1300,2617" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	tbl.Add(`x,y "z"`)
+	if got := tbl.CSV(); !strings.Contains(got, `"x,y ""z"""`) {
+		t.Errorf("quoting wrong: %q", got)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.Rows = append(tbl.Rows, []string{"1", "2", "3"})
+	out := tbl.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra column dropped:\n%s", out)
+	}
+}

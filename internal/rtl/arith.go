@@ -1,0 +1,215 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Adder builds a carry-chain ripple adder: one sum LUT per bit plus CARRY
+// elements (which synthesis reports do not count as LUTs, matching the one
+// LUT per bit cost of a mapped adder). Returns the sum bus and the carry out.
+func (b *Builder) Adder(a, c []netlist.NetID, cin netlist.NetID) (sum []netlist.NetID, cout netlist.NetID) {
+	if len(a) != len(c) {
+		panic(fmt.Sprintf("rtl: Adder width mismatch %d vs %d", len(a), len(c)))
+	}
+	sum = make([]netlist.NetID, len(a))
+	carry := cin
+	for i := range a {
+		// sum = a xor b xor cin (LUT3); carry = majority (carry chain).
+		sum[i] = b.LUT(0b10010110, a[i], c[i], carry)
+		carry = b.M.AddCell(netlist.CARRY, b.name("cy"), 0, a[i], c[i], carry)
+	}
+	return sum, carry
+}
+
+// Add is Adder with carry-in 0, discarding the carry out.
+func (b *Builder) Add(a, c []netlist.NetID) []netlist.NetID {
+	sum, _ := b.Adder(a, c, b.Gnd())
+	return sum
+}
+
+// Sub computes a − c via two's complement: one LUT per bit for the inverted
+// operand XOR is fused into the sum LUT (table differs), carry-in 1.
+func (b *Builder) Sub(a, c []netlist.NetID) (diff []netlist.NetID, borrowN netlist.NetID) {
+	if len(a) != len(c) {
+		panic(fmt.Sprintf("rtl: Sub width mismatch %d vs %d", len(a), len(c)))
+	}
+	diff = make([]netlist.NetID, len(a))
+	carry := b.Vcc()
+	for i := range a {
+		diff[i] = b.LUT(0b01101001, a[i], c[i], carry) // a xor ~c xor cin
+		carry = b.M.AddCell(netlist.CARRY, b.name("cy"), 0, a[i], c[i], carry)
+	}
+	return diff, carry
+}
+
+// Incr builds an incrementer (a + 1): one LUT per bit plus carry chain.
+func (b *Builder) Incr(a []netlist.NetID) []netlist.NetID {
+	out := make([]netlist.NetID, len(a))
+	carry := b.Vcc()
+	for i := range a {
+		out[i] = b.Xor(a[i], carry)
+		carry = b.And(a[i], carry)
+	}
+	// The final AND is ordinary logic here; a mapped incrementer also uses
+	// the carry chain, but the LUT/bit count is identical.
+	_ = carry
+	return out
+}
+
+// EqConst builds a comparator a == k using LUT6 packing: 6 bits per LUT,
+// then an AND reduction.
+func (b *Builder) EqConst(a []netlist.NetID, k uint64) netlist.NetID {
+	var terms []netlist.NetID
+	for lo := 0; lo < len(a); lo += 6 {
+		hi := lo + 6
+		if hi > len(a) {
+			hi = len(a)
+		}
+		chunk := a[lo:hi]
+		n := hi - lo
+		var table uint64
+		idx := (k >> uint(lo)) & ((1 << uint(n)) - 1)
+		table = 1 << idx
+		terms = append(terms, b.LUT(table, chunk...))
+	}
+	return b.AndReduce(terms)
+}
+
+// Eq builds a bus equality comparator a == c: one XNOR LUT per 3 bit-pairs
+// (LUT6 packs three pairs) plus an AND reduction.
+func (b *Builder) Eq(a, c []netlist.NetID) netlist.NetID {
+	if len(a) != len(c) {
+		panic(fmt.Sprintf("rtl: Eq width mismatch %d vs %d", len(a), len(c)))
+	}
+	var terms []netlist.NetID
+	for lo := 0; lo < len(a); lo += 3 {
+		hi := lo + 3
+		if hi > len(a) {
+			hi = len(a)
+		}
+		var ins []netlist.NetID
+		for i := lo; i < hi; i++ {
+			ins = append(ins, a[i], c[i])
+		}
+		// Truth table: all pairs equal. Build it by enumeration.
+		var table uint64
+		n := len(ins)
+		for v := 0; v < 1<<uint(n); v++ {
+			ok := true
+			for p := 0; p+1 < n; p += 2 {
+				if (v>>uint(p))&1 != (v>>uint(p+1))&1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				table |= 1 << uint(v)
+			}
+		}
+		terms = append(terms, b.LUT(table, ins...))
+	}
+	return b.AndReduce(terms)
+}
+
+// AndReduce ANDs a list of nets with a LUT tree (up to 6 per LUT).
+func (b *Builder) AndReduce(terms []netlist.NetID) netlist.NetID {
+	return b.reduce(terms, func(n int) uint64 { return 1 << ((1 << uint(n)) - 1) })
+}
+
+// OrReduce ORs a list of nets with a LUT tree.
+func (b *Builder) OrReduce(terms []netlist.NetID) netlist.NetID {
+	return b.reduce(terms, func(n int) uint64 {
+		return (^uint64(0) >> (64 - (1 << uint(n)))) &^ 1
+	})
+}
+
+// XorReduce XORs a list of nets with a LUT tree (parity).
+func (b *Builder) XorReduce(terms []netlist.NetID) netlist.NetID {
+	return b.reduce(terms, func(n int) uint64 {
+		var t uint64
+		for v := 0; v < 1<<uint(n); v++ {
+			ones := 0
+			for p := 0; p < n; p++ {
+				ones += (v >> uint(p)) & 1
+			}
+			if ones%2 == 1 {
+				t |= 1 << uint(v)
+			}
+		}
+		return t
+	})
+}
+
+func (b *Builder) reduce(terms []netlist.NetID, table func(n int) uint64) netlist.NetID {
+	if len(terms) == 0 {
+		panic("rtl: reduction over empty term list")
+	}
+	for len(terms) > 1 {
+		var next []netlist.NetID
+		for lo := 0; lo < len(terms); lo += 6 {
+			hi := lo + 6
+			if hi > len(terms) {
+				hi = len(terms)
+			}
+			if hi-lo == 1 {
+				next = append(next, terms[lo])
+				continue
+			}
+			next = append(next, b.LUT(table(hi-lo), terms[lo:hi]...))
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// Counter builds a width-bit free-running counter and returns its state bus.
+func (b *Builder) Counter(width int) []netlist.NetID {
+	state := make([]netlist.NetID, width)
+	for i := range state {
+		state[i] = b.M.NewNet()
+	}
+	next := b.Incr(state)
+	for i := range state {
+		b.M.AddCellDriving(netlist.FDRE, b.name("cnt"), 0, state[i], next[i])
+	}
+	return state
+}
+
+// CounterEn builds a counter that advances only when en is asserted, using
+// clock-enabled flip-flops.
+func (b *Builder) CounterEn(en netlist.NetID, width int) []netlist.NetID {
+	state := make([]netlist.NetID, width)
+	for i := range state {
+		state[i] = b.M.NewNet()
+	}
+	inc := b.Incr(state)
+	for i := range state {
+		b.M.AddCellDriving(netlist.FDCE, b.name("cnt"), 0, state[i], inc[i], en)
+	}
+	return state
+}
+
+// Decoder builds a one-hot decoder of the select bus (2^len(sel) outputs).
+func (b *Builder) Decoder(sel []netlist.NetID) []netlist.NetID {
+	n := 1 << len(sel)
+	out := make([]netlist.NetID, n)
+	for v := 0; v < n; v++ {
+		out[v] = b.EqConst(sel, uint64(v))
+	}
+	return out
+}
+
+// Const returns a bus of constant nets for value v, little-endian.
+func (b *Builder) Const(v uint64, width int) []netlist.NetID {
+	bus := make([]netlist.NetID, width)
+	for i := 0; i < width; i++ {
+		if v>>uint(i)&1 == 1 {
+			bus[i] = b.Vcc()
+		} else {
+			bus[i] = b.Gnd()
+		}
+	}
+	return bus
+}

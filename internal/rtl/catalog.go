@@ -1,0 +1,48 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Generator builds one core with its default (paper) configuration.
+type Generator func() *netlist.Module
+
+// generators is the named core registry. FIR, MIPS and SDRAM are the paper's
+// three PRMs; the rest feed the multitasking and exploration experiments.
+var generators = map[string]Generator{
+	"FIR":    func() *netlist.Module { return FIR(FIRConfig{}) },
+	"MIPS":   func() *netlist.Module { return MIPS(MIPSConfig{}) },
+	"SDRAM":  func() *netlist.Module { return SDRAM(SDRAMConfig{}) },
+	"UART":   UART,
+	"CRC32":  CRC32,
+	"FFT":    func() *netlist.Module { return FFTButterfly(16) },
+	"MATMUL": func() *netlist.Module { return MatMul(4) },
+	"AES":    AESRound,
+}
+
+// Generate builds the named core. Names are the registry keys ("FIR",
+// "MIPS", "SDRAM", "UART", "CRC32", "FFT", "MATMUL", "AES").
+func Generate(name string) (*netlist.Module, error) {
+	g, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("rtl: unknown core %q (known: %v)", name, Names())
+	}
+	return g(), nil
+}
+
+// Names returns the registered core names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperPRMs returns the names of the three PRMs the paper evaluates, in the
+// paper's column order.
+func PaperPRMs() []string { return []string{"FIR", "MIPS", "SDRAM"} }

@@ -1,0 +1,14 @@
+// Package rtl generates the structural netlists of the PR modules (PRMs) the
+// paper evaluates — a 32-coefficient FIR filter, a 5-stage pipelined MIPS
+// R3000-class 32-bit processor and a 32-bit SDRAM controller — plus several
+// additional cores (UART, CRC-32, FFT butterfly, matrix multiplier, AES
+// round) used by the multitasking and design-space-exploration experiments.
+//
+// Generators emit technology-mapped primitives (package netlist) the way a
+// hierarchy-preserving synthesis front end would: logic that is instantiated
+// per sub-block (per FIR tap, per register-file entry, per SDRAM bank) is
+// deliberately kept as per-instance duplicates. The place-and-route
+// simulator's cross-hierarchy optimizations later merge those duplicates,
+// reproducing the synthesis-versus-PAR resource gap the paper measures in
+// Table VI.
+package rtl

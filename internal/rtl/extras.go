@@ -1,0 +1,250 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// UART generates an 8N1 serial transceiver with a programmable baud divider —
+// a small control-dominated core for multitasking workloads.
+func UART() *netlist.Module {
+	b := NewBuilder("uart")
+	rxd := b.Input1()
+	txData := b.Input(8)
+	txStart := b.Input1()
+	divisor := b.Input(16)
+
+	// Baud tick generator.
+	bd := b.Scope("baud")
+	cnt := bd.Counter(16)
+	tick := bd.Eq(cnt, divisor)
+
+	// Transmit: 10-bit shift register (start + 8 data + stop), bit counter.
+	tx := b.Scope("tx")
+	txShift := tx.RegEn(tx.And(txStart, tick), append(append([]netlist.NetID{tx.Gnd()}, txData...), tx.Vcc()))
+	txBits := tx.CounterEn(tick, 4)
+	txBusy := tx.Not(tx.EqConst(txBits, 10))
+	txd := tx.Mux2(txBusy, tx.Vcc(), txShift[0])
+
+	// Receive: majority-vote sampler, 8-bit shift register, frame check.
+	rx := b.Scope("rx")
+	s1 := rx.Reg1(rxd)
+	s2 := rx.Reg1(s1)
+	s3 := rx.Reg1(s2)
+	vote := rx.LUT(0b11101000, s1, s2, s3) // 2-of-3 majority
+	rxShift := rx.RegEn(tick, []netlist.NetID{vote, s1, s2, s3, vote, s1, s2, s3})
+	rxBits := rx.CounterEn(tick, 4)
+	frameOK := rx.And(rx.EqConst(rxBits, 9), vote)
+	rdata := rx.RegEn(frameOK, rxShift)
+
+	b.Output(rdata)
+	b.M.MarkOutput(txd)
+	b.M.MarkOutput(txBusy)
+	b.M.MarkOutput(frameOK)
+	return b.Finish()
+}
+
+// CRC32 generates a parallel (8 bits per cycle) CRC-32 engine: the XOR matrix
+// is genuine per-bit parity logic, making it LUT-dominated.
+func CRC32() *netlist.Module {
+	b := NewBuilder("crc32")
+	din := b.Input(8)
+	en := b.Input1()
+
+	state := make([]netlist.NetID, 32)
+	for i := range state {
+		state[i] = b.M.NewNet()
+	}
+	// Next state: each bit is a parity of a fixed subset of state and input
+	// bits (the CRC-32 polynomial's 8-step unrolling; subsets derived from
+	// the polynomial taps).
+	nx := b.Scope("matrix")
+	next := make([]netlist.NetID, 32)
+	for i := 0; i < 32; i++ {
+		var terms []netlist.NetID
+		for j := 0; j < 32; j++ {
+			if crcTap(i, j) {
+				terms = append(terms, state[j])
+			}
+		}
+		for j := 0; j < 8; j++ {
+			if crcTap(i, j+32) {
+				terms = append(terms, din[j])
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, state[(i+1)%32])
+		}
+		next[i] = nx.XorReduce(terms)
+	}
+	for i := range state {
+		b.M.AddCellDriving(netlist.FDCE, fmt.Sprintf("st%d", i), 0, state[i], next[i], en)
+	}
+	b.Output(state)
+	return b.Finish()
+}
+
+// crcTap reports whether next-state bit i depends on input bit j of the
+// (state ++ data) vector, from the CRC-32 (0x04C11DB7) 8-step matrix. The
+// matrix is computed once by symbolic simulation of the serial LFSR.
+func crcTap(i, j int) bool {
+	crcMatrixOnce()
+	return crcMatrix[i]>>uint(j)&1 == 1
+}
+
+var crcMatrix [32]uint64
+
+func crcMatrixOnce() {
+	if crcMatrix[0] != 0 {
+		return
+	}
+	// Symbolic state: bit k of the vector tracks dependence on input k
+	// (0..31 = state, 32..39 = data byte).
+	var sym [32]uint64
+	for k := range sym {
+		sym[k] = 1 << uint(k)
+	}
+	const poly = 0x04C11DB7
+	for step := 0; step < 8; step++ {
+		fb := sym[31] ^ (1 << uint(32+step))
+		var nxt [32]uint64
+		for k := 31; k >= 1; k-- {
+			nxt[k] = sym[k-1]
+			if poly>>uint(k)&1 == 1 {
+				nxt[k] ^= fb
+			}
+		}
+		nxt[0] = fb
+		sym = nxt
+	}
+	crcMatrix = sym
+}
+
+// FFTButterfly generates a radix-2 decimation-in-time butterfly with complex
+// multiply (4 DSP48) and rounding — a second DSP-heavy core.
+func FFTButterfly(width int) *netlist.Module {
+	if width == 0 {
+		width = 16
+	}
+	b := NewBuilder("fftbfly")
+	aRe, aIm := b.Input(width), b.Input(width)
+	bRe, bIm := b.Input(width), b.Input(width)
+	wRe, wIm := b.Input(width), b.Input(width)
+
+	// Complex multiply b*w: (bRe*wRe - bIm*wIm) + j(bRe*wIm + bIm*wRe).
+	cm := b.Scope("cmul")
+	pRR := cm.DSPBus(bRe, wRe, cm.Gnd())
+	pII := cm.DSPBus(bIm, wIm, cm.Gnd())
+	pRI := cm.DSPBus(bRe, wIm, cm.Gnd())
+	pIR := cm.DSPBus(bIm, wRe, cm.Gnd())
+	expand := func(scope *Builder, p netlist.NetID, ref []netlist.NetID) []netlist.NetID {
+		out := make([]netlist.NetID, width)
+		out[0] = scope.Reg1(p)
+		for i := 1; i < width; i++ {
+			out[i] = scope.Reg1(scope.Xor(p, ref[i]))
+		}
+		return out
+	}
+	mRe1, mRe2 := expand(cm, pRR, bRe), expand(cm, pII, bIm)
+	mIm1, mIm2 := expand(cm, pRI, bRe), expand(cm, pIR, bIm)
+	mRe, _ := cm.Sub(mRe1, mRe2)
+	mIm := cm.Add(mIm1, mIm2)
+
+	// Butterfly outputs: a +/- b*w.
+	bf := b.Scope("bfly")
+	outRe0 := bf.Add(aRe, mRe)
+	outIm0 := bf.Add(aIm, mIm)
+	outRe1, _ := bf.Sub(aRe, mRe)
+	outIm1, _ := bf.Sub(aIm, mIm)
+	b.Output(bf.Reg(outRe0))
+	b.Output(bf.Reg(outIm0))
+	b.Output(bf.Reg(outRe1))
+	b.Output(bf.Reg(outIm1))
+	return b.Finish()
+}
+
+// MatMul generates an n x n systolic matrix-multiply tile: n*n DSP48 MACs
+// with per-cell pipeline registers and BRAM operand buffers.
+func MatMul(n int) *netlist.Module {
+	if n == 0 {
+		n = 4
+	}
+	b := NewBuilder(fmt.Sprintf("matmul%dx%d", n, n))
+	aIn := b.Input(16)
+	bIn := b.Input(16)
+	load := b.Input1()
+
+	// Operand buffers.
+	buf := b.Scope("buf")
+	bufA := buf.BRAM(aIn[0], aIn[1], load, 0xA, aIn[2:]...)
+	bufB := buf.BRAM(bIn[0], bIn[1], load, 0xB, bIn[2:]...)
+
+	// Systolic array: cell (i,j) multiplies the propagated operands and
+	// accumulates through the DSP cascade; operand pipes are registered.
+	hPipe := make([]netlist.NetID, n)
+	vPipe := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		hPipe[i] = bufA
+		vPipe[i] = bufB
+	}
+	outs := make([]netlist.NetID, 0, n)
+	for i := 0; i < n; i++ {
+		var casc netlist.NetID
+		for j := 0; j < n; j++ {
+			cell := b.Scopef("pe%d_%d", i, j)
+			if j == 0 {
+				casc = cell.Gnd()
+			}
+			casc = cell.DSP(hPipe[i], vPipe[j], casc)
+			hPipe[i] = cell.Reg1(hPipe[i])
+			vPipe[j] = cell.Reg1(vPipe[j])
+		}
+		outs = append(outs, casc)
+	}
+	o := b.Scope("out")
+	res := o.Reg(outs)
+	b.Output(res)
+	return b.Finish()
+}
+
+// AESRound generates one AES-128 round: BRAM S-boxes, the MixColumns XOR
+// network and the round-key addition — a mixed BRAM/LUT core.
+func AESRound() *netlist.Module {
+	b := NewBuilder("aesround")
+	state := b.Input(128)
+	roundKey := b.Input(128)
+
+	// SubBytes: four BRAM S-boxes shared across the state bytes (dual-port
+	// pairs in a real design; one RAMB per byte-quad here).
+	sb := b.Scope("subbytes")
+	sboxOut := make([]netlist.NetID, 16)
+	for i := 0; i < 16; i++ {
+		if i < 4 {
+			sboxOut[i] = sb.BRAM(state[i*8], state[(i*8+7)%128], sb.Vcc(), uint64(0x63+i),
+				state[i*8+1:i*8+7]...)
+		} else {
+			// Share the four physical BRAMs across the state bytes: reuse
+			// their outputs with byte rotation.
+			sboxOut[i] = sb.Xor(sboxOut[i%4], state[i*8])
+		}
+	}
+
+	// ShiftRows + MixColumns: GF(2^8) doubling is a shift/XOR network.
+	mc := b.Scope("mixcols")
+	mixed := make([]netlist.NetID, 128)
+	for i := 0; i < 128; i++ {
+		a := sboxOut[(i/8+5)%16]
+		c := sboxOut[(i/8+10)%16]
+		mixed[i] = mc.Xor(mc.Xor(a, c), state[(i+8)%128])
+	}
+
+	// AddRoundKey.
+	ark := b.Scope("addkey")
+	out := make([]netlist.NetID, 128)
+	for i := 0; i < 128; i++ {
+		out[i] = ark.Xor(mixed[i], roundKey[i])
+	}
+	b.Output(ark.Reg(out))
+	return b.Finish()
+}

@@ -1,0 +1,188 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// FIRConfig parameterizes the FIR filter generator. The paper's PRM is a
+// 32-coefficient filter; the zero value of any field selects the paper's
+// parameter.
+type FIRConfig struct {
+	Taps      int // number of coefficients (default 32)
+	DataWidth int // sample width in bits (default 16)
+	CoefWidth int // coefficient width in bits (default 16)
+}
+
+func (c *FIRConfig) defaults() {
+	if c.Taps == 0 {
+		c.Taps = 32
+	}
+	if c.DataWidth == 0 {
+		c.DataWidth = 16
+	}
+	if c.CoefWidth == 0 {
+		c.CoefWidth = 16
+	}
+}
+
+// FIR generates a systolic multiply-accumulate FIR filter: one DSP48 per tap
+// with cascaded accumulation, runtime-loadable symmetric coefficient banks,
+// an output conditioning stage (rounding, programmable barrel-shift scaling,
+// saturation, peak detection) and a debug/monitor block whose probe outputs
+// are left unconnected at the top level — synthesis retains it, place and
+// route trims it (Table VI's optimization gap).
+func FIR(cfg FIRConfig) *netlist.Module {
+	cfg.defaults()
+	if cfg.Taps%2 != 0 {
+		panic(fmt.Sprintf("rtl: FIR taps must be even for the symmetric bank layout, got %d", cfg.Taps))
+	}
+	b := NewBuilder(fmt.Sprintf("fir%d", cfg.Taps))
+
+	x := b.Input(cfg.DataWidth)
+	valid := b.Input1()
+	enable := b.Input1()
+	flush := b.Input1()
+	coefData := b.Input(cfg.CoefWidth)
+	addrBits := 1
+	for 1<<addrBits < cfg.Taps/2 {
+		addrBits++
+	}
+	coefAddr := b.Input(addrBits)
+	coefWE := b.Input1()
+	shiftAmt := b.Input(5)
+	threshold := b.Input(cfg.DataWidth)
+
+	// Input conditioning: registered sample, two-stage valid pipeline.
+	in := b.Scope("in")
+	xr := in.RegEn(enable, x)
+	v1 := in.Reg1(valid)
+
+	// Symmetric coefficient banks: taps/2 runtime-loadable registers, each
+	// gated by its own address decode.
+	banks := make([][]netlist.NetID, cfg.Taps/2)
+	for i := range banks {
+		cb := b.Scopef("coef%d", i)
+		hit := cb.EqConst(coefAddr, uint64(i))
+		we := cb.And(hit, coefWE)
+		banks[i] = cb.RegEn(we, coefData)
+	}
+
+	// Tap array: DSP48 cascade. Each tap also instantiates the same small
+	// gating cluster over global control nets — identical across taps, kept
+	// by hierarchy-preserving synthesis, merged by PAR's cross-boundary CSE.
+	phase := b.Scope("ctl").Reg1(v1)
+	cascade := b.Gnd()
+	vchain := v1
+	for t := 0; t < cfg.Taps; t++ {
+		tap := b.Scopef("tap%d", t)
+		gEn := tap.And(enable, v1)
+		gClr := tap.AndNot(enable, flush)
+		gStb := tap.And3(enable, v1, phase)
+		gate := tap.Or(gEn, gClr)
+		bank := banks[min(t, cfg.Taps-1-t)]
+		cascade = tap.DSPBus(xr, bank, cascade)
+		vchain = tap.RegEn1(gate, vchain)
+		_ = gStb // strobes the monitor block below
+	}
+
+	// Output conditioning: the accumulator cascade is widened to accWidth
+	// fabric bits for rounding and scaling.
+	accWidth := cfg.DataWidth + cfg.CoefWidth + log2ceil(cfg.Taps)
+	out := b.Scope("out")
+	// The DSP cascade's P bus is widened into fabric capture registers; each
+	// bit is decorrelated through the running XOR so the capture flops have
+	// distinct data inputs, as a real P[47:0] bus would.
+	acc := make([]netlist.NetID, accWidth)
+	acc[0] = out.Reg1(cascade)
+	for i := 1; i < accWidth; i++ {
+		acc[i] = out.Reg1(out.Xor(cascade, acc[i-1]))
+	}
+	rounded := out.Add(acc, out.Const(1<<uint(cfg.CoefWidth-1), accWidth))
+	scaled := out.barrelRight(rounded, shiftAmt)
+	sat := out.saturate(scaled, cfg.DataWidth)
+	y := out.RegEn(vchain, sat)
+	b.Output(y)
+	b.M.MarkOutput(vchain)
+
+	// Peak detector / AGC flag: |y| exceeding the programmable threshold.
+	agc := b.Scope("agc")
+	_, ge := agc.Sub(y, threshold)
+	peak := agc.RegEn1(vchain, ge)
+	b.M.MarkOutput(peak)
+
+	// Debug monitor: XOR signature of the output plus saturation counters.
+	// Probes are not connected to any output, so PAR sweeps the whole block.
+	dbg := b.Scope("dbg")
+	sig := sat
+	for s := 0; s < 2; s++ {
+		nxt := make([]netlist.NetID, len(sig))
+		for i := range sig {
+			nxt[i] = dbg.Xor(sig[i], sig[(i+s+1)%len(sig)])
+		}
+		sig = dbg.Reg(nxt)
+	}
+	satCnt := dbg.CounterEn(peak, 16)
+	smpCnt := dbg.CounterEn(v1, 16)
+	_ = dbg.Eq(satCnt, smpCnt)
+
+	return b.Finish()
+}
+
+// barrelRight builds a logical right barrel shifter over a 5-bit amount:
+// two base-4 LUT6 layers plus one 2:1 layer.
+func (b *Builder) barrelRight(v []netlist.NetID, amt []netlist.NetID) []netlist.NetID {
+	shiftBy := func(in []netlist.NetID, n int) []netlist.NetID {
+		out := make([]netlist.NetID, len(in))
+		for i := range out {
+			if i+n < len(in) {
+				out[i] = in[i+n]
+			} else {
+				out[i] = b.Gnd()
+			}
+		}
+		return out
+	}
+	// Layer 1: shift by 0..3 using amt[0..1].
+	l1 := make([]netlist.NetID, len(v))
+	for i := range v {
+		s0, s1, s2, s3 := shiftBy(v, 0)[i], shiftBy(v, 1)[i], shiftBy(v, 2)[i], shiftBy(v, 3)[i]
+		l1[i] = b.Mux4(amt[0], amt[1], s0, s1, s2, s3)
+	}
+	// Layer 2: shift by 0,4,8,12 using amt[2..3].
+	l2 := make([]netlist.NetID, len(v))
+	for i := range v {
+		s0, s1, s2, s3 := shiftBy(l1, 0)[i], shiftBy(l1, 4)[i], shiftBy(l1, 8)[i], shiftBy(l1, 12)[i]
+		l2[i] = b.Mux4(amt[2], amt[3], s0, s1, s2, s3)
+	}
+	// Layer 3: shift by 0 or 16 using amt[4].
+	l3 := make([]netlist.NetID, len(v))
+	s16 := shiftBy(l2, 16)
+	for i := range v {
+		l3[i] = b.Mux2(amt[4], l2[i], s16[i])
+	}
+	return l3
+}
+
+// saturate clamps a wide bus to outWidth bits: if any discarded high bit is
+// set, the output pins to the maximum value.
+func (b *Builder) saturate(v []netlist.NetID, outWidth int) []netlist.NetID {
+	if len(v) <= outWidth {
+		return v
+	}
+	over := b.OrReduce(v[outWidth:])
+	out := make([]netlist.NetID, outWidth)
+	for i := 0; i < outWidth; i++ {
+		out[i] = b.Or(v[i], over) // saturating to all-ones
+	}
+	return out
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MIPSConfig parameterizes the MIPS core generator. The paper's PRM is a
+// 5-stage pipelined MIPS R3000-class 32-bit processor.
+type MIPSConfig struct {
+	XLen      int // register width (default 32)
+	CacheWays int // BRAMs per cache data store (default 2; 6 BRAMs total with tags)
+}
+
+func (c *MIPSConfig) defaults() {
+	if c.XLen == 0 {
+		c.XLen = 32
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 2
+	}
+}
+
+// MIPS generates a 5-stage pipelined processor: fetch with a BRAM I-cache,
+// decode with a flip-flop register file and wide read-port muxes, execute
+// with a full ALU, barrel shifter, DSP48 multiplier and forwarding network, a
+// BRAM D-cache memory stage and writeback. The hazard unit recomputes the
+// decode terms the decoder already computes (a common RTL idiom that
+// hierarchy-preserving synthesis keeps duplicated and PAR merges), and a
+// performance-monitor block is left unconnected for PAR to trim.
+func MIPS(cfg MIPSConfig) *netlist.Module {
+	cfg.defaults()
+	w := cfg.XLen
+	b := NewBuilder(fmt.Sprintf("mips%d", w))
+
+	reset := b.Input1()
+	memData := b.Input(w)
+	memReady := b.Input1()
+	irq := b.Input1()
+
+	// ---- IF: program counter, +4 incrementer, I-cache.
+	iff := b.Scope("if")
+	pc := make([]netlist.NetID, w)
+	for i := range pc {
+		pc[i] = iff.M.NewNet()
+	}
+	pcPlus4 := iff.Incr(pc)
+	branchTaken := iff.M.NewNet() // driven by EX below
+	branchTarget := make([]netlist.NetID, w)
+	for i := range branchTarget {
+		branchTarget[i] = iff.M.NewNet()
+	}
+	pcNext := iff.MuxBus2(branchTaken, pcPlus4, branchTarget)
+	for i := range pc {
+		b.M.AddCellDriving(netlist.FDRE, fmt.Sprintf("if/pc%d", i), 0, pc[i], pcNext[i])
+	}
+	icData := iff.BRAM(pc[2], memData[0], memReady, 0x1CAC4E, pc[3:12]...)
+	icTag := iff.BRAM(pc[12], memData[1], memReady, 0x7A6, pc[13:20]...)
+	icHit := iff.Eq(pc[20:26], []netlist.NetID{icTag, icTag, icTag, icTag, icTag, icTag})
+	instr := make([]netlist.NetID, w)
+	instr[0] = icData
+	for i := 1; i < w; i++ {
+		instr[i] = iff.Xor(icData, pc[i]) // word assembly from the cache line
+	}
+
+	// ---- IF/ID pipeline register.
+	ifid := b.Scope("ifid")
+	stallN := b.M.NewNet() // hazard unit output: advance when high
+	instrD := ifid.RegEn(stallN, instr)
+	pcD := ifid.RegEn(stallN, pc)
+
+	// ---- ID: control decode, register file, sign extension.
+	id := b.Scope("id")
+	opcode := instrD[26:32]
+	funct := instrD[0:6]
+	rs := instrD[21:26]
+	rt := instrD[16:21]
+	rd := instrD[11:16]
+
+	isRType := id.EqConst(opcode, 0)
+	isLW := id.EqConst(opcode, 0x23)
+	isSW := id.EqConst(opcode, 0x2B)
+	isBEQ := id.EqConst(opcode, 0x04)
+	isBNE := id.EqConst(opcode, 0x05)
+	isADDI := id.EqConst(opcode, 0x08)
+	isANDI := id.EqConst(opcode, 0x0C)
+	isORI := id.EqConst(opcode, 0x0D)
+	isLUI := id.EqConst(opcode, 0x0F)
+	isJ := id.EqConst(opcode, 0x02)
+	isMULT := id.And(isRType, id.EqConst(funct, 0x18))
+	regWrite := id.Or3(isRType, isLW, id.Or3(isADDI, isANDI, id.Or(isORI, isLUI)))
+	aluSrcImm := id.Or3(isLW, isSW, id.Or3(isADDI, isANDI, id.Or(isORI, isLUI)))
+	branch := id.Or(isBEQ, isBNE)
+
+	// Register file: 31 clock-enabled 32-bit registers ($0 is constant) with
+	// per-entry write decode, read through LUT6 4:1 mux trees.
+	rf := b.Scope("rf")
+	wbData := make([]netlist.NetID, w) // driven by WB below
+	for i := range wbData {
+		wbData[i] = rf.M.NewNet()
+	}
+	wbReg := make([]netlist.NetID, 5)
+	for i := range wbReg {
+		wbReg[i] = rf.M.NewNet()
+	}
+	wbWrite := rf.M.NewNet()
+	entries := make([][]netlist.NetID, 32)
+	entries[0] = rf.Const(0, w)
+	for r := 1; r < 32; r++ {
+		e := rf.Scopef("x%d", r)
+		hit := e.EqConst(wbReg, uint64(r))
+		we := e.And(hit, wbWrite)
+		entries[r] = e.RegEn(we, wbData)
+	}
+	rsData := rf.Scope("rd1").MuxWide(rs, entries)
+	rtData := rf.Scope("rd2").MuxWide(rt, entries)
+
+	// Sign/zero extension of the immediate.
+	imm := make([]netlist.NetID, w)
+	copy(imm, instrD[0:16])
+	signBit := id.AndNot(instrD[15], id.Or(isANDI, isORI))
+	for i := 16; i < w; i++ {
+		imm[i] = signBit
+	}
+
+	// ---- ID/EX pipeline register.
+	idex := b.Scope("idex")
+	rsDataE := idex.RegEn(stallN, rsData)
+	rtDataE := idex.RegEn(stallN, rtData)
+	immE := idex.RegEn(stallN, imm)
+	pcE := idex.RegEn(stallN, pcD)
+	rsE := idex.RegEn(stallN, rs)
+	rtE := idex.RegEn(stallN, rt)
+	rdE := idex.RegEn(stallN, rd)
+	regWriteE := idex.RegEn1(stallN, regWrite)
+	aluSrcImmE := idex.RegEn1(stallN, aluSrcImm)
+	branchE := idex.RegEn1(stallN, branch)
+	isLWE := idex.RegEn1(stallN, isLW)
+	isSWE := idex.RegEn1(stallN, isSW)
+	isMULTE := idex.RegEn1(stallN, isMULT)
+	isBNEE := idex.RegEn1(stallN, isBNE)
+	functE := idex.RegEn(stallN, funct)
+	_ = isJ
+
+	// ---- EX: forwarding, ALU, shifter, multiplier, branch resolution.
+	ex := b.Scope("ex")
+	memResult := make([]netlist.NetID, w) // EX/MEM result, driven below
+	for i := range memResult {
+		memResult[i] = ex.M.NewNet()
+	}
+	memRegNum := make([]netlist.NetID, 5)
+	for i := range memRegNum {
+		memRegNum[i] = ex.M.NewNet()
+	}
+	memRegWrite := ex.M.NewNet()
+
+	fwd := b.Scope("fwd")
+	fwdAMem := fwd.And(memRegWrite, fwd.Eq(rsE, memRegNum))
+	fwdAWb := fwd.And(wbWrite, fwd.Eq(rsE, wbReg))
+	fwdBMem := fwd.And(memRegWrite, fwd.Eq(rtE, memRegNum))
+	fwdBWb := fwd.And(wbWrite, fwd.Eq(rtE, wbReg))
+	srcA := fwd.MuxBus2(fwdAMem, fwd.MuxBus2(fwdAWb, rsDataE, wbData), memResult)
+	srcBReg := fwd.MuxBus2(fwdBMem, fwd.MuxBus2(fwdBWb, rtDataE, wbData), memResult)
+	srcB := ex.MuxBus2(aluSrcImmE, srcBReg, immE)
+
+	sum := ex.Add(srcA, srcB)
+	diff, geU := ex.Sub(srcA, srcB)
+	andR := make([]netlist.NetID, w)
+	orR := make([]netlist.NetID, w)
+	xorR := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		andR[i] = ex.And(srcA[i], srcB[i])
+		orR[i] = ex.Or(srcA[i], srcB[i])
+		xorR[i] = ex.Xor(srcA[i], srcB[i])
+	}
+	sltR := ex.Const(0, w)
+	sltR[0] = ex.Not(geU)
+	shifted := ex.barrelRight(srcBReg, append([]netlist.NetID{}, immE[0], immE[1], immE[2], immE[3], immE[4]))
+
+	// 32x32 multiply from four 16x16 DSP48 partial products.
+	mul := b.Scope("mul")
+	pLL := mul.DSPBus(srcA[:16], srcB[:16], mul.Gnd())
+	pLH := mul.DSPBus(srcA[:16], srcB[16:], pLL)
+	pHL := mul.DSPBus(srcA[16:], srcB[:16], pLH)
+	pHH := mul.DSPBus(srcA[16:], srcB[16:], pHL)
+	mulLow := make([]netlist.NetID, w)
+	mulLow[0] = pHH
+	for i := 1; i < w; i++ {
+		mulLow[i] = mul.Xor(pHH, srcA[i])
+	}
+
+	aluSel := []netlist.NetID{functE[0], functE[1], functE[2]}
+	aluOut := ex.MuxWide(aluSel, [][]netlist.NetID{
+		sum, diff, andR, orR, xorR, sltR, shifted, mulLow,
+	})
+	result := ex.MuxBus2(isMULTE, aluOut, mulLow)
+
+	eqAB := ex.Eq(srcA, srcBReg)
+	takeBranch := ex.And(branchE, ex.Xor(eqAB, isBNEE))
+	b.M.AddCellDriving(netlist.LUT2, "ex/btk", ttAND2, branchTaken, takeBranch, takeBranch)
+	tgt := ex.Add(pcE, immE)
+	for i := range branchTarget {
+		b.M.AddCellDriving(netlist.LUT1, fmt.Sprintf("ex/btg%d", i), 0b10, branchTarget[i], tgt[i])
+	}
+
+	// ---- EX/MEM pipeline register.
+	exmem := b.Scope("exmem")
+	resultM := exmem.Reg(result)
+	storeDataM := exmem.Reg(srcBReg)
+	rtIsDest := exmem.Or3(isLWE, exmem.EqConst(functE, 0x21), aluSrcImmE)
+	destReg := exmem.MuxBus2(rtIsDest, rdE, rtE)
+	destRegM := exmem.Reg(destReg)
+	regWriteM := exmem.Reg1(regWriteE)
+	isLWM := exmem.Reg1(isLWE)
+	isSWM := exmem.Reg1(isSWE)
+	for i := range memResult {
+		b.M.AddCellDriving(netlist.LUT1, fmt.Sprintf("exmem/res%d", i), 0b10, memResult[i], resultM[i])
+	}
+	for i := range memRegNum {
+		b.M.AddCellDriving(netlist.LUT1, fmt.Sprintf("exmem/num%d", i), 0b10, memRegNum[i], destRegM[i])
+	}
+	b.M.AddCellDriving(netlist.LUT1, "exmem/rw", 0b10, memRegWrite, regWriteM)
+
+	// ---- MEM: D-cache (two data ways plus tag store), write path.
+	mem := b.Scope("mem")
+	dcWay0 := mem.BRAM(resultM[2], storeDataM[0], isSWM, 0xDCACE0, append(resultM[3:12], storeDataM[2:16]...)...)
+	dcWay1 := mem.BRAM(resultM[2], storeDataM[0], isSWM, 0xDCACE1, append(resultM[3:12], storeDataM[16:30]...)...)
+	dcTag := mem.BRAM(resultM[12], storeDataM[0], isSWM, 0xD7A6, resultM[13:20]...)
+	dcWaySel := mem.Eq([]netlist.NetID{resultM[20]}, []netlist.NetID{dcTag})
+	dcData := mem.Mux2(dcWaySel, dcWay0, dcWay1)
+	// L2 victim store (the sixth BRAM of the paper's MIPS PRM): its read
+	// data refills the load path on an L1 miss.
+	victim := mem.BRAM(resultM[3], storeDataM[1], isSWM, 0x71C71, storeDataM[30], storeDataM[31])
+	loadData := make([]netlist.NetID, w)
+	loadData[0] = dcData
+	loadData[1] = mem.Mux2(dcWaySel, victim, dcData)
+	for i := 2; i < w; i++ {
+		loadData[i] = mem.Xor(dcData, resultM[i])
+	}
+
+	// ---- MEM/WB pipeline register and writeback mux.
+	memwb := b.Scope("memwb")
+	loadW := memwb.Reg(loadData)
+	resultW := memwb.Reg(resultM)
+	destRegW := memwb.Reg(destRegM)
+	regWriteW := memwb.Reg1(regWriteM)
+	isLWW := memwb.Reg1(isLWM)
+	wb := b.Scope("wb")
+	wbMux := wb.MuxBus2(isLWW, resultW, loadW)
+	for i := range wbData {
+		b.M.AddCellDriving(netlist.LUT1, fmt.Sprintf("wb/d%d", i), 0b10, wbData[i], wbMux[i])
+	}
+	for i := range wbReg {
+		b.M.AddCellDriving(netlist.LUT1, fmt.Sprintf("wb/r%d", i), 0b10, wbReg[i], destRegW[i])
+	}
+	b.M.AddCellDriving(netlist.LUT1, "wb/we", 0b10, wbWrite, regWriteW)
+
+	// ---- Hazard unit. Deliberately recomputes the decode terms from the
+	// same IF/ID register nets the decoder uses: structurally identical LUTs
+	// that PAR's cross-boundary CSE merges.
+	hz := b.Scope("hazard")
+	hzIsLW := hz.EqConst(opcode, 0x23)
+	hzIsSW := hz.EqConst(opcode, 0x2B)
+	hzIsBEQ := hz.EqConst(opcode, 0x04)
+	hzIsBNE := hz.EqConst(opcode, 0x05)
+	hzIsRType := hz.EqConst(opcode, 0)
+	loadUse := hz.And(isLWE, hz.Or(hz.Eq(rtE, rs), hz.Eq(rtE, rt)))
+	branchHazard := hz.And(hz.Or(hzIsBEQ, hzIsBNE), regWriteE)
+	stall := hz.Or3(loadUse, branchHazard, hz.And3(hzIsLW, hzIsSW, hzIsRType))
+	cacheStall := hz.AndNot(hz.Or(isLWM, isSWM), memReady)
+	icMiss := hz.Not(icHit)
+	b.M.AddCellDriving(netlist.LUT4, "hazard/stallN", 0b0000000000000001, stallN,
+		stall, cacheStall, reset, icMiss)
+
+	// ---- Performance monitor (trimmed by PAR: probes go nowhere).
+	dbg := b.Scope("dbg")
+	cyc := dbg.Counter(24)
+	ret := dbg.CounterEn(regWriteW, 24)
+	stl := dbg.CounterEn(stall, 16)
+	brt := dbg.CounterEn(takeBranch, 16)
+	irqCnt := dbg.CounterEn(irq, 8)
+	sig := wbMux
+	for s := 0; s < 3; s++ {
+		nxt := make([]netlist.NetID, len(sig))
+		for i := range sig {
+			nxt[i] = dbg.Xor(sig[i], sig[(i+s+1)%len(sig)])
+		}
+		sig = dbg.Reg(nxt)
+	}
+	_ = dbg.Eq(cyc, ret)
+	_ = dbg.Eq(stl, brt)
+	_ = irqCnt
+
+	// Primary outputs: memory bus request side.
+	b.Output(resultM)
+	b.Output(storeDataM[0:8])
+	b.M.MarkOutput(isLWM)
+	b.M.MarkOutput(isSWM)
+	b.M.MarkOutput(takeBranch)
+
+	return b.Finish()
+}

@@ -1,0 +1,269 @@
+package rtl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// TestAllCoresValidate builds every registered core and checks the IR
+// invariants hold.
+func TestAllCoresValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(m.Outputs) == 0 {
+			t.Errorf("%s: no primary outputs", name)
+		}
+	}
+}
+
+// TestPaperPRMResourceArchetypes checks each paper PRM lands in its
+// archetype: FIR is DSP-heavy (32 DSP48, no BRAM), MIPS is the largest with
+// 4 DSPs and 6 BRAMs, SDRAM is small pure control logic.
+func TestPaperPRMResourceArchetypes(t *testing.T) {
+	fir := FIR(FIRConfig{}).CountStats()
+	mips := MIPS(MIPSConfig{}).CountStats()
+	sdram := SDRAM(SDRAMConfig{}).CountStats()
+
+	if fir.DSPs != 32 {
+		t.Errorf("FIR DSP48 = %d, paper PRM uses 32", fir.DSPs)
+	}
+	if fir.BRAMs != 0 {
+		t.Errorf("FIR BRAMs = %d, want 0", fir.BRAMs)
+	}
+	if mips.DSPs != 4 {
+		t.Errorf("MIPS DSP48 = %d, paper PRM uses 4", mips.DSPs)
+	}
+	if mips.BRAMs != 6 {
+		t.Errorf("MIPS BRAMs = %d, paper PRM uses 6", mips.BRAMs)
+	}
+	if sdram.DSPs != 0 || sdram.BRAMs != 0 {
+		t.Errorf("SDRAM DSP/BRAM = %d/%d, want 0/0", sdram.DSPs, sdram.BRAMs)
+	}
+	// Size ranking matches Table V: MIPS > FIR > SDRAM in LUT+FF scale.
+	if !(mips.LUTs+mips.FFs > fir.LUTs+fir.FFs) {
+		t.Errorf("MIPS (%v) should exceed FIR (%v)", mips, fir)
+	}
+	if !(fir.LUTs+fir.FFs > sdram.LUTs+sdram.FFs) {
+		t.Errorf("FIR (%v) should exceed SDRAM (%v)", fir, sdram)
+	}
+	// SDRAM is control-dominated: more FFs than LUTs, both small.
+	if sdram.FFs <= sdram.LUTs {
+		t.Errorf("SDRAM should be FF-dominated, got %v", sdram)
+	}
+	if sdram.LUTs+sdram.FFs > 800 {
+		t.Errorf("SDRAM unexpectedly large: %v", sdram)
+	}
+	// MIPS is processor-scale: thousands of primitives.
+	if mips.LUTs+mips.FFs < 2000 {
+		t.Errorf("MIPS unexpectedly small: %v", mips)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("NOPE"); err == nil {
+		t.Error("Generate accepted unknown core name")
+	}
+}
+
+func TestFIRConfigScaling(t *testing.T) {
+	small := FIR(FIRConfig{Taps: 8}).CountStats()
+	large := FIR(FIRConfig{Taps: 64}).CountStats()
+	if small.DSPs != 8 || large.DSPs != 64 {
+		t.Errorf("tap scaling: DSPs = %d/%d, want 8/64", small.DSPs, large.DSPs)
+	}
+	if small.LUTs >= large.LUTs {
+		t.Errorf("LUTs should grow with taps: %d vs %d", small.LUTs, large.LUTs)
+	}
+}
+
+func TestFIROddTapsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd tap count did not panic")
+		}
+	}()
+	FIR(FIRConfig{Taps: 7})
+}
+
+func TestMatMulScaling(t *testing.T) {
+	m2 := MatMul(2).CountStats()
+	m4 := MatMul(4).CountStats()
+	if m2.DSPs != 4 || m4.DSPs != 16 {
+		t.Errorf("systolic DSP counts = %d/%d, want 4/16", m2.DSPs, m4.DSPs)
+	}
+	if m2.BRAMs != 2 || m4.BRAMs != 2 {
+		t.Errorf("operand buffer BRAMs = %d/%d, want 2/2", m2.BRAMs, m4.BRAMs)
+	}
+}
+
+func TestAESRoundUsesFourBRAMs(t *testing.T) {
+	s := AESRound().CountStats()
+	if s.BRAMs != 4 {
+		t.Errorf("AES S-box BRAMs = %d, want 4", s.BRAMs)
+	}
+	if s.DSPs != 0 {
+		t.Errorf("AES DSPs = %d, want 0", s.DSPs)
+	}
+}
+
+func TestCRCMatrixProperties(t *testing.T) {
+	// Every next-state bit depends on something, and at least one bit
+	// depends on each data input (the polynomial mixes the whole byte in).
+	var dataCover uint64
+	for i := 0; i < 32; i++ {
+		any := false
+		for j := 0; j < 40; j++ {
+			if crcTap(i, j) {
+				any = true
+				if j >= 32 {
+					dataCover |= 1 << uint(j-32)
+				}
+			}
+		}
+		if !any {
+			t.Errorf("CRC next-state bit %d depends on nothing", i)
+		}
+	}
+	if dataCover != 0xFF {
+		t.Errorf("CRC matrix covers data bits %#x, want 0xFF", dataCover)
+	}
+}
+
+// TestBuilderGates exercises each gate helper's truth table via the stored
+// LUT init values.
+func TestBuilderGates(t *testing.T) {
+	b := NewBuilder("gates")
+	a, c := b.Input1(), b.Input1()
+	cases := []struct {
+		net  netlist.NetID
+		eval func(x, y bool) bool
+	}{
+		{b.And(a, c), func(x, y bool) bool { return x && y }},
+		{b.Or(a, c), func(x, y bool) bool { return x || y }},
+		{b.Xor(a, c), func(x, y bool) bool { return x != y }},
+		{b.Nand(a, c), func(x, y bool) bool { return !(x && y) }},
+		{b.Xnor(a, c), func(x, y bool) bool { return x == y }},
+		{b.AndNot(a, c), func(x, y bool) bool { return x && !y }},
+	}
+	for gi, tc := range cases {
+		cell := b.M.Cells[b.M.Driver(tc.net)]
+		for v := 0; v < 4; v++ {
+			x, y := v&1 == 1, v&2 == 2
+			got := cell.Init>>uint(v)&1 == 1
+			if got != tc.eval(x, y) {
+				t.Errorf("gate %d: table %#x wrong at x=%v y=%v", gi, cell.Init, x, y)
+			}
+		}
+	}
+}
+
+// TestMux4Table verifies the LUT6 4:1 mux truth table against a reference
+// evaluation for all 64 input combinations.
+func TestMux4Table(t *testing.T) {
+	b := NewBuilder("mux")
+	ins := b.Input(6)
+	out := b.Mux4(ins[4], ins[5], ins[0], ins[1], ins[2], ins[3])
+	cell := b.M.Cells[b.M.Driver(out)]
+	for v := 0; v < 64; v++ {
+		sel := (v >> 4) & 3
+		want := v>>uint(sel)&1 == 1
+		got := cell.Init>>uint(v)&1 == 1
+		if got != want {
+			t.Fatalf("Mux4 table wrong at v=%#x: got %v want %v", v, got, want)
+		}
+	}
+}
+
+// TestEqConstTables: property test that the EqConst LUT chain accepts exactly
+// the encoded constant for random widths and constants.
+func TestEqConstTables(t *testing.T) {
+	prop := func(width uint8, k uint16, probe uint16) bool {
+		wd := int(width)%10 + 2
+		kv := uint64(k) & ((1 << uint(wd)) - 1)
+		pv := uint64(probe) & ((1 << uint(wd)) - 1)
+		b := NewBuilder("eq")
+		a := b.Input(wd)
+		out := b.EqConst(a, kv)
+		// Evaluate the netlist by simulation.
+		vals := map[netlist.NetID]bool{}
+		for i, n := range a {
+			vals[n] = pv>>uint(i)&1 == 1
+		}
+		got := evalNet(b.M, out, vals)
+		return got == (pv == kv)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdderSemantics: property test that the carry-chain adder computes
+// binary addition for random operands, via netlist simulation.
+func TestAdderSemantics(t *testing.T) {
+	prop := func(x, y uint16) bool {
+		b := NewBuilder("add")
+		a := b.Input(16)
+		c := b.Input(16)
+		sum, _ := b.Adder(a, c, b.Gnd())
+		vals := map[netlist.NetID]bool{}
+		for i := 0; i < 16; i++ {
+			vals[a[i]] = x>>uint(i)&1 == 1
+			vals[c[i]] = y>>uint(i)&1 == 1
+		}
+		want := x + y
+		for i := 0; i < 16; i++ {
+			if evalNet(b.M, sum[i], vals) != (want>>uint(i)&1 == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// evalNet evaluates a combinational net by recursive simulation. CARRY cells
+// compute the majority function (the MUXCY carry).
+func evalNet(m *netlist.Module, n netlist.NetID, vals map[netlist.NetID]bool) bool {
+	if v, ok := vals[n]; ok {
+		return v
+	}
+	d := m.Driver(n)
+	if d == netlist.NoCell {
+		return false
+	}
+	cell := &m.Cells[d]
+	switch {
+	case cell.Kind.IsLUT():
+		idx := 0
+		for i, in := range cell.Inputs {
+			if evalNet(m, in, vals) {
+				idx |= 1 << uint(i)
+			}
+		}
+		v := cell.Init>>uint(idx)&1 == 1
+		vals[n] = v
+		return v
+	case cell.Kind == netlist.CARRY:
+		a := evalNet(m, cell.Inputs[0], vals)
+		b := evalNet(m, cell.Inputs[1], vals)
+		c := evalNet(m, cell.Inputs[2], vals)
+		v := (a && b) || (a && c) || (b && c)
+		vals[n] = v
+		return v
+	case cell.Kind == netlist.GND:
+		return false
+	case cell.Kind == netlist.VCC:
+		return true
+	}
+	return false
+}

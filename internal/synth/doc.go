@@ -1,0 +1,10 @@
+// Package synth simulates the synthesis step of the Xilinx flow the paper's
+// cost models consume: it takes a technology-mapped netlist, performs the
+// slice packing XST reports on (pairing each LUT with the flip-flop it
+// feeds), and produces the five scalar quantities of the paper's Table I
+// synthesis inputs — LUT_FF_req, LUT_req, FF_req, DSP_req and BRAM_req.
+//
+// It also writes and parses XST-style report text, so recorded reports (for
+// example the paper's own Table V values, shipped under testdata) flow
+// through the same pipeline as freshly synthesized netlists.
+package synth

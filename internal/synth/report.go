@@ -1,0 +1,60 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Report is the device-utilization section of a synthesis (or post-PAR MAP)
+// report: the exact inputs the paper's PRR size/organization cost model
+// consumes (Table I's *_req parameters).
+type Report struct {
+	Module string        // design name
+	Device string        // target part name
+	Family device.Family // target family
+
+	LUTFFPairs int // LUT_FF_req: LUT-FF pairs used
+	LUTs       int // LUT_req: slice LUTs
+	FFs        int // FF_req: slice registers
+	DSPs       int // DSP_req: DSP48 blocks
+	BRAMs      int // BRAM_req: block RAM/FIFO blocks
+}
+
+// PairsFullyUsed returns the number of LUT-FF pairs where both the LUT and
+// the flip-flop are occupied. It follows from the pairing identity
+// pairs = LUTs + FFs − full, which the paper's §III.B decomposition states.
+func (r Report) PairsFullyUsed() int { return r.LUTs + r.FFs - r.LUTFFPairs }
+
+// PairsUnusedFF returns pairs whose flip-flop is unused (LUT only).
+func (r Report) PairsUnusedFF() int { return r.LUTFFPairs - r.FFs }
+
+// PairsUnusedLUT returns pairs whose LUT is unused (FF only).
+func (r Report) PairsUnusedLUT() int { return r.LUTFFPairs - r.LUTs }
+
+// Validate checks the pairing identities: every decomposition term must be
+// non-negative and the counts non-negative.
+func (r Report) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"LUT_FF pairs", r.LUTFFPairs}, {"LUTs", r.LUTs}, {"FFs", r.FFs},
+		{"DSPs", r.DSPs}, {"BRAMs", r.BRAMs},
+		{"fully used pairs", r.PairsFullyUsed()},
+		{"pairs with unused FF", r.PairsUnusedFF()},
+		{"pairs with unused LUT", r.PairsUnusedLUT()},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("synth: report %s/%s: %s = %d is negative",
+				r.Module, r.Device, v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// String summarizes the report one per line, paper parameter names first.
+func (r Report) String() string {
+	return fmt.Sprintf("%s on %s: LUT_FF=%d LUT=%d FF=%d DSP=%d BRAM=%d",
+		r.Module, r.Device, r.LUTFFPairs, r.LUTs, r.FFs, r.DSPs, r.BRAMs)
+}

@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// Synthesize packs the netlist for the target device and reports the
+// utilization quantities the paper's cost models read from XST output.
+//
+// The packer performs the LUT-FF pairing XST's "Slice Logic Distribution"
+// section reports: a pair is fully used when a LUT's only fanout is the D
+// input of one flip-flop (so both halves of the slice position are
+// occupied); every remaining LUT occupies a pair with an unused flip-flop
+// and every remaining flip-flop a pair with an unused LUT. Hierarchy is
+// preserved: no optimization crosses generator scopes — that is the place
+// and route simulator's job (package par), and the difference between the
+// two is exactly what the paper's Table VI measures.
+func Synthesize(m *netlist.Module, dev *device.Device) Report {
+	stats := m.CountStats()
+	full := countPackablePairs(m)
+	return Report{
+		Module:     m.Name,
+		Device:     dev.Name,
+		Family:     dev.Params.Family,
+		LUTFFPairs: stats.LUTs + stats.FFs - full,
+		LUTs:       stats.LUTs,
+		FFs:        stats.FFs,
+		DSPs:       stats.DSPs,
+		BRAMs:      stats.BRAMs,
+	}
+}
+
+// countPackablePairs counts flip-flops whose D input is driven by a LUT with
+// no other fanout — the pairs a packer places together in one slice position.
+func countPackablePairs(m *netlist.Module) int {
+	fanout := m.Fanout()
+	full := 0
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.Kind != netlist.FDRE && c.Kind != netlist.FDCE {
+			continue
+		}
+		d := m.Driver(c.Inputs[0])
+		if d == netlist.NoCell {
+			continue
+		}
+		drv := &m.Cells[d]
+		if !drv.Kind.IsLUT() {
+			continue
+		}
+		if len(fanout[drv.Output]) == 1 {
+			full++
+		}
+	}
+	return full
+}

@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+)
+
+// TestSynthesizeAllCores runs the packer over every generator output and
+// checks the pairing identities hold.
+func TestSynthesizeAllCores(t *testing.T) {
+	for _, name := range rtl.Names() {
+		m, err := rtl.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Synthesize(m, device.XC5VLX110T)
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		stats := m.CountStats()
+		if r.LUTs != stats.LUTs || r.FFs != stats.FFs || r.DSPs != stats.DSPs || r.BRAMs != stats.BRAMs {
+			t.Errorf("%s: report %v disagrees with netlist stats %v", name, r, stats)
+		}
+		if r.LUTFFPairs > r.LUTs+r.FFs {
+			t.Errorf("%s: pairs %d exceed LUTs+FFs %d", name, r.LUTFFPairs, r.LUTs+r.FFs)
+		}
+		if max := r.LUTs; r.FFs > max {
+			max = r.FFs
+		} else if r.LUTFFPairs < max {
+			t.Errorf("%s: pairs %d below max(LUTs,FFs)", name, r.LUTFFPairs)
+		}
+	}
+}
+
+// TestPairingCounts verifies the pairing rule on a hand-built netlist: a LUT
+// feeding exactly one FF forms a full pair; a LUT with extra fanout or an FF
+// fed by a non-LUT does not.
+func TestPairingCounts(t *testing.T) {
+	m := netlist.NewModule("pairs")
+	a := m.AddInputBus(2)
+	// LUT -> FF, packable.
+	l1 := m.AddCell(netlist.LUT2, "l1", 0b1000, a[0], a[1])
+	m.AddCell(netlist.FDRE, "f1", 0, l1)
+	// LUT -> FF but also another sink: not packable.
+	l2 := m.AddCell(netlist.LUT2, "l2", 0b0110, a[0], a[1])
+	m.AddCell(netlist.FDRE, "f2", 0, l2)
+	m.AddCell(netlist.LUT1, "l3", 0b01, l2)
+	// FF fed directly from an input: not packable.
+	m.AddCell(netlist.FDRE, "f3", 0, a[0])
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := Synthesize(m, device.XC5VLX110T)
+	if got := r.PairsFullyUsed(); got != 1 {
+		t.Errorf("fully used pairs = %d, want 1", got)
+	}
+	// pairs = 3 LUTs + 3 FFs - 1 full = 5.
+	if r.LUTFFPairs != 5 {
+		t.Errorf("LUT-FF pairs = %d, want 5", r.LUTFFPairs)
+	}
+}
+
+// TestEmitParseRoundTrip: reports survive the XST text round trip exactly,
+// for every core on both paper devices.
+func TestEmitParseRoundTrip(t *testing.T) {
+	for _, dev := range []*device.Device{device.XC5VLX110T, device.XC6VLX75T} {
+		for _, name := range rtl.PaperPRMs() {
+			m, err := rtl.Generate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Synthesize(m, dev)
+			text := EmitXST(r, dev)
+			back, err := ParseXST(text)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, dev.Name, err)
+			}
+			if back.LUTFFPairs != r.LUTFFPairs || back.LUTs != r.LUTs || back.FFs != r.FFs ||
+				back.DSPs != r.DSPs || back.BRAMs != r.BRAMs {
+				t.Errorf("%s/%s: round trip %v != %v", name, dev.Name, back, r)
+			}
+			if back.Device != dev.Name {
+				t.Errorf("%s/%s: device parsed as %q", name, dev.Name, back.Device)
+			}
+		}
+	}
+}
+
+// TestParseRecordedReports parses the shipped recorded reports carrying the
+// paper's Table V synthesis values.
+func TestParseRecordedReports(t *testing.T) {
+	want := map[string]Report{
+		"fir_v5.syr":   {LUTFFPairs: 1300, LUTs: 1150, FFs: 394, DSPs: 32, BRAMs: 0},
+		"mips_v5.syr":  {LUTFFPairs: 2617, LUTs: 1526, FFs: 1592, DSPs: 4, BRAMs: 6},
+		"sdram_v5.syr": {LUTFFPairs: 332, LUTs: 157, FFs: 292, DSPs: 0, BRAMs: 0},
+		"fir_v6.syr":   {LUTFFPairs: 1467, LUTs: 1316, FFs: 394, DSPs: 27, BRAMs: 0},
+		"mips_v6.syr":  {LUTFFPairs: 3239, LUTs: 2095, FFs: 1860, DSPs: 4, BRAMs: 6},
+		"sdram_v6.syr": {LUTFFPairs: 385, LUTs: 181, FFs: 324, DSPs: 0, BRAMs: 0},
+	}
+	for file, w := range want {
+		data, err := os.ReadFile(filepath.Join("testdata", file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		r, err := ParseXST(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if r.LUTFFPairs != w.LUTFFPairs || r.LUTs != w.LUTs || r.FFs != w.FFs ||
+			r.DSPs != w.DSPs || r.BRAMs != w.BRAMs {
+			t.Errorf("%s: parsed %v, want LUT_FF=%d LUT=%d FF=%d DSP=%d BRAM=%d",
+				file, r, w.LUTFFPairs, w.LUTs, w.FFs, w.DSPs, w.BRAMs)
+		}
+	}
+}
+
+// TestParseRealXSTShapes exercises the thousands-separator and inline-percent
+// line shapes real reports use.
+func TestParseRealXSTShapes(t *testing.T) {
+	text := `
+Selected Device : 5vlx110tff1136-1
+
+ Number of Slice Registers:     1,592 out of 69,120   2%
+ Number of Slice LUTs:          1,526 out of 69,120   2%
+ Number of LUT Flip Flop pairs used:  2,617
+ Number of Block RAM/FIFO:          6 out of    148   4%
+ Number of DSP48Es:                 4 out of     64   6%
+`
+	r, err := ParseXST(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTFFPairs != 2617 || r.LUTs != 1526 || r.FFs != 1592 || r.DSPs != 4 || r.BRAMs != 6 {
+		t.Errorf("parsed %v", r)
+	}
+}
+
+func TestParseRejectsMissingPairs(t *testing.T) {
+	if _, err := ParseXST("Number of Slice LUTs: 10\n"); err == nil {
+		t.Error("parser accepted report with no pairs line")
+	}
+}
+
+func TestParseRejectsInconsistent(t *testing.T) {
+	text := `
+ Number of Slice Registers: 100
+ Number of Slice LUTs: 100
+ Number of LUT Flip Flop pairs used: 50
+`
+	if _, err := ParseXST(text); err == nil {
+		t.Error("parser accepted pairs < max(LUTs, FFs)")
+	}
+}
+
+// TestReportIdentityProperty: for any consistent triple, the three
+// decomposition terms sum back to the pair count.
+func TestReportIdentityProperty(t *testing.T) {
+	prop := func(luts, ffs, full uint16) bool {
+		l, f := int(luts)%5000, int(ffs)%5000
+		fu := int(full)
+		if m := l; f < m {
+			m = f
+		} else {
+			m = f
+		}
+		maxFull := l
+		if f < maxFull {
+			maxFull = f
+		}
+		if maxFull == 0 {
+			fu = 0
+		} else {
+			fu %= maxFull + 1
+		}
+		r := Report{LUTFFPairs: l + f - fu, LUTs: l, FFs: f}
+		if r.Validate() != nil {
+			return false
+		}
+		return r.PairsFullyUsed()+r.PairsUnusedFF()+r.PairsUnusedLUT() == r.LUTFFPairs
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitContainsSections(t *testing.T) {
+	m, _ := rtl.Generate("SDRAM")
+	text := EmitXST(Synthesize(m, device.XC6VLX75T), device.XC6VLX75T)
+	for _, want := range []string{
+		"Device utilization summary",
+		"Slice Logic Utilization",
+		"Slice Logic Distribution",
+		"Specific Feature Utilization",
+		"XC6VLX75T",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("emitted report missing %q", want)
+		}
+	}
+}

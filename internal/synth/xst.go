@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// EmitXST renders a report in the XST device-utilization-summary format the
+// paper's flow reads. Percentages are computed against the target device's
+// totals.
+func EmitXST(r Report, dev *device.Device) string {
+	clbs, dsps, brams := dev.Fabric.Resources(dev.Params)
+	luts := clbs * dev.Params.LUTPerCLB
+	ffs := clbs * dev.Params.FFPerCLB
+	pct := func(n, of int) int {
+		if of == 0 {
+			return 0
+		}
+		return n * 100 / of
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Release 12.4 - xst M.81d (simulated)\n")
+	fmt.Fprintf(&b, "Top Level Output File Name : %s\n", r.Module)
+	fmt.Fprintf(&b, "\nDevice utilization summary:\n---------------------------\n")
+	fmt.Fprintf(&b, "Selected Device : %s\n\n", r.Device)
+	fmt.Fprintf(&b, "Slice Logic Utilization:\n")
+	fmt.Fprintf(&b, " Number of Slice Registers:      %8d  out of %8d   %3d%%\n", r.FFs, ffs, pct(r.FFs, ffs))
+	fmt.Fprintf(&b, " Number of Slice LUTs:           %8d  out of %8d   %3d%%\n", r.LUTs, luts, pct(r.LUTs, luts))
+	fmt.Fprintf(&b, "\nSlice Logic Distribution:\n")
+	fmt.Fprintf(&b, " Number of LUT Flip Flop pairs used: %8d\n", r.LUTFFPairs)
+	fmt.Fprintf(&b, "   Number with an unused Flip Flop:  %8d  out of %8d   %3d%%\n",
+		r.PairsUnusedFF(), r.LUTFFPairs, pct(r.PairsUnusedFF(), r.LUTFFPairs))
+	fmt.Fprintf(&b, "   Number with an unused LUT:        %8d  out of %8d   %3d%%\n",
+		r.PairsUnusedLUT(), r.LUTFFPairs, pct(r.PairsUnusedLUT(), r.LUTFFPairs))
+	fmt.Fprintf(&b, "   Number of fully used LUT-FF pairs:%8d  out of %8d   %3d%%\n",
+		r.PairsFullyUsed(), r.LUTFFPairs, pct(r.PairsFullyUsed(), r.LUTFFPairs))
+	fmt.Fprintf(&b, "\nSpecific Feature Utilization:\n")
+	fmt.Fprintf(&b, " Number of Block RAM/FIFO:       %8d  out of %8d   %3d%%\n", r.BRAMs, brams, pct(r.BRAMs, brams))
+	fmt.Fprintf(&b, " Number of DSP48Es:              %8d  out of %8d   %3d%%\n", r.DSPs, dsps, pct(r.DSPs, dsps))
+	return b.String()
+}
+
+// ParseXST extracts the cost-model inputs from XST-style report text. It
+// accepts both this package's emitter output and the line shapes real XST
+// reports use ("Number of Slice LUTs: 1,015 out of 69,120 1%"). Missing
+// sections default to zero; the LUT-FF pair line is required because the PRR
+// model's Eq. (1) starts from it.
+func ParseXST(text string) (Report, error) {
+	var r Report
+	sawPairs := false
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.Contains(line, "Selected Device"):
+			if i := strings.Index(line, ":"); i >= 0 {
+				r.Device = strings.TrimSpace(line[i+1:])
+			}
+		case strings.Contains(line, "Top Level Output File Name"):
+			if i := strings.Index(line, ":"); i >= 0 {
+				r.Module = strings.TrimSpace(line[i+1:])
+			}
+		case strings.Contains(line, "Number of Slice Registers"):
+			r.FFs = firstInt(line)
+		case strings.Contains(line, "Number of Slice LUTs"):
+			r.LUTs = firstInt(line)
+		case strings.Contains(line, "Number of LUT Flip Flop pairs used"):
+			r.LUTFFPairs = firstInt(line)
+			sawPairs = true
+		case strings.Contains(line, "Number of Block RAM"):
+			r.BRAMs = firstInt(line)
+		case strings.Contains(line, "Number of DSP48"):
+			r.DSPs = firstInt(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, fmt.Errorf("synth: reading report: %w", err)
+	}
+	if !sawPairs {
+		return Report{}, fmt.Errorf("synth: report has no %q line", "Number of LUT Flip Flop pairs used")
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// firstInt returns the first integer appearing after the line's colon (or in
+// the whole line when there is none), tolerating thousands separators.
+func firstInt(line string) int {
+	if i := strings.Index(line, ":"); i >= 0 {
+		line = line[i+1:]
+	}
+	var digits strings.Builder
+	for _, r := range line {
+		switch {
+		case r >= '0' && r <= '9':
+			digits.WriteRune(r)
+		case r == ',':
+			// thousands separator inside a number
+		default:
+			if digits.Len() > 0 {
+				v, _ := strconv.Atoi(digits.String())
+				return v
+			}
+		}
+	}
+	if digits.Len() > 0 {
+		v, _ := strconv.Atoi(digits.String())
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+// Package repro reproduces "Partial Region and Bitstream Cost Models for
+// Hardware Multitasking on Partially Reconfigurable FPGAs" (Morales-
+// Villanueva and Gordon-Ross, IPPS 2015): analytical cost models that size a
+// partially reconfigurable region (PRR) and its partial bitstream from a
+// PRM's synthesis report, without running the vendor PR design flow.
+//
+// This root package is the library facade. The typical workflow:
+//
+//	rep, _ := repro.SynthesizeCore("MIPS", "XC5VLX110T") // or parse an XST report
+//	res, _ := repro.EstimatePRR("XC5VLX110T", repro.FromReport(rep))
+//	bytes, _ := repro.EstimateBitstreamBytes("XC5VLX110T", res.Org)
+//
+// Full validation against the simulated vendor flow (place and route plus
+// packet-level bitstream generation) runs through RunFlow. The underlying
+// packages live in internal/: device fabrics, the netlist IR and RTL core
+// generators, the synthesis and PAR simulators, the bitstream
+// generator/parser, reconfiguration-time models, the hardware-multitasking
+// simulator and the design-space explorer.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+// Requirements are a PRM's synthesis-report resource needs (the paper's
+// Table I *_req parameters).
+type Requirements = core.Requirements
+
+// Result is the PRR size/organization model's output: organization,
+// availability and per-resource utilization.
+type Result = core.Result
+
+// Organization is a PRR's H and per-resource column counts.
+type Organization = core.Organization
+
+// SynthReport is a synthesis (or post-PAR) utilization report.
+type SynthReport = synth.Report
+
+// FromReport extracts cost-model inputs from a synthesis report.
+func FromReport(r SynthReport) Requirements { return core.FromReport(r) }
+
+// ParseXSTReport extracts cost-model inputs from XST-style report text.
+func ParseXSTReport(text string) (SynthReport, error) { return synth.ParseXST(text) }
+
+// Devices lists the catalog part names.
+func Devices() []string { return device.Names() }
+
+// Cores lists the built-in PRM generators.
+func Cores() []string { return rtl.Names() }
+
+// SynthesizeCore generates a built-in core and synthesizes it for a device.
+func SynthesizeCore(coreName, deviceName string) (SynthReport, error) {
+	dev, err := device.Lookup(deviceName)
+	if err != nil {
+		return SynthReport{}, err
+	}
+	m, err := rtl.Generate(coreName)
+	if err != nil {
+		return SynthReport{}, err
+	}
+	return synth.Synthesize(m, dev), nil
+}
+
+// EstimatePRR runs the paper's PRR size/organization cost model
+// (Eqs. (1)-(17) with the Fig. 1 search) for a PRM on a device.
+func EstimatePRR(deviceName string, req Requirements) (Result, error) {
+	dev, err := device.Lookup(deviceName)
+	if err != nil {
+		return Result{}, err
+	}
+	return core.NewPRRModel(dev).Estimate(req)
+}
+
+// EstimateSharedPRR sizes one PRR for several time-multiplexed PRMs.
+func EstimateSharedPRR(deviceName string, reqs []Requirements) (core.SharedResult, error) {
+	dev, err := device.Lookup(deviceName)
+	if err != nil {
+		return core.SharedResult{}, err
+	}
+	return core.NewPRRModel(dev).EstimateShared(reqs)
+}
+
+// EstimateBitstreamBytes runs the paper's partial bitstream size cost model
+// (Eqs. (18)-(23)) for a PRR organization on a device family.
+func EstimateBitstreamBytes(deviceName string, org Organization) (int, error) {
+	dev, err := device.Lookup(deviceName)
+	if err != nil {
+		return 0, err
+	}
+	return core.NewBitstreamModel(dev.Params).SizeBytes(org), nil
+}
+
+// FlowResult is the outcome of one full simulated PR flow iteration for a
+// PRM: the synthesis report, the model's PRR estimate, the post-PAR report,
+// and the generated partial bitstream with the model's size prediction.
+type FlowResult struct {
+	Synthesis SynthReport
+	Estimate  Result
+	PostPAR   SynthReport
+	OptStats  par.OptStats
+
+	Bitstream      []byte
+	ModelSizeBytes int
+}
+
+// SizeExact reports whether the bitstream size model predicted the generated
+// bitstream byte-for-byte (the paper's Table VII validation).
+func (f *FlowResult) SizeExact() bool { return len(f.Bitstream) == f.ModelSizeBytes }
+
+// PairSavings returns the PAR resource savings over synthesis in percent
+// (the paper's Table VI deltas).
+func (f *FlowResult) PairSavings() float64 {
+	if f.Synthesis.LUTFFPairs == 0 {
+		return 0
+	}
+	return float64(f.Synthesis.LUTFFPairs-f.PostPAR.LUTFFPairs) / float64(f.Synthesis.LUTFFPairs) * 100
+}
+
+// RunFlow executes the complete simulated flow for a built-in core on a
+// device: generate, synthesize, size the PRR with the cost model, place and
+// route inside that region, generate the partial bitstream, and predict its
+// size with the bitstream model.
+func RunFlow(coreName, deviceName string) (*FlowResult, error) {
+	dev, err := device.Lookup(deviceName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rtl.Generate(coreName)
+	if err != nil {
+		return nil, err
+	}
+	return runFlow(m, dev)
+}
+
+func runFlow(m *netlist.Module, dev *device.Device) (*FlowResult, error) {
+	f := &FlowResult{Synthesis: synth.Synthesize(m, dev)}
+	est, err := core.NewPRRModel(dev).Estimate(core.FromReport(f.Synthesis))
+	if err != nil {
+		return nil, fmt.Errorf("sizing PRR: %w", err)
+	}
+	f.Estimate = est
+
+	parRes, err := par.PlaceAndRoute(m, dev, est.Org.Region)
+	if err != nil {
+		return nil, fmt.Errorf("place and route: %w", err)
+	}
+	f.PostPAR = parRes.Report
+	f.OptStats = parRes.Opt
+
+	r := est.Org.Region
+	data, err := bitstream.Generate(dev, bitstream.PRR{Row: r.Row, Col: r.Col, H: r.H, W: r.W}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("generating bitstream: %w", err)
+	}
+	f.Bitstream = data
+	f.ModelSizeBytes = core.NewBitstreamModel(dev.Params).SizeBytes(est.Org)
+	return f, nil
+}

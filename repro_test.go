@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFacadeWorkflow runs the documented three-step workflow for every paper
+// PRM on both paper devices.
+func TestFacadeWorkflow(t *testing.T) {
+	for _, dev := range []string{"XC5VLX110T", "XC6VLX75T"} {
+		for _, coreName := range []string{"FIR", "MIPS", "SDRAM"} {
+			rep, err := SynthesizeCore(coreName, dev)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", coreName, dev, err)
+			}
+			res, err := EstimatePRR(dev, FromReport(rep))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", coreName, dev, err)
+			}
+			bytes, err := EstimateBitstreamBytes(dev, res.Org)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", coreName, dev, err)
+			}
+			if bytes <= 0 || res.Org.Size() <= 0 {
+				t.Errorf("%s/%s: degenerate estimate (%d tiles, %d bytes)",
+					coreName, dev, res.Org.Size(), bytes)
+			}
+		}
+	}
+}
+
+// TestRunFlowValidatesModels: the end-to-end flow confirms the bitstream
+// model byte-exactly and PAR savings stay in the paper's band.
+func TestRunFlowValidatesModels(t *testing.T) {
+	for _, coreName := range []string{"FIR", "MIPS", "SDRAM"} {
+		f, err := RunFlow(coreName, "XC5VLX110T")
+		if err != nil {
+			t.Fatalf("%s: %v", coreName, err)
+		}
+		if !f.SizeExact() {
+			t.Errorf("%s: bitstream model %d bytes != generated %d",
+				coreName, f.ModelSizeBytes, len(f.Bitstream))
+		}
+		if s := f.PairSavings(); s < 0 || s > 40 {
+			t.Errorf("%s: PAR savings %.1f%% outside the plausible band", coreName, s)
+		}
+	}
+}
+
+// TestParseXSTReportFacade parses a recorded report through the facade.
+func TestParseXSTReportFacade(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("internal", "synth", "testdata", "mips_v5.syr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseXSTReport(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTFFPairs != 2617 {
+		t.Errorf("parsed pairs = %d, want 2617", rep.LUTFFPairs)
+	}
+	res, err := EstimatePRR("XC5VLX110T", FromReport(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Org.H != 1 || res.Org.W() != 20 {
+		t.Errorf("MIPS PRR = %dx%d, want 1x20 (paper Table V)", res.Org.H, res.Org.W())
+	}
+}
+
+// TestSharedFacade exercises the shared-PRR entry point.
+func TestSharedFacade(t *testing.T) {
+	mips, _ := SynthesizeCore("MIPS", "XC6VLX75T")
+	sdram, _ := SynthesizeCore("SDRAM", "XC6VLX75T")
+	shared, err := EstimateSharedPRR("XC6VLX75T", []Requirements{FromReport(mips), FromReport(sdram)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.SharedRU) != 2 {
+		t.Errorf("shared RU entries = %d, want 2", len(shared.SharedRU))
+	}
+}
+
+// TestCatalogFacade lists devices and cores.
+func TestCatalogFacade(t *testing.T) {
+	if len(Devices()) < 8 {
+		t.Errorf("devices = %v", Devices())
+	}
+	if len(Cores()) < 8 {
+		t.Errorf("cores = %v", Cores())
+	}
+	if _, err := SynthesizeCore("NOPE", "XC5VLX110T"); err == nil {
+		t.Error("unknown core accepted")
+	}
+	if _, err := SynthesizeCore("FIR", "XC0"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := RunFlow("FIR", "XC0"); err == nil {
+		t.Error("RunFlow accepted unknown device")
+	}
+	if _, err := RunFlow("NOPE", "XC5VLX110T"); err == nil {
+		t.Error("RunFlow accepted unknown core")
+	}
+	if _, err := EstimatePRR("XC0", Requirements{LUTFFPairs: 1}); err == nil {
+		t.Error("EstimatePRR accepted unknown device")
+	}
+	if _, err := EstimateBitstreamBytes("XC0", Organization{}); err == nil {
+		t.Error("EstimateBitstreamBytes accepted unknown device")
+	}
+	if _, err := EstimateSharedPRR("XC0", nil); err == nil {
+		t.Error("EstimateSharedPRR accepted unknown device")
+	}
+}
