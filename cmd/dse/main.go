@@ -6,9 +6,13 @@
 // Usage:
 //
 //	dse -device XC6VLX75T
+//
+// Exploration runs on all cores with group memoization by default; -seq
+// switches to the single-threaded uncached baseline for comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ import (
 
 func main() {
 	deviceName := flag.String("device", "XC6VLX75T", "target device")
+	sequential := flag.Bool("seq", false, "use the single-threaded uncached explorer")
 	flag.Parse()
 
 	dev, err := device.Lookup(*deviceName)
@@ -42,7 +47,15 @@ func main() {
 
 	e := &dse.Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
 	start := time.Now()
-	points := e.ExploreAll(prms)
+	var points []dse.DesignPoint
+	if *sequential {
+		points = e.ExploreAll(prms)
+	} else {
+		points, err = e.ExploreAllParallel(context.Background(), prms)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	modelTime := time.Since(start)
 
 	t := &report.Table{
@@ -76,6 +89,10 @@ func main() {
 		Points: len(points), ModelTime: modelTime, FlowTime: flowTime,
 		SpeedupFactor: float64(flowTime) / float64(modelTime),
 	})
+	if hits, misses := e.CacheStats(); hits+misses > 0 {
+		fmt.Printf("group cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,44 @@
+package device
+
+// ColumnPrefix holds per-kind prefix sums over a fabric's column sequence,
+// so the composition of any column window can be computed in O(numKinds)
+// instead of O(width). Build one per search with Fabric.PrefixSums; the
+// floorplan window search uses it to classify every candidate column once
+// per call instead of once per (row, column) probe.
+type ColumnPrefix struct {
+	// counts[k][c] is the number of kind-k columns among columns 1..c
+	// (1-based, counts[k][0] == 0).
+	counts [numKinds][]int
+}
+
+// PrefixSums builds the per-kind prefix sums for the fabric's columns.
+func (f *Fabric) PrefixSums() ColumnPrefix {
+	var p ColumnPrefix
+	nc := len(f.Columns)
+	for k := range p.counts {
+		p.counts[k] = make([]int, nc+1)
+	}
+	for i, kind := range f.Columns {
+		for k := ColumnKind(0); k < numKinds; k++ {
+			p.counts[k][i+1] = p.counts[k][i]
+		}
+		p.counts[kind][i+1]++
+	}
+	return p
+}
+
+// CompositionOf returns the column composition of the half-open window of
+// columns [col, col+width) (1-based col), matching Fabric.CompositionOf.
+func (p ColumnPrefix) CompositionOf(col, width int) Composition {
+	var c Composition
+	nc := len(p.counts[0]) - 1
+	lo := col - 1
+	hi := lo + width
+	if hi > nc {
+		hi = nc
+	}
+	for k := ColumnKind(0); k < numKinds; k++ {
+		c[k] = p.counts[k][hi] - p.counts[k][lo]
+	}
+	return c
+}

@@ -1,0 +1,38 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPrefixSumsMatchesCompositionOf: the prefix-sum composition agrees with
+// the direct scan for every (col, width) window of several layouts,
+// including widths that run off the right edge.
+func TestPrefixSumsMatchesCompositionOf(t *testing.T) {
+	layouts := []string{
+		"C",
+		"I C*6 B C*8 B | C*15 B C C D B C*4 | K I | C*8 B C*12 I",
+		"I C*5 B C*4 D D C*6 B | C*11 D D C*3 B | K I | B C*5 D D C*4 B C*4 B C*5 I",
+	}
+	rng := rand.New(rand.NewSource(7))
+	// A random layout for good measure.
+	var random []rune
+	for i := 0; i < 40; i++ {
+		random = append(random, []rune("CDBIK")[rng.Intn(5)])
+	}
+	layouts = append(layouts, string(random))
+
+	for _, layout := range layouts {
+		f := &Fabric{Rows: 1, Columns: MustParseLayout(layout)}
+		pre := f.PrefixSums()
+		for col := 1; col <= f.NumColumns(); col++ {
+			for width := 1; width <= f.NumColumns()-col+3; width++ {
+				want := f.CompositionOf(col, width)
+				if got := pre.CompositionOf(col, width); got != want {
+					t.Fatalf("layout %q window (%d,%d): prefix %v != scan %v",
+						layout, col, width, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dse
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/floorplan"
+)
+
+// groupEval is the cached outcome of pricing one PRM group against an
+// avoid-set: everything a design point needs from core.PRRModel.
+// EstimateShared plus core.BitstreamModel.SizeBytes.
+type groupEval struct {
+	feasible bool
+	errMsg   string
+	region   floorplan.Region
+	tiles    int
+	bytes    int
+	minCLB   float64
+}
+
+// groupKey canonically encodes a group (sorted PRM indexes — restricted
+// growth strings emit members ascending) plus the avoid-set signature. The
+// avoid regions are sorted into a canonical order: window search depends
+// only on the set of blocked tiles, so permutations of the same placed
+// regions share one cache entry.
+func groupKey(g []int, avoid []floorplan.Region) string {
+	b := make([]byte, 0, 8*len(g)+16*len(avoid))
+	for _, idx := range g {
+		b = strconv.AppendInt(b, int64(idx), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	if len(avoid) > 0 {
+		sorted := append([]floorplan.Region(nil), avoid...)
+		sort.Slice(sorted, func(i, j int) bool {
+			a, c := sorted[i], sorted[j]
+			if a.Row != c.Row {
+				return a.Row < c.Row
+			}
+			if a.Col != c.Col {
+				return a.Col < c.Col
+			}
+			if a.H != c.H {
+				return a.H < c.H
+			}
+			return a.W < c.W
+		})
+		for _, r := range sorted {
+			b = strconv.AppendInt(b, int64(r.Row), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(r.Col), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(r.H), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(r.W), 10)
+			b = append(b, ';')
+		}
+	}
+	return string(b)
+}
+
+// cacheShardCount spreads the group cache over independently locked shards
+// so parallel workers rarely contend on the same mutex.
+const cacheShardCount = 32
+
+// groupCache is a concurrency-safe memo of group evaluations, built fresh
+// per exploration (keys index into that call's PRM slice).
+type groupCache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]groupEval
+}
+
+func newGroupCache() *groupCache {
+	c := &groupCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]groupEval)
+	}
+	return c
+}
+
+// shardFor picks the shard by FNV-1a over the key.
+func (c *groupCache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShardCount]
+}
+
+func (c *groupCache) get(key string) (groupEval, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	ev, ok := s.m[key]
+	s.mu.RUnlock()
+	return ev, ok
+}
+
+func (c *groupCache) put(key string, ev groupEval) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = ev
+	s.mu.Unlock()
+}

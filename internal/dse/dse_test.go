@@ -118,6 +118,41 @@ func TestPareto(t *testing.T) {
 	}
 }
 
+// TestParetoDeterministicTies: mutually non-dominated points that tie on
+// TotalTiles come back in a fixed order (WorstReconfig ascending, then MinRU
+// descending) no matter how the input is permuted.
+func TestParetoDeterministicTies(t *testing.T) {
+	pts := []DesignPoint{
+		{Groups: [][]int{{0}}, Feasible: true, TotalTiles: 10, WorstReconfig: 6 * time.Millisecond, MinRU: 60},
+		{Groups: [][]int{{1}}, Feasible: true, TotalTiles: 10, WorstReconfig: 4 * time.Millisecond, MinRU: 40},
+		{Groups: [][]int{{2}}, Feasible: true, TotalTiles: 10, WorstReconfig: 5 * time.Millisecond, MinRU: 50},
+		{Groups: [][]int{{3}}, Feasible: true, TotalTiles: 12, WorstReconfig: 3 * time.Millisecond, MinRU: 30},
+	}
+	wantReconfig := []time.Duration{4 * time.Millisecond, 5 * time.Millisecond, 6 * time.Millisecond, 3 * time.Millisecond}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		in := make([]DesignPoint, len(perm))
+		for i, j := range perm {
+			in[i] = pts[j]
+		}
+		front := Pareto(in)
+		if len(front) != len(wantReconfig) {
+			t.Fatalf("perm %v: front size %d, want %d", perm, len(front), len(wantReconfig))
+		}
+		for i, want := range wantReconfig {
+			if front[i].WorstReconfig != want {
+				t.Errorf("perm %v front[%d].WorstReconfig = %v, want %v",
+					perm, i, front[i].WorstReconfig, want)
+			}
+		}
+	}
+	// Exactly equal points neither dominate each other nor get deduplicated.
+	dup := []DesignPoint{pts[0], pts[0]}
+	if front := Pareto(dup); len(front) != 2 {
+		t.Errorf("duplicate points: front size %d, want 2", len(front))
+	}
+}
+
 // TestInfeasiblePartitions: the LX110T's single DSP column spans 8 rows, so
 // FIR (5 rows of it) and MIPS (1 row) can stack — but two FIR-sized groups
 // (5 rows each) cannot, and Evaluate must report that.

@@ -3,6 +3,7 @@ package dse
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,76 +47,131 @@ type DesignPoint struct {
 type Explorer struct {
 	Device    *device.Device
 	Estimator icap.Estimator
+
+	// cacheHits / cacheMisses count group-cache lookups across every
+	// ExploreAllParallel call on this Explorer, for observability.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// CacheStats returns the cumulative group-cache hit and miss counts from
+// this Explorer's memoized explorations.
+func (e *Explorer) CacheStats() (hits, misses int64) {
+	return e.cacheHits.Load(), e.cacheMisses.Load()
 }
 
 // Evaluate prices one partitioning with the cost models.
 func (e *Explorer) Evaluate(prms []PRM, groups [][]int) DesignPoint {
+	return e.evaluate(prms, groups, nil)
+}
+
+// evaluate prices one partitioning, consulting and filling cache (when
+// non-nil) for per-group results. Groups are priced in order; each group's
+// PRR must avoid the regions placed for the groups before it.
+func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache) DesignPoint {
 	dp := DesignPoint{Groups: groups, Feasible: true, MinRU: 100}
-	model := core.NewPRRModel(e.Device)
 	bit := core.NewBitstreamModel(e.Device.Params)
 
 	var placed []floorplan.Region
 	for _, g := range groups {
-		reqs := make([]core.Requirements, len(g))
-		for i, idx := range g {
-			reqs[i] = prms[idx].Req
+		var ev groupEval
+		if cache != nil {
+			key := groupKey(g, placed)
+			var ok bool
+			if ev, ok = cache.get(key); ok {
+				e.cacheHits.Add(1)
+			} else {
+				e.cacheMisses.Add(1)
+				ev = e.priceGroup(prms, g, placed, bit)
+				cache.put(key, ev)
+			}
+		} else {
+			ev = e.priceGroup(prms, g, placed, bit)
 		}
-		m := &core.PRRModel{Device: e.Device, Avoid: placed}
-		shared, err := m.EstimateShared(reqs)
-		if err != nil {
+		if !ev.feasible {
 			dp.Feasible = false
-			dp.Infeasibility = err.Error()
+			dp.Infeasibility = ev.errMsg
 			return dp
 		}
-		placed = append(placed, shared.Org.Region)
-		dp.TotalTiles += shared.Org.Size()
-		bytes := bit.SizeBytes(shared.Org)
-		dp.TotalBitstreamBytes += bytes
-		if bytes > dp.MaxBitstreamBytes {
-			dp.MaxBitstreamBytes = bytes
+		placed = append(placed, ev.region)
+		dp.TotalTiles += ev.tiles
+		dp.TotalBitstreamBytes += ev.bytes
+		if ev.bytes > dp.MaxBitstreamBytes {
+			dp.MaxBitstreamBytes = ev.bytes
 		}
-		for _, ru := range shared.SharedRU {
-			if ru.CLB < dp.MinRU {
-				dp.MinRU = ru.CLB
-			}
+		if ev.minCLB < dp.MinRU {
+			dp.MinRU = ev.minCLB
 		}
 	}
-	_ = model
 	dp.WorstReconfig = e.Estimator.Estimate(dp.MaxBitstreamBytes)
 	return dp
 }
 
+// priceGroup sizes one shared PRR for the PRM group against the already-
+// placed regions and reduces the model outputs to what a design point needs.
+func (e *Explorer) priceGroup(prms []PRM, g []int, placed []floorplan.Region, bit core.BitstreamModel) groupEval {
+	reqs := make([]core.Requirements, len(g))
+	for i, idx := range g {
+		reqs[i] = prms[idx].Req
+	}
+	m := &core.PRRModel{Device: e.Device, Avoid: placed}
+	shared, err := m.EstimateShared(reqs)
+	if err != nil {
+		return groupEval{errMsg: err.Error()}
+	}
+	ev := groupEval{
+		feasible: true,
+		region:   shared.Org.Region,
+		tiles:    shared.Org.Size(),
+		bytes:    bit.SizeBytes(shared.Org),
+		minCLB:   100,
+	}
+	for _, ru := range shared.SharedRU {
+		if ru.CLB < ev.minCLB {
+			ev.minCLB = ru.CLB
+		}
+	}
+	return ev
+}
+
 // ExploreAll enumerates every set partition of the PRMs (Bell(n) points; n
-// is small in PR floorplanning practice) and evaluates each.
+// is small in PR floorplanning practice) and evaluates each sequentially.
+// It is the uncached single-threaded baseline; ExploreAllParallel produces
+// the identical point list using all cores and the group cache.
 func (e *Explorer) ExploreAll(prms []PRM) []DesignPoint {
 	var points []DesignPoint
-	forEachPartition(len(prms), func(groups [][]int) {
-		gs := make([][]int, len(groups))
-		for i, g := range groups {
-			gs[i] = append([]int(nil), g...)
-		}
-		points = append(points, e.Evaluate(prms, gs))
+	forEachPartitionRGS(len(prms), func(_ int, rgs []int) bool {
+		points = append(points, e.Evaluate(prms, decodeGroups(rgs)))
+		return true
 	})
 	return points
 }
 
 // forEachPartition enumerates set partitions of {0..n-1} via restricted
-// growth strings.
+// growth strings. The groups slice is only valid during the visit.
 func forEachPartition(n int, visit func([][]int)) {
+	forEachPartitionRGS(n, func(_ int, rgs []int) bool {
+		visit(decodeGroups(rgs))
+		return true
+	})
+}
+
+// forEachPartitionRGS enumerates the restricted growth strings of length n
+// in lexicographic order, calling visit with each partition's enumeration
+// index and its RGS (valid only during the visit). Returning false from
+// visit stops the enumeration.
+func forEachPartitionRGS(n int, visit func(index int, rgs []int) bool) {
 	if n == 0 {
 		return
 	}
 	rgs := make([]int, n)
-	var rec func(i, maxUsed int)
-	rec = func(i, maxUsed int) {
+	index := 0
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
 		if i == n {
-			k := maxUsed + 1
-			groups := make([][]int, k)
-			for idx, g := range rgs {
-				groups[g] = append(groups[g], idx)
-			}
-			visit(groups)
-			return
+			ok := visit(index, rgs)
+			index++
+			return ok
 		}
 		for g := 0; g <= maxUsed+1; g++ {
 			rgs[i] = g
@@ -123,29 +179,62 @@ func forEachPartition(n int, visit func([][]int)) {
 			if g > maxUsed {
 				next = g
 			}
-			rec(i+1, next)
+			if !rec(i+1, next) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0, -1)
 }
 
+// decodeGroups converts a restricted growth string into freshly allocated
+// groups, ordered by first appearance with members ascending.
+func decodeGroups(rgs []int) [][]int {
+	k := 0
+	for _, g := range rgs {
+		if g+1 > k {
+			k = g + 1
+		}
+	}
+	groups := make([][]int, k)
+	for idx, g := range rgs {
+		groups[g] = append(groups[g], idx)
+	}
+	return groups
+}
+
 // Pareto returns the feasible points not dominated on (TotalTiles,
 // WorstReconfig, -MinRU): smaller area, faster worst-case reconfiguration
-// and lower fragmentation.
+// and lower fragmentation. The front is sorted by TotalTiles with
+// deterministic tie-breaks (WorstReconfig ascending, then MinRU descending,
+// then input order), so output order is stable across runs.
+//
+// The filter is incremental O(n·front) rather than the all-pairs O(n²):
+// after sorting by the dominance objectives, a point can only be dominated
+// by a point already on the front, never by a later one.
 func Pareto(points []DesignPoint) []DesignPoint {
-	var feas []DesignPoint
+	feas := make([]DesignPoint, 0, len(points))
 	for _, p := range points {
 		if p.Feasible {
 			feas = append(feas, p)
 		}
 	}
+	sort.SliceStable(feas, func(i, j int) bool {
+		a, b := feas[i], feas[j]
+		if a.TotalTiles != b.TotalTiles {
+			return a.TotalTiles < b.TotalTiles
+		}
+		if a.WorstReconfig != b.WorstReconfig {
+			return a.WorstReconfig < b.WorstReconfig
+		}
+		return a.MinRU > b.MinRU
+	})
 	var front []DesignPoint
-	for i, p := range feas {
+	for _, p := range feas {
 		dominated := false
-		for j, q := range feas {
-			if i == j {
-				continue
-			}
+		for i := range front {
+			q := &front[i]
 			if q.TotalTiles <= p.TotalTiles && q.WorstReconfig <= p.WorstReconfig && q.MinRU >= p.MinRU &&
 				(q.TotalTiles < p.TotalTiles || q.WorstReconfig < p.WorstReconfig || q.MinRU > p.MinRU) {
 				dominated = true
@@ -156,7 +245,6 @@ func Pareto(points []DesignPoint) []DesignPoint {
 			front = append(front, p)
 		}
 	}
-	sort.Slice(front, func(i, j int) bool { return front[i].TotalTiles < front[j].TotalTiles })
 	return front
 }
 

@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/icap"
+)
+
+// benchPRMs builds a deterministic n-module workload from a few PRM-scale
+// requirement templates, the regime multi-module DSE targets.
+func benchPRMs(n int) []PRM {
+	templates := []core.Requirements{
+		{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}, // FIR scale
+		{LUTFFPairs: 2617, LUTs: 2332, FFs: 1698},                   // MIPS scale
+		{LUTFFPairs: 332, LUTs: 288, FFs: 270, BRAMs: 1},            // SDRAM scale
+		{LUTFFPairs: 700, LUTs: 640, FFs: 520, DSPs: 2},
+	}
+	prms := make([]PRM, n)
+	for i := range prms {
+		req := templates[i%len(templates)]
+		// Vary sizes so groups are not interchangeable.
+		req.LUTFFPairs += 37 * i
+		req.LUTs += 29 * i
+		req.FFs += 23 * i
+		prms[i] = PRM{Name: fmt.Sprintf("M%d", i), Req: req}
+	}
+	return prms
+}
+
+func benchExplorer(b *testing.B) *Explorer {
+	b.Helper()
+	dev, err := device.Lookup("XC6VLX240T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+}
+
+// BenchmarkExploreAllSequential is the seed baseline: single-threaded,
+// re-pricing every group in every partition.
+func BenchmarkExploreAllSequential(b *testing.B) {
+	for _, n := range []int{8, 9, 10, 11} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := benchExplorer(b)
+			prms := benchPRMs(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if points := e.ExploreAll(prms); len(points) != bellNumber(n) {
+					b.Fatalf("points = %d", len(points))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreAllParallel is the worker-pool + group-cache path; it must
+// return the identical point list (see TestExploreAllParallelMatchesSequential).
+func BenchmarkExploreAllParallel(b *testing.B) {
+	for _, n := range []int{8, 9, 10, 11} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := benchExplorer(b)
+			prms := benchPRMs(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := e.ExploreAllParallel(context.Background(), prms)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(points) != bellNumber(n) {
+					b.Fatalf("points = %d", len(points))
+				}
+			}
+			b.StopTimer()
+			hits, misses := e.CacheStats()
+			b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// partitionJob carries one partition to a worker: its position in the
+// sequential enumeration order plus a private copy of its restricted growth
+// string.
+type partitionJob struct {
+	index int
+	rgs   []int
+}
+
+// ExploreAllParallel evaluates every set partition of the PRMs like
+// ExploreAll, but streams the partitions to GOMAXPROCS workers and memoizes
+// per-group cost-model results in a sharded cache: the same k-PRM group
+// against the same already-placed regions recurs in ~Bell(n-k) partitions,
+// so most groups are priced once and replayed from the cache.
+//
+// The returned slice is in the exact sequential enumeration order, element
+// for element identical to ExploreAll's result. Cancelling ctx stops the
+// exploration early and returns ctx.Err() with no points.
+func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]DesignPoint, error) {
+	n := len(prms)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	points := make([]DesignPoint, bellNumber(n))
+	cache := newGroupCache()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(points) {
+		workers = len(points)
+	}
+	jobs := make(chan partitionJob, 4*workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without evaluating
+				}
+				// Each index is owned by exactly one job, so workers write
+				// disjoint elements and need no lock.
+				points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
+			}
+		}()
+	}
+
+	forEachPartitionRGS(n, func(index int, rgs []int) bool {
+		cp := make([]int, n)
+		copy(cp, rgs)
+		select {
+		case jobs <- partitionJob{index: index, rgs: cp}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	})
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// bellNumber returns Bell(n), the number of set partitions of n elements,
+// via the Bell triangle. Exact in int64 range through n = 25; enumeration
+// is intractable long before that.
+func bellNumber(n int) int {
+	if n == 0 {
+		return 1
+	}
+	row := []int{1}
+	for i := 1; i < n; i++ {
+		next := make([]int, len(row)+1)
+		next[0] = row[len(row)-1]
+		for j := range row {
+			next[j+1] = next[j] + row[j]
+		}
+		row = next
+	}
+	return row[len(row)-1]
+}

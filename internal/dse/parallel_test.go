@@ -1,0 +1,143 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomPRMs builds a reproducible random PRM set: mostly small modules
+// that fit the catalog parts, with occasional DSP/BRAM demands and the odd
+// oversized module to exercise the infeasibility paths.
+func randomPRMs(rng *rand.Rand, n int) []PRM {
+	prms := make([]PRM, n)
+	for i := range prms {
+		luts := 100 + rng.Intn(1500)
+		ffs := 100 + rng.Intn(1500)
+		pairs := luts
+		if ffs > pairs {
+			pairs = ffs
+		}
+		pairs += rng.Intn(300)
+		req := core.Requirements{LUTFFPairs: pairs, LUTs: luts, FFs: ffs}
+		if rng.Intn(3) == 0 {
+			req.DSPs = 1 + rng.Intn(8)
+		}
+		if rng.Intn(3) == 0 {
+			req.BRAMs = 1 + rng.Intn(4)
+		}
+		if rng.Intn(8) == 0 { // too big for most windows
+			req.LUTFFPairs *= 40
+			req.LUTs *= 40
+			req.FFs *= 40
+		}
+		prms[i] = PRM{Name: fmt.Sprintf("M%d", i), Req: req}
+	}
+	return prms
+}
+
+// TestExploreAllParallelMatchesSequential: on randomized PRM sets across
+// several devices, the parallel memoized explorer returns exactly the same
+// design-point slice (values and order) as the sequential baseline. Run
+// under -race this also exercises the cache and result-slice sharing.
+func TestExploreAllParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, devName := range []string{"XC5VLX110T", "XC6VLX75T", "XC6VLX240T", "XC7Z020"} {
+		for trial := 0; trial < 3; trial++ {
+			n := 3 + rng.Intn(4) // 3..6 PRMs: Bell(6) = 203 points
+			prms := randomPRMs(rng, n)
+			e := explorer(t, devName)
+			seq := e.ExploreAll(prms)
+			par, err := e.ExploreAllParallel(context.Background(), prms)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", devName, trial, err)
+			}
+			if len(seq) != len(par) {
+				t.Fatalf("%s trial %d: %d sequential vs %d parallel points",
+					devName, trial, len(seq), len(par))
+			}
+			for i := range seq {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Errorf("%s trial %d point %d differs:\nsequential %+v\nparallel   %+v",
+						devName, trial, i, seq[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExploreAllParallelPaperPRMs: the paper's three PRMs produce identical
+// Bell(3) = 5 point lists on both paths.
+func TestExploreAllParallelPaperPRMs(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := paperPRMs(t, "XC6VLX75T")
+	seq := e.ExploreAll(prms)
+	par, err := e.ExploreAllParallel(context.Background(), prms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel points differ from sequential:\n%+v\nvs\n%+v", par, seq)
+	}
+}
+
+// TestExploreAllParallelCacheStats: exploring records both hits and misses,
+// and the hit rate is substantial — each group signature recurs across many
+// partitions of the lattice.
+func TestExploreAllParallelCacheStats(t *testing.T) {
+	e := explorer(t, "XC6VLX240T")
+	rng := rand.New(rand.NewSource(7))
+	prms := randomPRMs(rng, 6)
+	if _, err := e.ExploreAllParallel(context.Background(), prms); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.CacheStats()
+	if misses == 0 {
+		t.Fatal("no cache misses recorded: nothing was evaluated")
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits recorded: memoization is not engaging")
+	}
+	if hits < misses {
+		t.Errorf("cache hits %d < misses %d; group reuse should dominate on n=6", hits, misses)
+	}
+}
+
+// TestExploreAllParallelCancel: a cancelled context aborts the exploration
+// with its error and no points.
+func TestExploreAllParallelCancel(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := paperPRMs(t, "XC6VLX75T")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	points, err := e.ExploreAllParallel(ctx, prms)
+	if err == nil {
+		t.Fatal("cancelled exploration returned no error")
+	}
+	if points != nil {
+		t.Errorf("cancelled exploration returned %d points", len(points))
+	}
+}
+
+// TestExploreAllParallelEmpty: no PRMs yields no points and no error.
+func TestExploreAllParallelEmpty(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	points, err := e.ExploreAllParallel(context.Background(), nil)
+	if err != nil || points != nil {
+		t.Errorf("empty exploration = (%v, %v), want (nil, nil)", points, err)
+	}
+}
+
+// TestBellNumber pins the Bell numbers the result buffer is sized by.
+func TestBellNumber(t *testing.T) {
+	want := []int{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975, 678570}
+	for n, w := range want {
+		if got := bellNumber(n); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+}

@@ -79,37 +79,72 @@ func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) 
 	if w == 0 || h < 1 {
 		return Region{}, false, nil
 	}
+	maxCol := f.NumColumns() - w + 1
+	if maxCol < 1 {
+		return Region{}, false, nil
+	}
 	wantComp := need.Composition()
-	record := func(s Step) {
-		if trace {
-			steps = append(steps, s)
+
+	// A window's composition depends only on (col, w), never on the row, so
+	// classify every candidate column once per call (O(cols) with per-kind
+	// prefix sums) and leave only the hole/avoid checks in the row loop.
+	pre := f.PrefixSums()
+	cands := make([]int, 0, maxCol)
+	var colReason []string // per-col failure text, trace only
+	if trace {
+		colReason = make([]string, maxCol+1)
+	}
+	for col := 1; col <= maxCol; col++ {
+		comp := pre.CompositionOf(col, w)
+		switch {
+		case comp.HasForbidden():
+			if trace {
+				colReason[col] = "window contains IOB/CLK column"
+			}
+		case comp != wantComp:
+			if trace {
+				colReason[col] = fmt.Sprintf("composition %v != %v", comp, wantComp)
+			}
+		default:
+			cands = append(cands, col)
 		}
 	}
+
 	for row := 1; row+h-1 <= f.Rows; row++ {
-		for col := 1; col+w-1 <= f.NumColumns(); col++ {
-			comp := f.CompositionOf(col, w)
-			if comp.HasForbidden() {
-				record(Step{Row: row, Col: col, Reason: "window contains IOB/CLK column"})
-				continue
+		if trace {
+			for col := 1; col <= maxCol; col++ {
+				if colReason[col] != "" {
+					steps = append(steps, Step{Row: row, Col: col, Reason: colReason[col]})
+					continue
+				}
+				cand, found, step := probe(f, row, col, h, w, avoid)
+				steps = append(steps, step)
+				if found {
+					return cand, true, steps
+				}
 			}
-			if comp != wantComp {
-				record(Step{Row: row, Col: col, Reason: fmt.Sprintf("composition %v != %v", comp, wantComp)})
-				continue
+			continue
+		}
+		for _, col := range cands {
+			if cand, found, _ := probe(f, row, col, h, w, avoid); found {
+				return cand, true, nil
 			}
-			cand := Region{Row: row, Col: col, H: h, W: w}
-			if name, holed := f.HoleIn(row, col, h, w); holed {
-				record(Step{Row: row, Col: col, Reason: "overlaps hard macro " + name})
-				continue
-			}
-			if blocked := overlapAny(cand, avoid); blocked != nil {
-				record(Step{Row: row, Col: col, Reason: "overlaps placed region " + blocked.String()})
-				continue
-			}
-			record(Step{Row: row, Col: col, Found: true})
-			return cand, true, steps
 		}
 	}
 	return Region{}, false, steps
+}
+
+// probe runs the row-dependent checks (hard-macro holes, already-placed
+// regions) for one candidate window whose composition already matched.
+func probe(f *device.Fabric, row, col, h, w int, avoid []Region) (Region, bool, Step) {
+	cand := Region{Row: row, Col: col, H: h, W: w}
+	if name, holed := f.HoleIn(row, col, h, w); holed {
+		return Region{}, false, Step{Row: row, Col: col, Reason: "overlaps hard macro " + name}
+	}
+	if blocked := overlapAny(cand, avoid); blocked != nil {
+		return Region{}, false, Step{Row: row, Col: col, Reason: "overlaps placed region " + blocked.String()}
+	}
+	return cand, true, Step{Row: row, Col: col, Found: true}
 }
 
 func overlapAny(r Region, avoid []Region) *Region {
