@@ -9,6 +9,11 @@
 //
 // Exploration runs on all cores with group memoization by default; -seq
 // switches to the single-threaded uncached baseline for comparison.
+//
+// Observability: -metrics-addr serves Prometheus text at /metrics (plus
+// expvar, and pprof with -pprof), -trace-out writes nested spans as JSON
+// lines, -summary writes the machine-readable per-run metric summary, and
+// -hold keeps the metrics server up after the run for scraping.
 package main
 
 import (
@@ -16,12 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dse"
 	"repro/internal/icap"
+	"repro/internal/obscli"
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/synth"
@@ -30,19 +37,30 @@ import (
 func main() {
 	deviceName := flag.String("device", "XC6VLX75T", "target device")
 	sequential := flag.Bool("seq", false, "use the single-threaded uncached explorer")
+	nSynthetic := flag.Int("n", 0, "explore n synthetic PRMs instead of the paper's three (stress mode)")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("dse")
+	if err != nil {
+		fatal(err)
+	}
 
 	dev, err := device.Lookup(*deviceName)
 	if err != nil {
 		fatal(err)
 	}
 	var prms []dse.PRM
-	for _, prm := range rtl.PaperPRMs() {
-		row, ok := core.PaperTableVRow(prm, *deviceName)
-		if !ok {
-			fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+	if *nSynthetic > 0 {
+		prms = dse.SyntheticPRMs(*nSynthetic)
+	} else {
+		for _, prm := range rtl.PaperPRMs() {
+			row, ok := core.PaperTableVRow(prm, *deviceName)
+			if !ok {
+				fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+			}
+			prms = append(prms, dse.PRM{Name: prm, Req: row.Req})
 		}
-		prms = append(prms, dse.PRM{Name: prm, Req: row.Req})
 	}
 
 	e := &dse.Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
@@ -51,15 +69,19 @@ func main() {
 	if *sequential {
 		points = e.ExploreAll(prms)
 	} else {
-		points, err = e.ExploreAllParallel(context.Background(), prms)
+		points, err = e.ExploreAllParallel(sess.Context(context.Background()), prms)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	modelTime := time.Since(start)
 
+	names := make([]string, len(prms))
+	for i, p := range prms {
+		names[i] = p.Name
+	}
 	t := &report.Table{
-		Title:   fmt.Sprintf("PR partitionings of %v on %s", rtl.PaperPRMs(), dev.Name),
+		Title:   fmt.Sprintf("PR partitionings of %v on %s", names, dev.Name),
 		Headers: []string{"partitioning", "feasible", "PRR tiles", "total bits (B)", "worst reconfig", "min RU_CLB %"},
 	}
 	for _, p := range points {
@@ -92,6 +114,13 @@ func main() {
 	if hits, misses := e.CacheStats(); hits+misses > 0 {
 		fmt.Printf("group cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+
+	if err := sess.Finish(dev.Name, map[string]string{
+		"seq": strconv.FormatBool(*sequential),
+		"n":   strconv.Itoa(len(prms)),
+	}); err != nil {
+		fatal(err)
 	}
 }
 

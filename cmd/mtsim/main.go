@@ -6,18 +6,27 @@
 //
 //	mtsim -device XC5VLX110T -jobs 300 -workload roundrobin -slots 0
 //	mtsim -device XC6VLX75T -workload bursty -slots 2 -sched reuse
+//
+// Observability: -metrics-addr serves Prometheus text at /metrics (plus
+// expvar, and pprof with -pprof), -trace-out writes one span per simulated
+// system as JSON lines, -summary writes the machine-readable per-run metric
+// summary, and -hold keeps the metrics server up after the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/icap"
 	"repro/internal/multitask"
+	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/rtl"
 )
 
@@ -29,7 +38,14 @@ func main() {
 	sched := flag.String("sched", "firstfree", "scheduler: firstfree, reuse, rr")
 	execUS := flag.Int("exec", 500, "per-job execution time (microseconds)")
 	gapUS := flag.Int("gap", 100, "inter-arrival gap (microseconds)")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("mtsim")
+	if err != nil {
+		fatal(err)
+	}
+	ctx := sess.Context(context.Background())
 
 	dev, err := device.Lookup(*deviceName)
 	if err != nil {
@@ -78,14 +94,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prRes, err := pr.Run(jl)
+	runSystem := func(name string, sys *multitask.System) (multitask.Result, error) {
+		_, span := obs.StartSpan(ctx, "mtsim."+name)
+		res, err := sys.Run(jl)
+		span.SetAttr("jobs", res.Jobs).SetAttr("reconfigs", res.Reconfigs).
+			SetAttr("makespan_ns", res.Makespan.Nanoseconds()).End()
+		return res, err
+	}
+
+	prRes, err := runSystem("pr", pr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("PR system (%d slots, %s):\n  %v\n", len(pr.Slots), policy.Name(), prRes)
 
 	full := multitask.BuildFullReconfigSystem(dev, specs, est)
-	fullRes, err := full.Run(jl)
+	fullRes, err := runSystem("full_reconfig", full)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,12 +117,21 @@ func main() {
 
 	if static, err := multitask.BuildStaticSystem(dev, specs, est); err != nil {
 		fmt.Printf("static baseline: infeasible (%v)\n", err)
-	} else if statRes, err := static.Run(jl); err == nil {
+	} else if statRes, err := runSystem("static", static); err == nil {
 		fmt.Printf("static baseline:\n  %v\n", statRes)
 	}
 
 	speedup := fullRes.Makespan.Seconds() / prRes.Makespan.Seconds()
 	fmt.Printf("\nPR vs full reconfiguration: %.2fx makespan improvement\n", speedup)
+
+	if err := sess.Finish(dev.Name, map[string]string{
+		"jobs":     strconv.Itoa(*jobs),
+		"workload": *workload,
+		"slots":    strconv.Itoa(*slots),
+		"sched":    policy.Name(),
+	}); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

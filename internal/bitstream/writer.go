@@ -6,6 +6,29 @@ import (
 	"hash/crc32"
 
 	"repro/internal/device"
+	"repro/internal/obs"
+)
+
+// Generator observability: frames and words actually emitted, split per
+// column type, the synthesized counterpart of the model's bitmodel_frames
+// series (the two agree when the generator follows Eqs. (19)–(23)).
+var (
+	metGenerated = obs.Default().Counter("bitstream_generated_total",
+		"partial bitstreams generated")
+	metWords = obs.Default().Counter("bitstream_words_total",
+		"configuration words emitted across generated bitstreams")
+	metWriterFramesCLB = obs.Default().Counter("bitstream_frames_written_total",
+		"frames emitted per column type across generated bitstreams",
+		obs.L("kind", "clb"))
+	metWriterFramesDSP = obs.Default().Counter("bitstream_frames_written_total",
+		"frames emitted per column type across generated bitstreams",
+		obs.L("kind", "dsp"))
+	metWriterFramesBRAM = obs.Default().Counter("bitstream_frames_written_total",
+		"frames emitted per column type across generated bitstreams",
+		obs.L("kind", "bram"))
+	metWriterFramesBRAMContent = obs.Default().Counter("bitstream_frames_written_total",
+		"frames emitted per column type across generated bitstreams",
+		obs.L("kind", "bram_content"))
 )
 
 // PRR locates a partially reconfigurable region on the fabric: rows
@@ -129,6 +152,14 @@ func GenerateWordsOpts(dev *device.Device, prr PRR, opt Options) ([]uint32, erro
 		return nil, fmt.Errorf("bitstream: generator emitted %d final words, want %d",
 			got, wantFW)
 	}
+
+	metGenerated.Inc()
+	metWords.Add(int64(len(w)))
+	comp := f.CompositionOf(prr.Col, prr.W)
+	metWriterFramesCLB.Add(int64(prr.H * comp.Of(device.KindCLB) * p.CFCLB))
+	metWriterFramesDSP.Add(int64(prr.H * comp.Of(device.KindDSP) * p.CFDSP))
+	metWriterFramesBRAM.Add(int64(prr.H * comp.Of(device.KindBRAM) * p.CFBRAM))
+	metWriterFramesBRAMContent.Add(int64(prr.H * f.WindowBRAMContentFrames(p, prr.Col, prr.W)))
 	return w, nil
 }
 

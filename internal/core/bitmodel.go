@@ -1,6 +1,30 @@
 package core
 
-import "repro/internal/device"
+import (
+	"repro/internal/device"
+	"repro/internal/obs"
+)
+
+// Frames-per-column-type accounting across every size evaluation: the
+// per-kind terms of Eq. (19) (NCF_CLB, Eq. (20); NCF_DSP, Eq. (21);
+// NCF_BRAM, Eq. (22)) and the BRAM content frames of Eq. (23), so /metrics
+// shows where estimated reconfiguration payload actually goes.
+var (
+	metSizeEvals = obs.Default().Counter("bitmodel_size_evals_total",
+		"bitstream size evaluations (Eq. (18))")
+	metFramesCLB = obs.Default().Counter("bitmodel_frames_total",
+		"configuration frames per column type across size evaluations",
+		obs.L("kind", "clb"))
+	metFramesDSP = obs.Default().Counter("bitmodel_frames_total",
+		"configuration frames per column type across size evaluations",
+		obs.L("kind", "dsp"))
+	metFramesBRAM = obs.Default().Counter("bitmodel_frames_total",
+		"configuration frames per column type across size evaluations",
+		obs.L("kind", "bram"))
+	metFramesBRAMContent = obs.Default().Counter("bitmodel_frames_total",
+		"configuration frames per column type across size evaluations",
+		obs.L("kind", "bram_content"))
+)
 
 // BitstreamModel estimates partial bitstream sizes from PRR organization:
 // the paper's Eqs. (18)–(23).
@@ -40,7 +64,16 @@ func (m BitstreamModel) SizeWords(org Organization) int {
 }
 
 // SizeBytes returns S_bitstream (Eq. (18)): the partial bitstream size in
-// bytes for a PRR with H rows.
+// bytes for a PRR with H rows. Each call accounts the PRR's frames per
+// column type in the observability registry.
 func (m BitstreamModel) SizeBytes(org Organization) int {
+	p := m.Params
+	metSizeEvals.Inc()
+	metFramesCLB.Add(int64(org.H * org.WCLB * p.CFCLB))
+	metFramesDSP.Add(int64(org.H * org.WDSP * p.CFDSP))
+	metFramesBRAM.Add(int64(org.H * org.WBRAM * p.CFBRAM))
+	if org.WBRAM > 0 {
+		metFramesBRAMContent.Add(int64(org.H * org.WBRAM * p.DFBRAM))
+	}
 	return m.SizeWords(org) * m.Params.BytesPerWord
 }

@@ -40,6 +40,7 @@ func (d *Device) String() string {
 var catalog = map[string]*Device{}
 
 func register(d *Device) *Device {
+	d.Fabric.Name = d.Name
 	if err := d.Validate(); err != nil {
 		panic(err)
 	}

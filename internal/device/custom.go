@@ -38,7 +38,7 @@ func New(spec Spec) (*Device, error) {
 	d := &Device{
 		Name:   spec.Name,
 		Params: params,
-		Fabric: Fabric{Rows: spec.Rows, Columns: cols, Holes: spec.Holes},
+		Fabric: Fabric{Name: spec.Name, Rows: spec.Rows, Columns: cols, Holes: spec.Holes},
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

@@ -17,6 +17,9 @@ type Coord struct {
 // consume individual tiles (PCIe endpoints, Ethernet MACs, the configuration
 // center) are modeled as holes that a PRR may not overlap.
 type Fabric struct {
+	// Name identifies the owning part for observability labels (set by the
+	// catalog and custom-device constructors; "" for ad-hoc test fabrics).
+	Name string
 	// Rows is the number of clock-region rows (the paper's R).
 	Rows int
 	// Columns is the left-to-right column kind sequence.

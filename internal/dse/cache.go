@@ -84,8 +84,10 @@ func newGroupCache() *groupCache {
 	return c
 }
 
-// shardFor picks the shard by FNV-1a over the key.
-func (c *groupCache) shardFor(key string) *cacheShard {
+// shardIndex picks the shard by FNV-1a over the key. The index is exposed
+// (rather than the shard pointer) so callers can stripe their own accounting
+// the same way — see explorerStats.
+func (c *groupCache) shardIndex(key string) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -95,19 +97,19 @@ func (c *groupCache) shardFor(key string) *cacheShard {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return &c.shards[h%cacheShardCount]
+	return int(h % cacheShardCount)
 }
 
-func (c *groupCache) get(key string) (groupEval, bool) {
-	s := c.shardFor(key)
+func (c *groupCache) get(shard int, key string) (groupEval, bool) {
+	s := &c.shards[shard]
 	s.mu.RLock()
 	ev, ok := s.m[key]
 	s.mu.RUnlock()
 	return ev, ok
 }
 
-func (c *groupCache) put(key string, ev groupEval) {
-	s := c.shardFor(key)
+func (c *groupCache) put(shard int, key string, ev groupEval) {
+	s := &c.shards[shard]
 	s.mu.Lock()
 	s.m[key] = ev
 	s.mu.Unlock()

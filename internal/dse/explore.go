@@ -3,7 +3,6 @@ package dse
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,16 +47,18 @@ type Explorer struct {
 	Device    *device.Device
 	Estimator icap.Estimator
 
-	// cacheHits / cacheMisses count group-cache lookups across every
-	// ExploreAllParallel call on this Explorer, for observability.
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	// stats counts group-cache lookups across every ExploreAllParallel call
+	// on this Explorer, striped by cache shard; see explorerStats.
+	stats explorerStats
 }
 
 // CacheStats returns the cumulative group-cache hit and miss counts from
-// this Explorer's memoized explorations.
+// this Explorer's memoized explorations. The pair is a consistent snapshot:
+// all stat stripes are read under a single epoch, so hits+misses equals the
+// exact number of lookups completed at that instant even while an
+// exploration is running.
 func (e *Explorer) CacheStats() (hits, misses int64) {
-	return e.cacheHits.Load(), e.cacheMisses.Load()
+	return e.stats.snapshot()
 }
 
 // Evaluate prices one partitioning with the cost models.
@@ -72,18 +73,29 @@ func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache) Desig
 	dp := DesignPoint{Groups: groups, Feasible: true, MinRU: 100}
 	bit := core.NewBitstreamModel(e.Device.Params)
 
+	// Registry counters are batched per partition (two atomic adds at exit)
+	// so the per-lookup cost stays at one striped stat update.
+	var hits, misses int64
+	defer func() {
+		metCacheHits.Add(hits)
+		metCacheMisses.Add(misses)
+	}()
+
 	var placed []floorplan.Region
 	for _, g := range groups {
 		var ev groupEval
 		if cache != nil {
 			key := groupKey(g, placed)
+			shard := cache.shardIndex(key)
 			var ok bool
-			if ev, ok = cache.get(key); ok {
-				e.cacheHits.Add(1)
+			if ev, ok = cache.get(shard, key); ok {
+				e.stats.add(shard, true)
+				hits++
 			} else {
-				e.cacheMisses.Add(1)
+				e.stats.add(shard, false)
+				misses++
 				ev = e.priceGroup(prms, g, placed, bit)
-				cache.put(key, ev)
+				cache.put(shard, key, ev)
 			}
 		} else {
 			ev = e.priceGroup(prms, g, placed, bit)

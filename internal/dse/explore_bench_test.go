@@ -5,31 +5,12 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/icap"
 )
 
-// benchPRMs builds a deterministic n-module workload from a few PRM-scale
-// requirement templates, the regime multi-module DSE targets.
-func benchPRMs(n int) []PRM {
-	templates := []core.Requirements{
-		{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}, // FIR scale
-		{LUTFFPairs: 2617, LUTs: 2332, FFs: 1698},                   // MIPS scale
-		{LUTFFPairs: 332, LUTs: 288, FFs: 270, BRAMs: 1},            // SDRAM scale
-		{LUTFFPairs: 700, LUTs: 640, FFs: 520, DSPs: 2},
-	}
-	prms := make([]PRM, n)
-	for i := range prms {
-		req := templates[i%len(templates)]
-		// Vary sizes so groups are not interchangeable.
-		req.LUTFFPairs += 37 * i
-		req.LUTs += 29 * i
-		req.FFs += 23 * i
-		prms[i] = PRM{Name: fmt.Sprintf("M%d", i), Req: req}
-	}
-	return prms
-}
+// benchPRMs is the shared deterministic workload builder (see SyntheticPRMs).
+func benchPRMs(n int) []PRM { return SyntheticPRMs(n) }
 
 func benchExplorer(b *testing.B) *Explorer {
 	b.Helper()

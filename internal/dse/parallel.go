@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // partitionJob carries one partition to a worker: its position in the
@@ -28,6 +31,8 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 	if n == 0 {
 		return nil, ctx.Err()
 	}
+	ctx, span := obs.StartSpan(ctx, "dse.explore")
+	defer span.End()
 	points := make([]DesignPoint, bellNumber(n))
 	cache := newGroupCache()
 
@@ -35,23 +40,42 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 	if workers > len(points) {
 		workers = len(points)
 	}
+	span.SetAttr("prms", n).SetAttr("points", len(points)).SetAttr("workers", workers)
+
+	start := time.Now()
 	jobs := make(chan partitionJob, 4*workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			metWorkersActive.Add(1)
+			defer metWorkersActive.Add(-1)
+			_, ws := obs.StartSpan(ctx, "dse.worker")
+			evaluated := 0
 			for j := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without evaluating
 				}
 				// Each index is owned by exactly one job, so workers write
-				// disjoint elements and need no lock.
-				points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
+				// disjoint elements and need no lock. Wall-clock sampling is
+				// gated on Active so the disabled path pays no time.Now.
+				if obs.Active() {
+					t0 := time.Now()
+					points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
+					metEvalLatency.ObserveSince(t0)
+				} else {
+					points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
+				}
+				evaluated++
 			}
-		}()
+			metPartitions.Add(int64(evaluated))
+			ws.SetAttr("worker", id).SetAttr("partitions", evaluated)
+			ws.End()
+		}(w)
 	}
 
+	cancelled := false
 	forEachPartitionRGS(n, func(index int, rgs []int) bool {
 		cp := make([]int, n)
 		copy(cp, rgs)
@@ -59,15 +83,31 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 		case jobs <- partitionJob{index: index, rgs: cp}:
 			return true
 		case <-ctx.Done():
+			cancelled = true
 			return false
 		}
 	})
 	close(jobs)
-	wg.Wait()
+	if cancelled {
+		// Cancellation latency: how long the workers take to drain and exit
+		// once the producer has observed ctx.Done.
+		t0 := time.Now()
+		wg.Wait()
+		metCancelDrain.ObserveSince(t0)
+	} else {
+		wg.Wait()
+	}
 
 	if err := ctx.Err(); err != nil {
+		span.SetAttr("cancelled", true)
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	if s := elapsed.Seconds(); s > 0 {
+		metPartitionRate.Set(int64(float64(len(points)) / s))
+	}
+	metExplorations.Inc()
+	span.SetAttr("elapsed_ns", elapsed.Nanoseconds())
 	return points, nil
 }
 

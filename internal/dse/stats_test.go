@@ -1,0 +1,131 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCacheStatsConsistentUnderHammer hammers CacheStats from several
+// goroutines while ExploreAllParallel runs. Under -race this exercises the
+// striped stat epochs; the assertions check each snapshot is coherent:
+// totals never move backwards (every snapshot is a true point in time, not a
+// racy partial sum) and never exceed the final count.
+func TestCacheStatsConsistentUnderHammer(t *testing.T) {
+	e := explorer(t, "XC6VLX240T")
+	prms := SyntheticPRMs(8) // Bell(8) = 4140 partitions: long enough to observe mid-run
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	type snap struct{ hits, misses int64 }
+	snapsPer := make([][]snap, 4)
+	for g := 0; g < len(snapsPer); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				h, m := e.CacheStats()
+				snapsPer[g] = append(snapsPer[g], snap{h, m})
+			}
+		}(g)
+	}
+
+	if _, err := e.ExploreAllParallel(context.Background(), prms); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	finalHits, finalMisses := e.CacheStats()
+	if finalHits == 0 || finalMisses == 0 {
+		t.Fatalf("final stats %d/%d: exploration did not engage the cache", finalHits, finalMisses)
+	}
+	for g, snaps := range snapsPer {
+		var prev snap
+		for i, s := range snaps {
+			if s.hits < prev.hits || s.misses < prev.misses {
+				t.Fatalf("goroutine %d snapshot %d went backwards: %+v after %+v", g, i, s, prev)
+			}
+			if s.hits > finalHits || s.misses > finalMisses {
+				t.Fatalf("goroutine %d snapshot %d exceeds final: %+v vs %d/%d", g, i, s, finalHits, finalMisses)
+			}
+			prev = s
+		}
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base (with a little slack for runtime helpers), failing after the
+// deadline.
+func waitForGoroutines(t *testing.T, base int, deadline time.Duration) {
+	t.Helper()
+	const slack = 2
+	end := time.Now().Add(deadline)
+	for {
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		if time.Now().After(end) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not return to baseline %d (now %d):\n%s",
+				base, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExploreAllParallelNoGoroutineLeakOnCancel proves the worker pool exits
+// promptly when the context is cancelled mid-partition: cancellation fires
+// only once the cache stats show evaluation underway, then every worker and
+// the producer must unwind.
+func TestExploreAllParallelNoGoroutineLeakOnCancel(t *testing.T) {
+	e := explorer(t, "XC6VLX240T")
+	prms := SyntheticPRMs(9) // Bell(9) = 21147: cannot finish before the cancel lands
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ExploreAllParallel(ctx, prms)
+		errc <- err
+	}()
+
+	// Cancel mid-partition: wait until workers have priced something.
+	for {
+		if _, misses := e.CacheStats(); misses > 0 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled exploration returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("exploration did not return after cancel")
+	}
+	waitForGoroutines(t, base, 5*time.Second)
+}
+
+// TestExploreAllParallelNoGoroutineLeakOnCompletion: the happy path leaves
+// no workers behind either.
+func TestExploreAllParallelNoGoroutineLeakOnCompletion(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	base := runtime.NumGoroutine()
+	if _, err := e.ExploreAllParallel(context.Background(), SyntheticPRMs(5)); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, base, 5*time.Second)
+}

@@ -4,7 +4,45 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
+
+// Window-search observability: the scanned/accepted pair shows how much of
+// the fabric the Fig. 1 search walks before a window fits, and the
+// per-device histograms expose how probe effort differs across column
+// layouts (the paper's portability argument, §IV.C).
+var (
+	metSearches = obs.Default().Counter("floorplan_window_searches_total",
+		"FindWindow invocations")
+	metScanned = obs.Default().Counter("floorplan_windows_scanned_total",
+		"candidate (row, column) windows probed across all searches")
+	metAccepted = obs.Default().Counter("floorplan_windows_accepted_total",
+		"searches that found a matching window")
+)
+
+// deviceLabel names the fabric for per-device metric series.
+func deviceLabel(f *device.Fabric) string {
+	if f.Name == "" {
+		return "custom"
+	}
+	return f.Name
+}
+
+// recordSearch folds one search's effort into the registry. The counters are
+// always on (three atomic adds per search); the per-device histogram costs a
+// registry lookup, so it is gated on obs.Active.
+func recordSearch(f *device.Fabric, probes int, found bool) {
+	metSearches.Inc()
+	metScanned.Add(int64(probes))
+	if found {
+		metAccepted.Inc()
+	}
+	if obs.Active() {
+		obs.Default().Histogram("floorplan_window_probes",
+			"candidate windows probed per search", obs.CountBuckets,
+			obs.L("device", deviceLabel(f))).Observe(float64(probes))
+	}
+}
 
 // Need is a column requirement: how many columns of each PRR-allowed kind the
 // region must contain (the paper's W_CLB, W_DSP, W_BRAM for a candidate H).
@@ -73,8 +111,9 @@ func FindWindowTrace(f *device.Fabric, h int, need Need, avoid ...Region) (Regio
 	return findWindow(f, h, need, true, avoid)
 }
 
-func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) (Region, bool, []Step) {
-	var steps []Step
+func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) (reg Region, found bool, steps []Step) {
+	probes := 0
+	defer func() { recordSearch(f, probes, found) }()
 	w := need.Width()
 	if w == 0 || h < 1 {
 		return Region{}, false, nil
@@ -117,16 +156,18 @@ func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) 
 					steps = append(steps, Step{Row: row, Col: col, Reason: colReason[col]})
 					continue
 				}
-				cand, found, step := probe(f, row, col, h, w, avoid)
+				probes++
+				cand, ok, step := probe(f, row, col, h, w, avoid)
 				steps = append(steps, step)
-				if found {
+				if ok {
 					return cand, true, steps
 				}
 			}
 			continue
 		}
 		for _, col := range cands {
-			if cand, found, _ := probe(f, row, col, h, w, avoid); found {
+			probes++
+			if cand, ok, _ := probe(f, row, col, h, w, avoid); ok {
 				return cand, true, nil
 			}
 		}

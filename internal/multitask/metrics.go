@@ -1,0 +1,34 @@
+package multitask
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Simulator observability: reconfiguration events and ICAP occupancy across
+// every run in the process. Durations observed here are *simulated* time —
+// what the cost models predict the hardware would spend — so the histograms
+// describe the modeled platform, not the simulator's own speed.
+var (
+	metRuns = obs.Default().Counter("mtsim_runs_total",
+		"multitasking simulations completed")
+	metJobs = obs.Default().Counter("mtsim_jobs_total",
+		"jobs completed across simulations")
+	metReconfigs = obs.Default().Counter("mtsim_reconfigs_total",
+		"reconfiguration events (plain loads, context saves and restores)")
+	metPreemptions = obs.Default().Counter("mtsim_preemptions_total",
+		"hardware task preemptions")
+	metReconfigTime = obs.Default().Histogram("mtsim_reconfig_seconds",
+		"simulated ICAP transfer time per reconfiguration event",
+		obs.LatencyBuckets)
+)
+
+// observeReconfig accounts one ICAP transfer: the global event counter, the
+// simulated-duration histogram, and the per-PRR ICAP-time map the run result
+// reports.
+func observeReconfig(perSlot map[string]time.Duration, slot string, dur time.Duration) {
+	metReconfigs.Inc()
+	metReconfigTime.Observe(dur.Seconds())
+	perSlot[slot] += dur
+}

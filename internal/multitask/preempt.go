@@ -49,6 +49,9 @@ type PreemptResult struct {
 	// HighPriorityResponse sums response over jobs with Priority > 0.
 	HighPriorityResponse time.Duration
 	HighPriorityJobs     int
+	// PerSlotICAP is each PRR's share of ICAP transfer time (loads, saves
+	// and restores attributed to the slot they served; queueing excluded).
+	PerSlotICAP map[string]time.Duration
 }
 
 // MeanResponse returns the mean job response time.
@@ -133,6 +136,7 @@ func (s *PreemptiveSystem) Run(jobs []PJob) (PreemptResult, error) {
 	var ready []waiting
 
 	var res PreemptResult
+	res.PerSlotICAP = map[string]time.Duration{}
 
 	// startJob begins (or resumes) a job on slot i at time now.
 	startJob := func(i int, w waiting, now time.Duration) {
@@ -143,8 +147,9 @@ func (s *PreemptiveSystem) Run(jobs []PJob) (PreemptResult, error) {
 			if w.preempted {
 				bytes = prm.RestoreBytes
 			}
-			_, done := s.ICAP.Reconfigure(start, bytes)
+			xfer, done := s.ICAP.Reconfigure(start, bytes)
 			res.Reconfigs++
+			observeReconfig(res.PerSlotICAP, s.Slots[i].Name, done-xfer)
 			s.Slots[i].Loaded = w.job.PRM
 			start = done
 		}
@@ -170,6 +175,10 @@ func (s *PreemptiveSystem) Run(jobs []PJob) (PreemptResult, error) {
 		return w, true
 	}
 
+	defer func() {
+		metRuns.Inc()
+		metJobs.Add(int64(res.Jobs))
+	}()
 	for h.Len() > 0 {
 		e := heap.Pop(&h).(event)
 		if e.kind == 1 && cancelled[e.seq] {
@@ -223,8 +232,10 @@ func (s *PreemptiveSystem) Run(jobs []PJob) (PreemptResult, error) {
 			vPRM := s.PRMs[v.job.PRM]
 			// The context save occupies the shared ICAP like any transfer,
 			// after the capture settle time.
-			_, saveDone := s.ICAP.Reconfigure(e.at+s.Model.CaptureOverhead, vPRM.SaveBytes)
+			saveStart, saveDone := s.ICAP.Reconfigure(e.at+s.Model.CaptureOverhead, vPRM.SaveBytes)
 			res.Preemptions++
+			metPreemptions.Inc()
+			observeReconfig(res.PerSlotICAP, s.Slots[victim].Name, saveDone-saveStart)
 			ready = append(ready, waiting{job: v.job, remaining: rem, preempted: true})
 			runningAt[victim] = nil
 			s.Slots[victim].Loaded = "" // context clobbered by the preemptor

@@ -125,6 +125,9 @@ type Result struct {
 	Jobs         int
 	PerSlotBusy  map[string]time.Duration
 	PerSlotLoads map[string]int
+	// PerSlotICAP is each PRR's share of ICAP transfer time: how long the
+	// port spent moving that slot's bitstreams (queueing excluded).
+	PerSlotICAP map[string]time.Duration
 }
 
 // Throughput returns completed jobs per second.
@@ -154,6 +157,7 @@ func (s *System) Run(jobs []Job) (Result, error) {
 	var res Result
 	res.PerSlotBusy = map[string]time.Duration{}
 	res.PerSlotLoads = map[string]int{}
+	res.PerSlotICAP = map[string]time.Duration{}
 	for _, job := range sorted {
 		prm, ok := s.PRMs[job.PRM]
 		if !ok {
@@ -170,10 +174,11 @@ func (s *System) Run(jobs []Job) (Result, error) {
 			start = slot.freeAt
 		}
 		if slot.Loaded != job.PRM {
-			_, done := s.ICAP.Reconfigure(start, prm.BitstreamBytes)
+			xfer, done := s.ICAP.Reconfigure(start, prm.BitstreamBytes)
 			res.Reconfigs++
 			slot.reconfigs++
 			slot.Loaded = job.PRM
+			observeReconfig(res.PerSlotICAP, slot.Name, done-xfer)
 			start = done
 		}
 		res.TotalWait += start - job.Arrival
@@ -192,5 +197,7 @@ func (s *System) Run(jobs []Job) (Result, error) {
 		res.PerSlotBusy[sl.Name] = sl.busy
 		res.PerSlotLoads[sl.Name] = sl.reconfigs
 	}
+	metRuns.Inc()
+	metJobs.Add(int64(res.Jobs))
 	return res, nil
 }

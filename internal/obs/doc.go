@@ -1,0 +1,14 @@
+// Package obs is the engine's dependency-free observability layer: an
+// atomic metrics registry (counters, gauges, histograms with fixed bucket
+// layouts suited to the cost models' µs–ms evaluation latencies), lightweight
+// span tracing propagated through context.Context, and an opt-in HTTP debug
+// server exposing Prometheus text metrics, expvar and pprof.
+//
+// The default path is designed to cost nothing measurable: counters and
+// gauges are single atomic words, and anything heavier — span creation,
+// time.Now pairs around hot evaluations, per-device histograms — is gated on
+// Active(), which stays false until a server, tracer or summary sink is
+// requested. Instrumented packages therefore register their metrics
+// unconditionally at init and only pay for wall-clock sampling when an
+// operator actually asked to watch.
+package obs

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (occupancy, rate of last run, ...).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (deltas may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts. Bounds
+// are inclusive upper bounds (Prometheus "le" semantics); one extra overflow
+// bucket catches observations above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow (+Inf)
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state. Counts
+// has len(Bounds)+1 entries; the last is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state. Buckets are read individually, so a
+// snapshot taken during concurrent observation may be mid-update by a few
+// counts; export readers tolerate that.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Fixed bucket layouts shared by the instrumented packages, so series from
+// different runs and packages line up in dashboards and summaries.
+var (
+	// LatencyBuckets covers the cost models' evaluation latencies: 1µs to
+	// 10s in a 1-2.5-5 decade ladder (seconds).
+	LatencyBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// CountBuckets covers per-operation work counts (windows probed,
+	// partitions enumerated): 1 to 100k in a 1-2.5-5 ladder.
+	CountBuckets = []float64{
+		1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+	}
+	// SizeBuckets covers bitstream sizes in bytes: 1KiB to 16MiB.
+	SizeBuckets = []float64{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+	}
+)
+
+// active gates the non-trivial instrumentation paths (wall-clock sampling,
+// per-device histograms). See SetActive.
+var active atomic.Bool
+
+// Active reports whether heavyweight instrumentation is enabled.
+func Active() bool { return active.Load() }
+
+// SetActive enables or disables heavyweight instrumentation. StartServer and
+// NewTracer enable it implicitly; commands writing run summaries enable it
+// before running.
+func SetActive(on bool) { active.Store(on) }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGauge: basic atomic semantics, including counter monotonicity.
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramBuckets: observations land in the right le bucket, overflow
+// included, and sum/count accumulate.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1} // le=1: {0.5, 1}; le=10: {2, 10}; le=100: {50}; +Inf: {1000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1063.5 {
+		t.Errorf("sum = %g, want 1063.5", s.Sum)
+	}
+}
+
+// TestHistogramConcurrent: parallel observers lose no counts (run with -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRegistryGetOrCreate: same (name, labels) yields the same instance;
+// label order does not matter; kind mismatch panics.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", L("dev", "X"), L("kind", "clb"))
+	b := r.Counter("hits_total", "h", L("kind", "clb"), L("dev", "X"))
+	if a != b {
+		t.Error("label order created distinct series")
+	}
+	if r.Counter("hits_total", "h") == a {
+		t.Error("unlabeled series aliases labeled series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("hits_total", "h")
+}
+
+// TestWritePrometheus: text output carries HELP/TYPE once per name, label
+// sets, and cumulative histogram buckets ending at +Inf.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache_hits_total", "cache hits").Add(3)
+	r.Counter("windows_total", "windows", L("device", "XC6VLX75T")).Add(2)
+	r.Counter("windows_total", "windows", L("device", "XC7Z020")).Add(5)
+	h := r.Histogram("eval_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cache_hits_total counter",
+		"cache_hits_total 3",
+		`windows_total{device="XC6VLX75T"} 2`,
+		`windows_total{device="XC7Z020"} 5`,
+		"# TYPE eval_seconds histogram",
+		`eval_seconds_bucket{le="0.001"} 1`,
+		`eval_seconds_bucket{le="0.01"} 2`,
+		`eval_seconds_bucket{le="+Inf"} 3`,
+		"eval_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE windows_total") != 1 {
+		t.Error("TYPE header repeated per labeled series")
+	}
+}
+
+// TestGatherDeterministic: two gathers see identical series order.
+func TestGatherDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Counter("a_total", "")
+	r.Gauge("c", "", L("x", "2"))
+	r.Gauge("c", "", L("x", "1"))
+	first := r.Gather()
+	second := r.Gather()
+	if len(first) != 4 || len(second) != 4 {
+		t.Fatalf("gathered %d/%d series, want 4", len(first), len(second))
+	}
+	for i := range first {
+		if seriesID(first[i].Name, first[i].Labels) != seriesID(second[i].Name, second[i].Labels) {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+	if first[0].Name != "a_total" {
+		t.Errorf("first series %q, want a_total", first[0].Name)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers once per metric
+// name, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	// Group by metric name, preserving the gathered (sorted) order.
+	var names []string
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		if _, seen := byName[s.Name]; !seen {
+			names = append(names, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+
+	for _, name := range names {
+		group := byName[name]
+		if help := group[0].Help; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].Kind); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	switch s.Kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(s.Name, s.Labels), s.Value)
+		return err
+	case KindHistogram:
+		h := s.Hist
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				seriesID(s.Name+"_bucket", withLE(s.Labels, formatBound(b))), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			seriesID(s.Name+"_bucket", withLE(s.Labels, "+Inf")), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n",
+			seriesID(s.Name+"_sum", s.Labels), strconv.FormatFloat(h.Sum, 'g', -1, 64)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(s.Name+"_count", s.Labels), h.Count)
+		return err
+	}
+	return fmt.Errorf("obs: unknown sample kind %v", s.Kind)
+}
+
+// withLE appends the le bucket label after the series' own labels.
+func withLE(labels []Label, le string) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Key: "le", Value: le})
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+func escapeHelp(h string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}

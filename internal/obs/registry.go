@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the metric types a registry holds.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind the way the run summary encodes it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Label is one key/value dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// series is one registered metric instance (name + label set).
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	help   string
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a concurrency-safe get-or-create store of metric series.
+// Lookups by (name, labels) always return the same instance, so packages can
+// either cache the returned pointer in a package var (hot paths) or re-look
+// it up per call (cold paths with dynamic labels).
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the instrumented packages
+// register into.
+func Default() *Registry { return defaultRegistry }
+
+// seriesID renders the unique series key: name{k="v",...} with sorted keys.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	s := append([]Label(nil), labels...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+	return s
+}
+
+// lookup returns the series for id, or nil.
+func (r *Registry) lookup(id string) *series {
+	r.mu.RLock()
+	s := r.series[id]
+	r.mu.RUnlock()
+	return s
+}
+
+// create inserts the series unless another goroutine won the race, in which
+// case the winner is returned.
+func (r *Registry) create(id string, s *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.series[id]; ok {
+		return prev
+	}
+	r.series[id] = s
+	return s
+}
+
+func (r *Registry) get(name, help string, kind Kind, labels []Label, mk func() *series) *series {
+	labels = sortLabels(labels)
+	id := seriesID(name, labels)
+	s := r.lookup(id)
+	if s == nil {
+		fresh := mk()
+		fresh.name, fresh.labels, fresh.help, fresh.kind = name, labels, help, kind
+		s = r.create(id, fresh)
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %v, requested as %v", id, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns the counter series, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(name, help, KindCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the gauge series, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(name, help, KindGauge, labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	}).gauge
+}
+
+// Histogram returns the histogram series, creating it on first use with the
+// given bucket upper bounds (strictly increasing; an overflow bucket is
+// implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.get(name, help, KindHistogram, labels, func() *series {
+		return &series{hist: newHistogram(bounds)}
+	}).hist
+}
+
+// Sample is one gathered metric series value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Help   string
+	Kind   Kind
+	// Value holds counter and gauge readings.
+	Value int64
+	// Hist holds the snapshot for histogram series.
+	Hist *HistogramSnapshot
+}
+
+// Gather snapshots every registered series, sorted by name then label set,
+// so output is deterministic.
+func (r *Registry) Gather() []Sample {
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.series))
+	for id := range r.series {
+		ids = append(ids, id)
+	}
+	byID := make(map[string]*series, len(r.series))
+	for id, s := range r.series {
+		byID[id] = s
+	}
+	r.mu.RUnlock()
+
+	sort.Strings(ids)
+	out := make([]Sample, 0, len(ids))
+	for _, id := range ids {
+		s := byID[id]
+		smp := Sample{Name: s.name, Labels: s.labels, Help: s.help, Kind: s.kind}
+		switch s.kind {
+		case KindCounter:
+			smp.Value = s.counter.Value()
+		case KindGauge:
+			smp.Value = s.gauge.Value()
+		case KindHistogram:
+			snap := s.hist.Snapshot()
+			smp.Hist = &snap
+		}
+		out = append(out, smp)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in HTTP debug endpoint: /metrics (Prometheus text),
+// /debug/vars (expvar, including the registry mirrored as a single var) and
+// optionally the net/http/pprof handlers.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// publishOnce guards the process-global expvar name.
+var publishOnce sync.Once
+
+// StartServer listens on addr (host:port; ":0" picks a free port), serves
+// the debug endpoints for reg in a background goroutine, and marks
+// instrumentation active. Callers should defer Close.
+func StartServer(addr string, reg *Registry, enablePprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+
+	publishOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() any {
+			return expvarMetrics(reg)
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	SetActive(true)
+	return s, nil
+}
+
+// expvarMetrics flattens the registry for /debug/vars: counters and gauges
+// as numbers, histograms as {count, sum}.
+func expvarMetrics(reg *Registry) map[string]any {
+	out := map[string]any{}
+	for _, s := range reg.Gather() {
+		id := seriesID(s.Name, s.Labels)
+		switch s.Kind {
+		case KindHistogram:
+			out[id] = map[string]any{"count": s.Hist.Count, "sum": s.Hist.Sum}
+		default:
+			out[id] = s.Value
+		}
+	}
+	return out
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

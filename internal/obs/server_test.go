@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerEndpoints: /metrics serves Prometheus text, /debug/vars serves
+// expvar JSON, and pprof is present only when enabled.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke_total", "smoke test counter").Add(42)
+
+	srv, err := StartServer("127.0.0.1:0", reg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "smoke_total 42") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "cmdline") {
+		t.Errorf("/debug/vars = %d:\n%.200s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+
+	if !Active() {
+		t.Error("StartServer did not mark instrumentation active")
+	}
+}
+
+// TestServerNoPprof: with pprof disabled the handlers 404.
+func TestServerNoPprof(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// SpanRecord is a completed span as delivered to a Sink.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent Record calls.
+type Sink interface {
+	Record(r SpanRecord)
+}
+
+// Tracer allocates span IDs and forwards completed spans to its sink.
+type Tracer struct {
+	sink Sink
+	ids  atomic.Uint64
+}
+
+// NewTracer returns a tracer writing to sink and marks instrumentation
+// active (tracing implies the heavyweight paths are wanted).
+func NewTracer(sink Sink) *Tracer {
+	SetActive(true)
+	return &Tracer{sink: sink}
+}
+
+type tracerKey struct{}
+type spanIDKey struct{}
+
+// WithTracer attaches the tracer to the context; StartSpan on the returned
+// context (and its descendants) records spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// Span is an in-flight traced operation. A nil *Span is valid and inert, so
+// instrumented code calls SetAttr/End unconditionally; when no tracer is in
+// the context nothing is allocated or recorded. A span belongs to the
+// goroutine that started it — SetAttr and End are not synchronized.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// StartSpan begins a span named name under the context's current span. When
+// the context carries no tracer it returns the context unchanged and a nil
+// span. The returned context carries the new span's ID so children nest.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanIDKey{}).(uint64)
+	s := &Span{
+		tracer: t,
+		id:     t.ids.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, spanIDKey{}, s.id), s
+}
+
+// SetAttr attaches a key/value attribute; it returns the span for chaining
+// and is a no-op on nil spans.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// End completes the span and delivers it to the sink. No-op on nil spans
+// and on spans already ended.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tracer.sink.Record(SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Attrs:  s.attrs,
+	})
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanNesting: child spans carry their parent's ID; siblings do not.
+func TestSpanNesting(t *testing.T) {
+	ring := NewRingSink(16)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+
+	ctx, root := StartSpan(ctx, "root")
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	_, sibling := StartSpan(ctx, "sibling")
+	sibling.End()
+	root.SetAttr("n", 3).End()
+
+	spans := ring.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Error("child not parented to root")
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Error("grandchild not parented to child")
+	}
+	if byName["sibling"].Parent != byName["root"].ID {
+		t.Error("sibling not parented to root")
+	}
+	if byName["root"].Parent != 0 {
+		t.Error("root has a parent")
+	}
+	if len(byName["root"].Attrs) != 1 || byName["root"].Attrs[0].Key != "n" {
+		t.Errorf("root attrs = %v", byName["root"].Attrs)
+	}
+}
+
+// TestNilSpanSafe: without a tracer, StartSpan returns a nil span whose
+// methods are inert.
+func TestNilSpanSafe(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "untraced")
+	if span != nil {
+		t.Fatal("got a live span without a tracer")
+	}
+	span.SetAttr("k", "v").End() // must not panic
+	if TracerFrom(ctx) != nil {
+		t.Error("tracer appeared from nowhere")
+	}
+}
+
+// TestJSONLSink: each span becomes one valid JSON line with nesting intact.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	ctx := WithTracer(context.Background(), NewTracer(sink))
+	ctx, root := StartSpan(ctx, "run")
+	_, child := StartSpan(ctx, "explore")
+	child.SetAttr("prms", 10).End()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var childJS, rootJS struct {
+		ID     uint64         `json:"id"`
+		Parent uint64         `json:"parent"`
+		Name   string         `json:"name"`
+		DurNS  int64          `json:"dur_ns"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	// Spans are recorded at End, so the child line precedes the root line.
+	if err := json.Unmarshal([]byte(lines[0]), &childJS); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rootJS); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if childJS.Name != "explore" || rootJS.Name != "run" {
+		t.Errorf("names = %q, %q", childJS.Name, rootJS.Name)
+	}
+	if childJS.Parent != rootJS.ID {
+		t.Error("JSONL lost the parent link")
+	}
+	if childJS.Attrs["prms"] != float64(10) {
+		t.Errorf("attrs = %v", childJS.Attrs)
+	}
+	if childJS.DurNS < 0 {
+		t.Errorf("dur_ns = %d", childJS.DurNS)
+	}
+}
+
+// TestRingSinkWraps: the ring retains only the newest spans, oldest-first.
+func TestRingSinkWraps(t *testing.T) {
+	ring := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		ring.Record(SpanRecord{ID: uint64(i)})
+	}
+	got := ring.Snapshot()
+	if len(got) != 3 || got[0].ID != 3 || got[2].ID != 5 {
+		t.Errorf("snapshot = %v", got)
+	}
+}
