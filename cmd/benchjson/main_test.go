@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/dse
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExploreAllParallel/n=11-8         	       2	 712345678 ns/op	         0.9123 hit-rate
+BenchmarkExploreParetoBB/n=11-8            	       1	1397632383 ns/op	         0.9477 pruned-frac	         6.000 resident-peak
+PASS
+ok  	repro/internal/dse	4.865s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema || doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Fatalf("header fields wrong: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkExploreParetoBB/n=11" || b.Iterations != 1 || b.NsPerOp != 1397632383 {
+		t.Fatalf("bench parsed wrong: %+v", b)
+	}
+	if b.Metrics["pruned-frac"] != 0.9477 || b.Metrics["resident-peak"] != 6 {
+		t.Fatalf("extra metrics wrong: %+v", b.Metrics)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := BenchDoc{Schema: Schema, Benchmarks: []Bench{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 50},
+	}}
+	cur := BenchDoc{Schema: Schema, Benchmarks: []Bench{
+		{Name: "A", NsPerOp: 125}, // within a 1.30x threshold
+		{Name: "B", NsPerOp: 140}, // regressed
+		{Name: "New", NsPerOp: 10},
+	}}
+	var sb strings.Builder
+	regressed := compare(&sb, old, cur, 1.30)
+	if len(regressed) != 1 || regressed[0] != "B" {
+		t.Fatalf("regressed = %v, want [B]\n%s", regressed, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSED", "no baseline", "in baseline only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

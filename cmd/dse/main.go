@@ -6,9 +6,16 @@
 // Usage:
 //
 //	dse -device XC6VLX75T
+//	dse -engine bb -n 12 -constrained
 //
-// Exploration runs on all cores with group memoization by default; -seq
-// switches to the single-threaded uncached baseline for comparison.
+// Three engines are available via -engine: "par" (default) evaluates every
+// partition on all cores with group memoization; "seq" is the
+// single-threaded uncached baseline (-seq still selects it for
+// compatibility); "bb" is the prefix-sharing branch-and-bound engine, which
+// streams the exact Pareto front while pruning subtrees whose partitions can
+// never be placed (-prune=false disables the fit bound). -constrained swaps
+// in the deliberately tight fabric and its mixed DSP/BRAM workload where the
+// bounds bite hardest.
 //
 // Observability: -metrics-addr serves Prometheus text at /metrics (plus
 // expvar, and pprof with -pprof), -trace-out writes nested spans as JSON
@@ -20,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"time"
@@ -36,24 +44,41 @@ import (
 
 func main() {
 	deviceName := flag.String("device", "XC6VLX75T", "target device")
-	sequential := flag.Bool("seq", false, "use the single-threaded uncached explorer")
+	engine := flag.String("engine", "par", "exploration engine: par (parallel flat), seq (sequential flat), bb (branch-and-bound)")
+	sequential := flag.Bool("seq", false, "use the single-threaded uncached explorer (same as -engine seq)")
+	prune := flag.Bool("prune", true, "bb engine: enable the monotone fit bound")
+	constrained := flag.Bool("constrained", false, "use the tight two-run fabric and its DSP/BRAM workload (requires -n)")
 	nSynthetic := flag.Int("n", 0, "explore n synthetic PRMs instead of the paper's three (stress mode)")
 	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+	if *sequential {
+		*engine = "seq"
+	}
 
 	sess, err := obsFlags.Start("dse")
 	if err != nil {
 		fatal(err)
 	}
 
-	dev, err := device.Lookup(*deviceName)
-	if err != nil {
-		fatal(err)
+	var dev *device.Device
+	if *constrained {
+		if *nSynthetic <= 0 {
+			fatal(fmt.Errorf("-constrained needs -n (the paper PRMs are not defined for the synthetic fabric)"))
+		}
+		dev = dse.ConstrainedDevice()
+	} else {
+		dev, err = device.Lookup(*deviceName)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	var prms []dse.PRM
-	if *nSynthetic > 0 {
+	switch {
+	case *constrained:
+		prms = dse.ConstrainedPRMs(*nSynthetic)
+	case *nSynthetic > 0:
 		prms = dse.SyntheticPRMs(*nSynthetic)
-	} else {
+	default:
 		for _, prm := range rtl.PaperPRMs() {
 			row, ok := core.PaperTableVRow(prm, *deviceName)
 			if !ok {
@@ -65,51 +90,87 @@ func main() {
 
 	e := &dse.Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
 	start := time.Now()
-	var points []dse.DesignPoint
-	if *sequential {
+	var points, front []dse.DesignPoint
+	var bbStats dse.BBStats
+	evaluated := 0
+	switch *engine {
+	case "seq":
 		points = e.ExploreAll(prms)
-	} else {
+		front = dse.Pareto(points)
+		evaluated = len(points)
+	case "par":
 		points, err = e.ExploreAllParallel(sess.Context(context.Background()), prms)
 		if err != nil {
 			fatal(err)
 		}
+		front = dse.Pareto(points)
+		evaluated = len(points)
+	case "bb":
+		front, bbStats, err = e.ExploreParetoBB(sess.Context(context.Background()), prms,
+			dse.BBOptions{DominancePrune: true, DisableFitPrune: !*prune})
+		if err != nil {
+			fatal(err)
+		}
+		evaluated = int(bbStats.Evaluated)
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want par, seq or bb)", *engine))
 	}
 	modelTime := time.Since(start)
 
-	names := make([]string, len(prms))
-	for i, p := range prms {
-		names[i] = p.Name
-	}
-	t := &report.Table{
-		Title:   fmt.Sprintf("PR partitionings of %v on %s", names, dev.Name),
-		Headers: []string{"partitioning", "feasible", "PRR tiles", "total bits (B)", "worst reconfig", "min RU_CLB %"},
-	}
-	for _, p := range points {
-		if !p.Feasible {
-			t.Add(dse.Describe(prms, p), false, "-", "-", "-", "-")
-			continue
+	// The flat engines retain every point, so the full design-point table is
+	// printable; the branch-and-bound engine streams them (that is the point)
+	// and reports the front plus pruning statistics instead.
+	if points != nil {
+		names := make([]string, len(prms))
+		for i, p := range prms {
+			names[i] = p.Name
 		}
-		t.Add(dse.Describe(prms, p), true, p.TotalTiles, p.TotalBitstreamBytes,
-			p.WorstReconfig.Round(time.Microsecond), p.MinRU)
+		t := &report.Table{
+			Title:   fmt.Sprintf("PR partitionings of %v on %s", names, dev.Name),
+			Headers: []string{"partitioning", "feasible", "PRR tiles", "total bits (B)", "worst reconfig", "min RU_CLB %"},
+		}
+		for _, p := range points {
+			if !p.Feasible {
+				t.Add(dse.Describe(prms, p), false, "-", "-", "-", "-")
+				continue
+			}
+			t.Add(dse.Describe(prms, p), true, p.TotalTiles, p.TotalBitstreamBytes,
+				p.WorstReconfig.Round(time.Microsecond), p.MinRU)
+		}
+		fmt.Println(t.String())
 	}
-	fmt.Println(t.String())
 
-	front := dse.Pareto(points)
 	fmt.Println("Pareto front (area / worst reconfiguration / fragmentation):")
 	for _, p := range front {
 		fmt.Printf("  %s: %d tiles, %v worst reconfig, %.1f%% min RU\n",
 			dse.Describe(prms, p), p.TotalTiles, p.WorstReconfig.Round(time.Microsecond), p.MinRU)
 	}
 
-	var flowTime time.Duration
-	for range points {
-		for _, p := range prms {
-			flowTime += dse.ISE124.FullFlow(p.Req.LUTFFPairs*2, synth.Report{LUTFFPairs: p.Req.LUTFFPairs})
-		}
+	if *engine == "bb" {
+		fmt.Printf("\nbranch-and-bound: %d partitions, %d evaluated (%.1f%%), %d fit-pruned, %d dominance-pruned\n",
+			bbStats.Partitions, bbStats.Evaluated,
+			100*float64(bbStats.Evaluated)/float64(bbStats.Partitions),
+			bbStats.PrunedFit, bbStats.PrunedDominated)
+		fmt.Printf("  %d group pricings over %d subtree jobs (split depth %d); front %d, resident peak %d points\n",
+			bbStats.GroupPricings, bbStats.Subtrees, bbStats.SplitDepth,
+			bbStats.FrontSize, bbStats.MaxResident)
+	}
+
+	var flowPerPoint time.Duration
+	for _, p := range prms {
+		flowPerPoint += dse.ISE124.FullFlow(p.Req.LUTFFPairs*2, synth.Report{LUTFFPairs: p.Req.LUTFFPairs})
+	}
+	// Millions of points times hours of flow overflows a Duration's int64
+	// nanoseconds; compute the total in float seconds and saturate the
+	// printable Duration.
+	flowSecs := flowPerPoint.Seconds() * float64(evaluated)
+	flowTime := time.Duration(math.MaxInt64)
+	if flowSecs < float64(math.MaxInt64)/float64(time.Second) {
+		flowTime = time.Duration(flowSecs * float64(time.Second))
 	}
 	fmt.Printf("\n%v\n", dse.Productivity{
-		Points: len(points), ModelTime: modelTime, FlowTime: flowTime,
-		SpeedupFactor: float64(flowTime) / float64(modelTime),
+		Points: evaluated, ModelTime: modelTime, FlowTime: flowTime,
+		SpeedupFactor: flowSecs / modelTime.Seconds(),
 	})
 	if hits, misses := e.CacheStats(); hits+misses > 0 {
 		fmt.Printf("group cache: %d hits, %d misses (%.1f%% hit rate)\n",
@@ -117,8 +178,8 @@ func main() {
 	}
 
 	if err := sess.Finish(dev.Name, map[string]string{
-		"seq": strconv.FormatBool(*sequential),
-		"n":   strconv.Itoa(len(prms)),
+		"engine": *engine,
+		"n":      strconv.Itoa(len(prms)),
 	}); err != nil {
 		fatal(err)
 	}

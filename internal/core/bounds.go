@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+// CoverBound is a requirement-level envelope over every PRR organization
+// that can cover one PRM's requirements on a device, regardless of where on
+// the fabric it is placed or which regions it must avoid. The bounds are
+// derived purely from the sizing equations (Eqs. (1)–(7), (18)–(23)), so
+// they hold for the shared PRR of ANY group containing the PRM: a merged
+// organization takes per-resource maxima over its members (§III.B), hence
+// covers each member's requirements on its own, and every covering
+// organization is at least as large as the per-height ceil-minimal one.
+//
+// Branch-and-bound exploration uses these as admissible bounds: MinNeed,
+// MinTiles and MinBytes only under-estimate, MaxCLBRU only over-estimates.
+type CoverBound struct {
+	// Coverable is false when no organization with H <= Rows covers the
+	// requirement at all (e.g. a single-DSP-column device whose pinned DSP
+	// column cannot supply the DSPs in Rows rows). Every group containing
+	// the PRM is then infeasible on this device.
+	Coverable bool
+	// MinNeed lower-bounds the per-kind column counts of any covering
+	// organization's window.
+	MinNeed floorplan.Need
+	// MinTiles lower-bounds H*W (Eq. (7)) of any covering organization.
+	MinTiles int
+	// MinBytes lower-bounds the partial bitstream size (Eq. (18)) of any
+	// covering organization.
+	MinBytes int
+	// MaxCLBRU upper-bounds the PRM's CLB utilization (Eq. (13)) inside any
+	// covering organization: the PRM can never be packed tighter than its
+	// ceil-minimal PRR.
+	MaxCLBRU float64
+}
+
+// CoverBound computes the envelope for one requirement by sweeping every
+// candidate height: for each H in 1..Rows the ceil-derived organization
+// (Eqs. (2)–(5)) is the componentwise-minimal covering organization at that
+// height, so per-height minima/maxima over the sweep bound every covering
+// organization at any height. Avoid regions are irrelevant: the bound is a
+// property of the requirement and the device constants alone.
+func (m *PRRModel) CoverBound(req Requirements) CoverBound {
+	p := m.Device.Params
+	fab := &m.Device.Fabric
+	bit := NewBitstreamModel(p)
+	clbReq := 0
+	if req.LUTFFPairs > 0 {
+		clbReq = ceilDiv(req.LUTFFPairs, p.LUTPerCLB) // Eq. (1)
+	}
+	singleDSPCol := fab.CountKind(device.KindDSP) == 1
+
+	b := CoverBound{}
+	for h := 1; h <= fab.Rows; h++ {
+		org, feasible := m.organizationAt(req, clbReq, h, singleDSPCol)
+		if !feasible {
+			continue
+		}
+		// SizeWords (not SizeBytes) keeps bound probes out of the
+		// bitstream-model observability counters.
+		bytes := bit.SizeWords(org) * p.BytesPerWord
+		ru := 0.0
+		if avail := h * org.WCLB * p.CLBPerCol; avail > 0 {
+			ru = float64(clbReq) / float64(avail) * 100
+		}
+		if !b.Coverable {
+			b.Coverable = true
+			b.MinNeed = org.Need()
+			b.MinTiles = org.Size()
+			b.MinBytes = bytes
+			b.MaxCLBRU = ru
+			continue
+		}
+		if n := org.Need(); n.CLB < b.MinNeed.CLB {
+			b.MinNeed.CLB = n.CLB
+		}
+		if org.WDSP < b.MinNeed.DSP {
+			b.MinNeed.DSP = org.WDSP
+		}
+		if org.WBRAM < b.MinNeed.BRAM {
+			b.MinNeed.BRAM = org.WBRAM
+		}
+		if t := org.Size(); t < b.MinTiles {
+			b.MinTiles = t
+		}
+		if bytes < b.MinBytes {
+			b.MinBytes = bytes
+		}
+		if ru > b.MaxCLBRU {
+			b.MaxCLBRU = ru
+		}
+	}
+	return b
+}

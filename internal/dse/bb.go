@@ -1,0 +1,579 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/obs"
+)
+
+// BBOptions tunes the branch-and-bound explorer.
+type BBOptions struct {
+	// Workers caps the subtree worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// SplitDepth is how many leading RGS positions are expanded up front
+	// into independent subtree jobs; 0 picks the smallest depth that yields
+	// at least 4 jobs per worker.
+	SplitDepth int
+	// DominancePrune additionally skips subtrees whose objective lower
+	// bounds are strictly dominated by a front point (Pareto mode only).
+	// The front is unchanged: only strictly-dominated points are skipped.
+	DominancePrune bool
+	// DisableFitPrune turns off the monotone infeasibility bound, pricing
+	// every partition like the flat engines (for measurement).
+	DisableFitPrune bool
+}
+
+// BBStats reports what the branch-and-bound run did. Partitions always
+// equals Evaluated + PrunedFit + PrunedDominated: every set partition is
+// either priced or charged to exactly one pruned subtree.
+type BBStats struct {
+	// Partitions is Bell(n), the full design-space size.
+	Partitions int64
+	// Evaluated counts partitions fully priced (the tree's visited leaves).
+	Evaluated int64
+	// PrunedFit counts partitions skipped because a prefix group can never
+	// be placed (requirement-level bound, sound for any avoid set).
+	PrunedFit int64
+	// PrunedDominated counts partitions skipped because every completion is
+	// strictly dominated by a current front point.
+	PrunedDominated int64
+	// GroupPricings counts EstimateShared-equivalent group pricings — the
+	// engine's real work unit. The flat engines price (or look up) every
+	// group of every partition; prefix sharing prices each tree edge once.
+	GroupPricings int64
+	// Subtrees is the number of parallel subtree jobs the run split into.
+	Subtrees int
+	// SplitDepth is the RGS depth the jobs were split at.
+	SplitDepth int
+	// FrontSize is the final Pareto-front size (Pareto mode).
+	FrontSize int
+	// MaxResident is the peak number of design points held by the engine at
+	// any instant — O(front), where the flat engines hold O(Bell(n)).
+	MaxResident int64
+}
+
+// bbJob is one subtree: a length-SplitDepth RGS prefix plus the enumeration
+// index of its first leaf, so streaming results keep the exact sequential
+// order no matter which worker runs them.
+type bbJob struct {
+	idx    int
+	prefix []int
+	used   int
+	base   uint64
+}
+
+// bbRun is the per-exploration shared state.
+type bbRun struct {
+	e      *Explorer
+	prms   []PRM
+	n      int
+	bounds []elemBound
+	runIdx *floorplan.RunIndex
+	ext    extTable
+	bit    core.BitstreamModel
+
+	fitPrune bool
+	domPrune bool
+	pareto   bool
+
+	ctx     context.Context
+	stop    atomic.Bool
+	visit   func(DesignPoint) bool
+	visitMu sync.Mutex
+
+	evaluated   atomic.Int64
+	prunedFit   atomic.Int64
+	prunedDom   atomic.Int64
+	pricings    atomic.Int64
+	resident    atomic.Int64
+	maxResident atomic.Int64
+}
+
+// residentAdd tracks the engine's live design-point count and its peak.
+func (r *bbRun) residentAdd(d int64) {
+	now := r.resident.Add(d)
+	for {
+		peak := r.maxResident.Load()
+		if now <= peak || r.maxResident.CompareAndSwap(peak, now) {
+			return
+		}
+	}
+}
+
+// bbState is one worker's DFS state over a subtree. Pricing is incremental
+// along the RGS prefix: each group's evaluation (region, tiles, bytes, RU)
+// lives on a per-group stack, and extending the partition only re-prices the
+// groups whose avoid set actually changed — appending a new group prices one
+// group; joining group g re-prices groups g..k-1. No cache keys, no string
+// allocation, no re-walk of the whole partition per leaf.
+type bbState struct {
+	run     *bbRun
+	rgs     []int
+	members [][]int
+	// evals/placed are the priced-group stack, valid for groups 0..k-1 when
+	// firstBad < 0, else for groups 0..firstBad (mirroring evaluate(), which
+	// stops pricing at the first infeasible group).
+	evals    []groupEval
+	placed   []floorplan.Region
+	firstBad int
+	// needLB / tilesLB are the per-group monotone bounds (max over members).
+	needLB  []floorplan.Need
+	tilesLB []int
+
+	front *ParetoFront
+	seq   uint64
+	nodes int
+
+	// local counters, flushed into the run at job end
+	evaluated, prunedFit, prunedDom, pricings int64
+}
+
+// reprice re-derives the priced-group stack from group `from` on, stopping
+// at the first infeasible group exactly like evaluate() does.
+func (s *bbState) reprice(from int) {
+	if s.firstBad >= 0 && s.firstBad < from {
+		return
+	}
+	k := len(s.members)
+	for len(s.evals) < k {
+		s.evals = append(s.evals, groupEval{})
+		s.placed = append(s.placed, floorplan.Region{})
+	}
+	s.evals = s.evals[:k]
+	s.placed = s.placed[:k]
+	s.firstBad = -1
+	for g := from; g < k; g++ {
+		ev := s.run.e.priceGroup(s.run.prms, s.members[g], s.placed[:g], s.run.bit)
+		s.pricings++
+		s.evals[g] = ev
+		if !ev.feasible {
+			s.firstBad = g
+			return
+		}
+		s.placed[g] = ev.region
+	}
+}
+
+// skip charges a pruned subtree: count its leaves and keep the enumeration
+// index aligned so later leaves keep their sequential positions.
+func (s *bbState) skip(leaves int64, dominated bool, depth int) {
+	if dominated {
+		s.prunedDom += leaves
+		metBBPruneDepthDom.Observe(float64(depth))
+	} else {
+		s.prunedFit += leaves
+		metBBPruneDepthFit.Observe(float64(depth))
+	}
+	s.seq += uint64(leaves)
+}
+
+// leaf prices nothing new — the group stack already holds the full
+// partition — and emits the design point, which is field-for-field what
+// Evaluate would return for these groups.
+func (s *bbState) leaf() bool {
+	r := s.run
+	s.evaluated++
+	seq := s.seq
+	s.seq++
+	dp := DesignPoint{Groups: copyGroups(s.members), Feasible: true, MinRU: 100}
+	priced := len(s.members)
+	if s.firstBad >= 0 {
+		priced = s.firstBad
+		dp.Feasible = false
+		dp.Infeasibility = s.evals[s.firstBad].errMsg
+	}
+	for g := 0; g < priced; g++ {
+		ev := &s.evals[g]
+		dp.TotalTiles += ev.tiles
+		dp.TotalBitstreamBytes += ev.bytes
+		if ev.bytes > dp.MaxBitstreamBytes {
+			dp.MaxBitstreamBytes = ev.bytes
+		}
+		if ev.minCLB < dp.MinRU {
+			dp.MinRU = ev.minCLB
+		}
+	}
+	if dp.Feasible {
+		dp.WorstReconfig = r.e.Estimator.Estimate(dp.MaxBitstreamBytes)
+	}
+	if r.pareto {
+		if dp.Feasible {
+			before := s.front.Len()
+			s.front.Add(dp, seq)
+			if d := int64(s.front.Len() - before); d != 0 {
+				r.residentAdd(d)
+			}
+		}
+		return true
+	}
+	r.visitMu.Lock()
+	ok := r.visit(dp)
+	r.visitMu.Unlock()
+	if !ok {
+		r.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// rec assigns element i to each candidate group in RGS order, bounding and
+// pruning before any pricing happens. tilesLB/bytesLB/minRUub are the
+// running objective bounds for the current prefix: every leaf below prices
+// at least tilesLB total tiles, at least bytesLB worst bitstream bytes, and
+// at most minRUub min-RU.
+func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
+	r := s.run
+	s.nodes++
+	if s.nodes&255 == 0 && (r.ctx.Err() != nil || r.stop.Load()) {
+		return false
+	}
+	if i == r.n {
+		return s.leaf()
+	}
+	u := len(s.members)
+	eb := &r.bounds[i]
+	if r.fitPrune && !eb.feasible {
+		// Element i can never be placed: every partition below is
+		// infeasible no matter how it is grouped.
+		s.skip(r.ext.leaves(r.n-i, u), false, i)
+		return true
+	}
+	for g := 0; g <= u; g++ {
+		childUsed := u
+		if g == u {
+			childUsed = u + 1
+		}
+		leaves := r.ext.leaves(r.n-i-1, childUsed)
+
+		// Monotone fit bound: the group's window lower bound only grows as
+		// members join; if no fabric run can hold it, no completion can
+		// ever place this group. (A new singleton group passed its solo
+		// empty-fabric estimate in elemBounds, so only joins are checked.)
+		var need floorplan.Need
+		var groupTiles int
+		if g < u {
+			need = maxNeed(s.needLB[g], eb.minNeed)
+			if r.fitPrune && !r.runIdx.CanHold(need) {
+				s.skip(leaves, false, i)
+				continue
+			}
+			groupTiles = s.tilesLB[g]
+			if eb.minTiles > groupTiles {
+				groupTiles = eb.minTiles
+			}
+		} else {
+			need = eb.minNeed
+			groupTiles = eb.minTiles
+		}
+
+		// Objective lower bounds for the child prefix.
+		ctLB := tilesLB + groupTiles
+		if g < u {
+			ctLB = tilesLB - s.tilesLB[g] + groupTiles
+		}
+		cbLB := bytesLB
+		if eb.minBytes > cbLB {
+			cbLB = eb.minBytes
+		}
+		cRU := minRUub
+		if eb.maxRU < cRU {
+			cRU = eb.maxRU
+		}
+		if r.domPrune && s.front != nil && s.front.Len() > 0 &&
+			s.front.DominatedBound(ctLB, r.e.Estimator.Estimate(cbLB), cRU) {
+			s.skip(leaves, true, i)
+			continue
+		}
+
+		s.rgs[i] = g
+		var ok bool
+		if g < u {
+			savedMemLen := len(s.members[g])
+			savedNeed, savedTiles := s.needLB[g], s.tilesLB[g]
+			savedEvals := append([]groupEval(nil), s.evals[g:]...)
+			savedPlaced := append([]floorplan.Region(nil), s.placed[g:]...)
+			savedFB := s.firstBad
+			s.members[g] = append(s.members[g], i)
+			s.needLB[g], s.tilesLB[g] = need, groupTiles
+			s.reprice(g)
+			ok = s.rec(i+1, ctLB, cbLB, cRU)
+			s.members[g] = s.members[g][:savedMemLen]
+			s.needLB[g], s.tilesLB[g] = savedNeed, savedTiles
+			copy(s.evals[g:], savedEvals)
+			copy(s.placed[g:], savedPlaced)
+			s.firstBad = savedFB
+		} else {
+			s.members = append(s.members, []int{i})
+			s.needLB = append(s.needLB, need)
+			s.tilesLB = append(s.tilesLB, groupTiles)
+			s.reprice(u)
+			ok = s.rec(i+1, ctLB, cbLB, cRU)
+			s.members = s.members[:u]
+			s.needLB = s.needLB[:u]
+			s.tilesLB = s.tilesLB[:u]
+			s.evals = s.evals[:u]
+			s.placed = s.placed[:u]
+			if s.firstBad >= u {
+				s.firstBad = -1
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// runJob prices one subtree job: rebuild the prefix state, apply the same
+// bounds a sequential DFS would have applied above the split depth, then
+// recurse over the remaining positions.
+func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront) {
+	s := &bbState{run: r, rgs: make([]int, r.n), firstBad: -1, seq: j.base}
+	if r.pareto {
+		s.front = &ParetoFront{}
+		fronts[j.idx] = s.front
+	}
+	defer func() {
+		r.evaluated.Add(s.evaluated)
+		r.prunedFit.Add(s.prunedFit)
+		r.prunedDom.Add(s.prunedDom)
+		r.pricings.Add(s.pricings)
+	}()
+
+	k := len(j.prefix)
+	copy(s.rgs, j.prefix)
+	s.members = make([][]int, j.used)
+	for i := 0; i < k; i++ {
+		g := j.prefix[i]
+		s.members[g] = append(s.members[g], i)
+	}
+	tilesSum, bytesMax, minRUub := 0, 0, 200.0
+	for g := range s.members {
+		s.needLB = append(s.needLB, groupNeedLB(r.bounds, s.members[g]))
+		t := 0
+		for _, m := range s.members[g] {
+			if r.bounds[m].minTiles > t {
+				t = r.bounds[m].minTiles
+			}
+		}
+		s.tilesLB = append(s.tilesLB, t)
+		tilesSum += t
+	}
+	for i := 0; i < k; i++ {
+		b := &r.bounds[i]
+		if b.minBytes > bytesMax {
+			bytesMax = b.minBytes
+		}
+		if b.maxRU < minRUub {
+			minRUub = b.maxRU
+		}
+	}
+	if r.fitPrune {
+		for i := 0; i < k; i++ {
+			if !r.bounds[i].feasible {
+				s.skip(r.ext.leaves(r.n-k, j.used), false, k)
+				return
+			}
+		}
+		for g := range s.members {
+			if !r.runIdx.CanHold(s.needLB[g]) {
+				s.skip(r.ext.leaves(r.n-k, j.used), false, k)
+				return
+			}
+		}
+	}
+	s.reprice(0)
+	s.rec(k, tilesSum, bytesMax, minRUub)
+}
+
+// autoSplitDepth picks the shallowest split that still feeds the workers:
+// the smallest k with Bell(k) >= 4*workers, kept shallow so subtrees stay
+// deep enough to share prefix pricing.
+func autoSplitDepth(n, workers int) int {
+	k := 1
+	for k < n-3 && bellNumber(k) < 4*workers {
+		k++
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// exploreBB is the engine shared by the callback and Pareto entry points.
+func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pareto bool, visit func(DesignPoint) bool) (*ParetoFront, BBStats, error) {
+	n := len(prms)
+	var stats BBStats
+	if n == 0 {
+		return &ParetoFront{}, stats, ctx.Err()
+	}
+	ctx, span := obs.StartSpan(ctx, "dse.bb")
+	defer span.End()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := opts.SplitDepth
+	if k <= 0 {
+		k = autoSplitDepth(n, workers)
+	}
+	if k > n {
+		k = n
+	}
+
+	run := &bbRun{
+		e:        e,
+		prms:     prms,
+		n:        n,
+		bounds:   e.elemBounds(prms),
+		runIdx:   floorplan.NewRunIndex(&e.Device.Fabric),
+		ext:      newExtTable(n),
+		bit:      core.NewBitstreamModel(e.Device.Params),
+		fitPrune: !opts.DisableFitPrune,
+		domPrune: pareto && opts.DominancePrune,
+		pareto:   pareto,
+		ctx:      ctx,
+		visit:    visit,
+	}
+
+	var jobs []bbJob
+	var base uint64
+	forEachPartitionRGS(k, func(_ int, rgs []int) bool {
+		used := 0
+		for _, g := range rgs {
+			if g+1 > used {
+				used = g + 1
+			}
+		}
+		prefix := make([]int, k)
+		copy(prefix, rgs)
+		jobs = append(jobs, bbJob{idx: len(jobs), prefix: prefix, used: used, base: base})
+		base += uint64(run.ext.leaves(n-k, used))
+		return true
+	})
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	span.SetAttr("prms", n).SetAttr("subtrees", len(jobs)).SetAttr("split_depth", k).SetAttr("workers", workers)
+	metBBSubtrees.Add(int64(len(jobs)))
+
+	start := time.Now()
+	fronts := make([]*ParetoFront, len(jobs))
+	jobCh := make(chan int, len(jobs))
+	for i := range jobs {
+		jobCh <- i
+	}
+	close(jobCh)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			metWorkersActive.Add(1)
+			defer metWorkersActive.Add(-1)
+			for ji := range jobCh {
+				if ctx.Err() != nil || run.stop.Load() {
+					continue
+				}
+				run.runJob(jobs[ji], fronts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		span.SetAttr("cancelled", true)
+		return nil, stats, err
+	}
+
+	global := &ParetoFront{}
+	for _, f := range fronts {
+		if f == nil {
+			continue
+		}
+		before := global.Len()
+		global.Merge(f)
+		run.residentAdd(int64(global.Len()-before) - int64(f.Len()))
+	}
+
+	stats = BBStats{
+		Partitions:      int64(bellNumber(n)),
+		Evaluated:       run.evaluated.Load(),
+		PrunedFit:       run.prunedFit.Load(),
+		PrunedDominated: run.prunedDom.Load(),
+		GroupPricings:   run.pricings.Load(),
+		Subtrees:        len(jobs),
+		SplitDepth:      k,
+		FrontSize:       global.Len(),
+		MaxResident:     run.maxResident.Load(),
+	}
+	metBBExplorations.Inc()
+	metBBEvaluated.Add(stats.Evaluated)
+	metBBPrunedFit.Add(stats.PrunedFit)
+	metBBPrunedDom.Add(stats.PrunedDominated)
+	metBBGroupPricings.Add(stats.GroupPricings)
+	if pareto {
+		metBBFrontSize.Set(int64(stats.FrontSize))
+		metBBResidentPeak.Set(stats.MaxResident)
+	}
+	elapsed := time.Since(start)
+	span.SetAttr("evaluated", stats.Evaluated).
+		SetAttr("pruned_fit", stats.PrunedFit).
+		SetAttr("pruned_dominated", stats.PrunedDominated).
+		SetAttr("elapsed_ns", elapsed.Nanoseconds())
+	return global, stats, nil
+}
+
+// ExploreBB streams every priced design point of the branch-and-bound
+// exploration to visit. Points arrive in no particular cross-subtree order
+// (visit is serialized but subtrees run concurrently); partitions skipped by
+// the fit bound are all infeasible and are not delivered. Returning false
+// from visit halts the exploration early with a nil error.
+func (e *Explorer) ExploreBB(ctx context.Context, prms []PRM, opts BBOptions, visit func(DesignPoint) bool) (BBStats, error) {
+	_, stats, err := e.exploreBB(ctx, prms, opts, false, visit)
+	return stats, err
+}
+
+// ExploreParetoBB runs the branch-and-bound engine in streaming-Pareto mode:
+// feasible leaves feed per-subtree online Pareto mergers whose fronts are
+// merged in enumeration order, so the result is element-for-element
+// identical to Pareto(ExploreAll(prms)) while resident memory stays
+// O(front) instead of O(Bell(n)).
+func (e *Explorer) ExploreParetoBB(ctx context.Context, prms []PRM, opts BBOptions) ([]DesignPoint, BBStats, error) {
+	front, stats, err := e.exploreBB(ctx, prms, opts, true, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	return front.Points(), stats, nil
+}
+
+// ExplorePareto is the convenience entry point: branch-and-bound with
+// default parallelism and both bounds enabled.
+func (e *Explorer) ExplorePareto(ctx context.Context, prms []PRM) ([]DesignPoint, error) {
+	front, _, err := e.ExploreParetoBB(ctx, prms, BBOptions{DominancePrune: true})
+	return front, err
+}
+
+// maxNeed takes the per-kind maximum of two window lower bounds.
+func maxNeed(a, b floorplan.Need) floorplan.Need {
+	if b.CLB > a.CLB {
+		a.CLB = b.CLB
+	}
+	if b.DSP > a.DSP {
+		a.DSP = b.DSP
+	}
+	if b.BRAM > a.BRAM {
+		a.BRAM = b.BRAM
+	}
+	return a
+}

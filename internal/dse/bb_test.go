@@ -1,0 +1,266 @@
+package dse
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/icap"
+)
+
+// constrainedExplorer pairs ConstrainedDevice with the standard estimator.
+func constrainedExplorer() *Explorer {
+	return &Explorer{Device: ConstrainedDevice(), Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+}
+
+// TestExploreParetoMatchesFlat is the exact-equivalence property: on two
+// devices, for synthetic workloads up to n=9, the branch-and-bound streaming
+// front is element-for-element identical to Pareto(ExploreAll(prms)) — same
+// points, same deterministic order — with dominance pruning off and on, and
+// across split depths. Run under -race this also exercises the subtree
+// workers sharing the run state.
+func TestExploreParetoMatchesFlat(t *testing.T) {
+	for _, devName := range []string{"XC6VLX75T", "XC5VLX110T"} {
+		for _, n := range []int{1, 2, 5, 9} {
+			prms := SyntheticPRMs(n)
+			e := explorer(t, devName)
+			want := Pareto(e.ExploreAll(prms))
+			for _, opts := range []BBOptions{
+				{},
+				{DominancePrune: true},
+				{DominancePrune: true, SplitDepth: 2},
+				{SplitDepth: 4, Workers: 3},
+			} {
+				got, stats, err := e.ExploreParetoBB(context.Background(), prms, opts)
+				if err != nil {
+					t.Fatalf("%s n=%d opts=%+v: %v", devName, n, opts, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s n=%d opts=%+v: front differs\n got %d points: %+v\nwant %d points: %+v",
+						devName, n, opts, len(got), got, len(want), want)
+				}
+				if total := stats.Evaluated + stats.PrunedFit + stats.PrunedDominated; total != stats.Partitions {
+					t.Errorf("%s n=%d opts=%+v: evaluated %d + pruned %d+%d != Bell(n) %d",
+						devName, n, opts, stats.Evaluated, stats.PrunedFit, stats.PrunedDominated, stats.Partitions)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreParetoMatchesFlatRandom repeats the equivalence property on
+// randomized PRM sets, which include oversized (unplaceable) modules that
+// drive the fit bound and infeasible partitions.
+func TestExploreParetoMatchesFlatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, devName := range []string{"XC5VLX110T", "XC6VLX75T"} {
+		for trial := 0; trial < 4; trial++ {
+			n := 3 + rng.Intn(4)
+			prms := randomPRMs(rng, n)
+			e := explorer(t, devName)
+			want := Pareto(e.ExploreAll(prms))
+			got, _, err := e.ExploreParetoBB(context.Background(), prms, BBOptions{DominancePrune: true})
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", devName, trial, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s trial %d n=%d: front differs\n got %+v\nwant %+v", devName, trial, n, got, want)
+			}
+		}
+	}
+}
+
+// TestExploreParetoConstrained is the pruning scale check: on the
+// constrained fabric the fit bound must skip more than half the partitions
+// without evaluation, the front must still exactly match the flat engine,
+// and the streaming engine's peak resident point count must stay at
+// front-scale, not Bell(n)-scale.
+func TestExploreParetoConstrained(t *testing.T) {
+	n := 10
+	prms := ConstrainedPRMs(n)
+	e := constrainedExplorer()
+	want := Pareto(e.ExploreAll(prms))
+
+	got, stats, err := e.ExploreParetoBB(context.Background(), prms, BBOptions{DominancePrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("constrained front differs:\n got %+v\nwant %+v", got, want)
+	}
+	if pruned := stats.PrunedFit + stats.PrunedDominated; pruned <= stats.Partitions/2 {
+		t.Errorf("pruned %d of %d partitions; want > half skipped without evaluation", pruned, stats.Partitions)
+	}
+	if stats.MaxResident >= stats.Partitions/10 {
+		t.Errorf("resident points peaked at %d for %d partitions; streaming should stay O(front)",
+			stats.MaxResident, stats.Partitions)
+	}
+	if stats.MaxResident < int64(len(want)) {
+		t.Errorf("resident peak %d below front size %d", stats.MaxResident, len(want))
+	}
+	t.Logf("constrained n=%d: %d partitions, %d evaluated, %d fit-pruned, %d dominance-pruned, %d pricings, front %d, resident peak %d",
+		n, stats.Partitions, stats.Evaluated, stats.PrunedFit, stats.PrunedDominated,
+		stats.GroupPricings, stats.FrontSize, stats.MaxResident)
+}
+
+// TestExploreBBCallbackMatchesExploreAll: with pruning disabled the callback
+// engine delivers exactly the ExploreAll point multiset; with the fit bound
+// on it delivers every feasible point (the bound only removes infeasible
+// ones). Cross-subtree delivery order is unspecified, so compare sorted.
+func TestExploreBBCallbackMatchesExploreAll(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := SyntheticPRMs(6)
+	all := e.ExploreAll(prms)
+
+	collect := func(opts BBOptions) []DesignPoint {
+		var pts []DesignPoint
+		stats, err := e.ExploreBB(context.Background(), prms, opts, func(dp DesignPoint) bool {
+			pts = append(pts, dp)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(pts)) != stats.Evaluated {
+			t.Fatalf("delivered %d points but stats.Evaluated = %d", len(pts), stats.Evaluated)
+		}
+		sort.Slice(pts, func(i, j int) bool { return Describe(prms, pts[i]) < Describe(prms, pts[j]) })
+		return pts
+	}
+
+	unpruned := collect(BBOptions{DisableFitPrune: true})
+	wantAll := append([]DesignPoint(nil), all...)
+	sort.Slice(wantAll, func(i, j int) bool { return Describe(prms, wantAll[i]) < Describe(prms, wantAll[j]) })
+	if !reflect.DeepEqual(unpruned, wantAll) {
+		t.Errorf("unpruned callback points differ from ExploreAll (%d vs %d)", len(unpruned), len(wantAll))
+	}
+
+	pruned := collect(BBOptions{})
+	var wantFeasible []DesignPoint
+	for _, p := range all {
+		if p.Feasible {
+			wantFeasible = append(wantFeasible, p)
+		}
+	}
+	var gotFeasible []DesignPoint
+	for _, p := range pruned {
+		if p.Feasible {
+			gotFeasible = append(gotFeasible, p)
+		}
+	}
+	sort.Slice(wantFeasible, func(i, j int) bool { return Describe(prms, wantFeasible[i]) < Describe(prms, wantFeasible[j]) })
+	if !reflect.DeepEqual(gotFeasible, wantFeasible) {
+		t.Errorf("fit-pruned callback lost feasible points (%d vs %d)", len(gotFeasible), len(wantFeasible))
+	}
+}
+
+// TestExploreBBEarlyStop: returning false from visit halts the exploration
+// promptly with no error.
+func TestExploreBBEarlyStop(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := SyntheticPRMs(8)
+	seen := 0
+	stats, err := e.ExploreBB(context.Background(), prms, BBOptions{}, func(DesignPoint) bool {
+		seen++
+		return seen < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen < 10 {
+		t.Fatalf("visit called %d times, early-stop threshold never reached", seen)
+	}
+	if stats.Evaluated >= stats.Partitions {
+		t.Errorf("early stop evaluated all %d partitions", stats.Partitions)
+	}
+}
+
+// TestExploreBBCancel: a cancelled context aborts with its error and no
+// front.
+func TestExploreBBCancel(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := SyntheticPRMs(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	front, _, err := e.ExploreParetoBB(ctx, prms, BBOptions{})
+	if err == nil {
+		t.Fatal("cancelled exploration returned no error")
+	}
+	if front != nil {
+		t.Errorf("cancelled exploration returned %d front points", len(front))
+	}
+}
+
+// TestExplorePareto covers the convenience wrapper against the flat front.
+func TestExplorePareto(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := paperPRMs(t, "XC6VLX75T")
+	want := Pareto(e.ExploreAll(prms))
+	got, err := e.ExplorePareto(context.Background(), prms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExplorePareto = %+v, want %+v", got, want)
+	}
+}
+
+// TestParetoFrontStreaming feeds points in adversarial orders and checks the
+// online merger always matches the batch filter, including duplicate
+// non-dominated points and later points evicting earlier ones.
+func TestParetoFrontStreaming(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	prms := SyntheticPRMs(6)
+	all := e.ExploreAll(prms)
+	want := Pareto(all)
+
+	// Sequential order, as one merger.
+	f := &ParetoFront{}
+	for i, p := range all {
+		if p.Feasible {
+			f.Add(p, uint64(i))
+		}
+	}
+	if got := f.Points(); !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed front differs from batch Pareto (%d vs %d points)", len(got), len(want))
+	}
+
+	// Split at arbitrary boundaries and merge in order.
+	for _, cut := range []int{1, 7, len(all) / 2, len(all) - 3} {
+		a, b := &ParetoFront{}, &ParetoFront{}
+		for i, p := range all {
+			if !p.Feasible {
+				continue
+			}
+			if i < cut {
+				a.Add(p, uint64(i))
+			} else {
+				b.Add(p, uint64(i))
+			}
+		}
+		a.Merge(b)
+		if got := a.Points(); !reflect.DeepEqual(got, want) {
+			t.Errorf("cut %d: merged front differs from batch Pareto", cut)
+		}
+	}
+}
+
+// TestBBStatsMetricsFlow: one constrained run moves the engine-wide
+// branch-and-bound counters.
+func TestBBStatsMetricsFlow(t *testing.T) {
+	e := constrainedExplorer()
+	prms := ConstrainedPRMs(8)
+	before := metBBPrunedFit.Value()
+	_, stats, err := e.ExploreParetoBB(context.Background(), prms, BBOptions{DominancePrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PrunedFit == 0 {
+		t.Fatal("constrained workload produced no fit prunes")
+	}
+	if got := metBBPrunedFit.Value() - before; got != stats.PrunedFit {
+		t.Errorf("registry pruned-fit delta %d != stats %d", got, stats.PrunedFit)
+	}
+}

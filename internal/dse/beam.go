@@ -8,6 +8,12 @@ import "sort"
 // best partial design points (by a tiles + reconfig scalarization) survive
 // each step. For small n with a wide enough beam it finds the same best
 // points as ExploreAll.
+//
+// Candidates at step i share most of their group structure — beam members
+// descend from common prefixes, and extending one member leaves every group
+// before the changed one untouched — so pricing runs through the same
+// memoized group cache as ExploreAllParallel instead of re-running the
+// floorplanner on the full partial partition for every candidate.
 func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
 	if len(prms) == 0 {
 		return nil
@@ -25,8 +31,9 @@ func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
 		}
 		return float64(dp.TotalTiles) + dp.WorstReconfig.Seconds()*1e4
 	}
+	cache := newGroupCache()
 	beam := []cand{{groups: [][]int{{0}}}}
-	beam[0].dp = e.Evaluate(prms[:1], beam[0].groups)
+	beam[0].dp = e.evaluate(prms[:1], beam[0].groups, cache)
 	for i := 1; i < len(prms); i++ {
 		var next []cand
 		sub := prms[:i+1]
@@ -35,12 +42,12 @@ func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
 			for g := range c.groups {
 				groups := copyGroups(c.groups)
 				groups[g] = append(groups[g], i)
-				next = append(next, cand{groups: groups, dp: e.Evaluate(sub, groups)})
+				next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache)})
 			}
 			// Open a new group.
 			groups := copyGroups(c.groups)
 			groups = append(groups, []int{i})
-			next = append(next, cand{groups: groups, dp: e.Evaluate(sub, groups)})
+			next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache)})
 		}
 		sort.SliceStable(next, func(a, b int) bool { return score(next[a].dp) < score(next[b].dp) })
 		if len(next) > beamWidth {

@@ -73,6 +73,23 @@ func TestBeamScalesToManyPRMs(t *testing.T) {
 	}
 }
 
+// TestBeamUsesGroupCache: beam candidates share group prefixes, so the
+// memoized cache must answer a large share of lookups instead of re-running
+// the floorplanner for every candidate extension.
+func TestBeamUsesGroupCache(t *testing.T) {
+	e := explorer(t, "XC6VLX75T")
+	h0, m0 := e.CacheStats()
+	e.ExploreBeam(SyntheticPRMs(7), 16)
+	hits, misses := e.CacheStats()
+	hits, misses = hits-h0, misses-m0
+	if hits == 0 {
+		t.Fatalf("beam search hit the group cache 0 times (%d misses); re-pricing is not shared", misses)
+	}
+	if hits < misses {
+		t.Errorf("beam cache hits %d < misses %d; prefix sharing should dominate", hits, misses)
+	}
+}
+
 func TestBeamEmpty(t *testing.T) {
 	e := explorer(t, "XC6VLX75T")
 	if pts := e.ExploreBeam(nil, 4); pts != nil {

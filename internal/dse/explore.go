@@ -3,6 +3,7 @@ package dse
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -262,21 +263,21 @@ func Pareto(points []DesignPoint) []DesignPoint {
 
 // Describe renders a design point's grouping like "{FIR,MIPS}{SDRAM}".
 func Describe(prms []PRM, dp DesignPoint) string {
-	s := ""
+	var b strings.Builder
 	for _, g := range dp.Groups {
-		s += "{"
+		b.WriteByte('{')
 		for i, idx := range g {
 			if i > 0 {
-				s += ","
+				b.WriteByte(',')
 			}
-			s += prms[idx].Name
+			b.WriteString(prms[idx].Name)
 		}
-		s += "}"
+		b.WriteByte('}')
 	}
 	if !dp.Feasible {
-		s += " (infeasible)"
+		b.WriteString(" (infeasible)")
 	}
-	return s
+	return b.String()
 }
 
 // Productivity compares cost-model exploration against the vendor flow: the

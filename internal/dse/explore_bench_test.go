@@ -61,3 +61,52 @@ func BenchmarkExploreAllParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkExploreParetoBB is the branch-and-bound engine on the constrained
+// fabric, the workload pruning targets: the same Pareto front as
+// Pareto(ExploreAllParallel(...)) while most of the Bell(n) partitions die in
+// the tree before any pricing. n=12-13 are far past where the flat engines
+// remain practical.
+func BenchmarkExploreParetoBB(b *testing.B) {
+	for _, n := range []int{11, 12, 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := &Explorer{Device: ConstrainedDevice(), Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+			prms := ConstrainedPRMs(n)
+			b.ResetTimer()
+			var stats BBStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = e.ExploreParetoBB(context.Background(), prms, BBOptions{DominancePrune: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stats.PrunedFit+stats.PrunedDominated)/float64(stats.Partitions), "pruned-frac")
+			b.ReportMetric(float64(stats.MaxResident), "resident-peak")
+		})
+	}
+}
+
+// BenchmarkExploreAllParallelConstrained is the flat baseline on the same
+// constrained workload, for a like-for-like pruned-versus-flat comparison.
+// n=13 (Bell ≈ 27.6M flat evaluations) is omitted: only the tree engine
+// reaches it in benchmarkable time.
+func BenchmarkExploreAllParallelConstrained(b *testing.B) {
+	for _, n := range []int{11, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := &Explorer{Device: ConstrainedDevice(), Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+			prms := ConstrainedPRMs(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := e.ExploreAllParallel(context.Background(), prms)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(Pareto(points)) == 0 {
+					b.Fatal("empty front")
+				}
+			}
+		})
+	}
+}

@@ -31,6 +31,37 @@ var (
 		obs.LatencyBuckets)
 )
 
+// Branch-and-bound engine metrics: how much of the design space the bounds
+// removed before any pricing happened, how much incremental pricing work the
+// surviving tree cost, and how small the streaming engine's resident set
+// stayed.
+var (
+	metBBExplorations = obs.Default().Counter("dse_bb_explorations_total",
+		"completed branch-and-bound explorations")
+	metBBSubtrees = obs.Default().Counter("dse_bb_subtree_jobs_total",
+		"parallel subtree jobs dispatched by the branch-and-bound splitter")
+	metBBEvaluated = obs.Default().Counter("dse_bb_partitions_evaluated_total",
+		"partitions fully priced by the branch-and-bound engine")
+	metBBPrunedFit = obs.Default().Counter("dse_bb_partitions_pruned_total",
+		"partitions skipped without evaluation, by bound kind",
+		obs.L("bound", "fit"))
+	metBBPrunedDom = obs.Default().Counter("dse_bb_partitions_pruned_total",
+		"partitions skipped without evaluation, by bound kind",
+		obs.L("bound", "dominated"))
+	metBBGroupPricings = obs.Default().Counter("dse_bb_group_pricings_total",
+		"incremental group pricings along tree edges (the engine's work unit)")
+	metBBFrontSize = obs.Default().Gauge("dse_bb_front_size",
+		"Pareto-front size of the most recent streaming exploration")
+	metBBResidentPeak = obs.Default().Gauge("dse_bb_resident_points_peak",
+		"peak design points resident during the most recent streaming exploration")
+	metBBPruneDepthFit = obs.Default().Histogram("dse_bb_prune_depth",
+		"RGS tree depth at which subtrees were pruned, by bound kind",
+		obs.CountBuckets, obs.L("bound", "fit"))
+	metBBPruneDepthDom = obs.Default().Histogram("dse_bb_prune_depth",
+		"RGS tree depth at which subtrees were pruned, by bound kind",
+		obs.CountBuckets, obs.L("bound", "dominated"))
+)
+
 // statStripe is one stripe of an Explorer's cache-lookup accounting, padded
 // to its own cache line so parallel workers do not false-share.
 type statStripe struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/device"
 )
 
 // SyntheticPRMs builds a deterministic n-module workload from a few
@@ -25,6 +26,50 @@ func SyntheticPRMs(n int) []PRM {
 		req.LUTs += 29 * i
 		req.FFs += 23 * i
 		prms[i] = PRM{Name: fmt.Sprintf("M%d", i), Req: req}
+	}
+	return prms
+}
+
+// ConstrainedDevice returns a deliberately tight PR fabric for pruning
+// experiments: four rows and two allowed column runs, one carrying the only
+// DSP column and the other the only BRAM column. No contiguous window can
+// contain both a DSP and a BRAM column, so any PRM group that needs both
+// resource kinds is unplaceable — a structural constraint the
+// branch-and-bound fit bound detects from the requirements alone, without
+// running the floorplanner.
+func ConstrainedDevice() *device.Device {
+	dev, err := device.New(device.Spec{
+		Name:   "CONSTRAINED-PR",
+		Family: device.Virtex5,
+		Rows:   4,
+		Layout: "I C*6 D C*4 I C*5 B C*4 I",
+	})
+	if err != nil {
+		panic(err) // static spec; cannot fail
+	}
+	return dev
+}
+
+// ConstrainedPRMs builds the n-module workload paired with
+// ConstrainedDevice: modules cycle through DSP-needing, BRAM-needing and
+// logic-only templates (each individually placeable), so most set partitions
+// co-locate a DSP module with a BRAM module somewhere and die in the
+// branch-and-bound tree before any cost model runs.
+func ConstrainedPRMs(n int) []PRM {
+	templates := []core.Requirements{
+		{LUTFFPairs: 620, LUTs: 560, FFs: 480, DSPs: 8},
+		{LUTFFPairs: 540, LUTs: 500, FFs: 420, BRAMs: 2},
+		{LUTFFPairs: 800, LUTs: 730, FFs: 610},
+	}
+	prms := make([]PRM, n)
+	for i := range prms {
+		req := templates[i%len(templates)]
+		// Vary logic sizes so groups are not interchangeable, keeping the
+		// DSP/BRAM structure that drives the pruning intact.
+		req.LUTFFPairs += 17 * i
+		req.LUTs += 13 * i
+		req.FFs += 11 * i
+		prms[i] = PRM{Name: fmt.Sprintf("C%d", i), Req: req}
 	}
 	return prms
 }

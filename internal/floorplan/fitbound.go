@@ -1,0 +1,70 @@
+package floorplan
+
+import "repro/internal/device"
+
+// RunIndex summarizes a fabric's maximal contiguous runs of PRR-allowed
+// columns (no IOB or CLK column inside) by their per-kind column counts. Any
+// window FindWindow can ever return lies entirely inside one such run — a
+// window must be contiguous and forbidden-free — so the index answers
+// "could ANY window hold at least these column counts?" without scanning the
+// fabric, independent of the row, the height, the avoid set and the hole
+// layout. That makes it a sound necessary condition (an admissible bound)
+// for branch-and-bound pruning: if CanHold says no, FindWindow can never say
+// yes, on the empty fabric or any constrained one.
+type RunIndex struct {
+	runs []runCount
+}
+
+// runCount is one maximal allowed run's per-kind column census.
+type runCount struct {
+	clb, dsp, bram int
+}
+
+// NewRunIndex scans the fabric's column sequence once and records every
+// maximal run of PRR-allowed columns.
+func NewRunIndex(f *device.Fabric) *RunIndex {
+	ri := &RunIndex{}
+	var cur runCount
+	open := false
+	flush := func() {
+		if open {
+			ri.runs = append(ri.runs, cur)
+			cur = runCount{}
+			open = false
+		}
+	}
+	for col := 1; col <= f.NumColumns(); col++ {
+		k := f.KindAt(col)
+		if !k.PRRAllowed() {
+			flush()
+			continue
+		}
+		open = true
+		switch k {
+		case device.KindCLB:
+			cur.clb++
+		case device.KindDSP:
+			cur.dsp++
+		case device.KindBRAM:
+			cur.bram++
+		}
+	}
+	flush()
+	return ri
+}
+
+// CanHold reports whether some allowed run contains at least need.CLB CLB
+// columns, need.DSP DSP columns and need.BRAM BRAM columns simultaneously.
+// False means no window with those (or larger) per-kind counts exists
+// anywhere on the fabric, for any height and any avoid set.
+func (ri *RunIndex) CanHold(need Need) bool {
+	for _, r := range ri.runs {
+		if r.clb >= need.CLB && r.dsp >= need.DSP && r.bram >= need.BRAM {
+			return true
+		}
+	}
+	return false
+}
+
+// Runs returns the number of maximal allowed runs, for diagnostics.
+func (ri *RunIndex) Runs() int { return len(ri.runs) }
