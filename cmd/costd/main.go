@@ -1,0 +1,89 @@
+// Command costd serves the cost models and exploration engines over
+// HTTP/JSON: the PRR size/organization model (Eqs. (1)–(17)), the bitstream
+// size model (Eqs. (18)–(23)) and the branch-and-bound Pareto explorer,
+// behind request coalescing, a bounded response cache and admission control.
+//
+// Usage:
+//
+//	costd -addr :8433
+//	costd -addr :8433 -rate 50 -burst 100 -max-inflight 256 -cache 4096
+//	costd -addr :0 -summary run.json     # summary written on shutdown
+//
+// Endpoints: GET /v1/devices, POST /v1/prr, POST /v1/bitstream,
+// POST /v1/explore (NDJSON stream), GET /healthz, GET /metrics.
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests and exploration
+// streams drain within -grace, then stragglers are cancelled. With -summary
+// the per-run metric summary — including the service section (requests,
+// coalesced, cache hits, shed) — is written on exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8433", "listen address (\":0\" picks a free port)")
+	cache := flag.Int("cache", service.DefaultCacheEntries, "response cache entries across shards (negative = off)")
+	maxInflight := flag.Int("max-inflight", service.DefaultMaxInflight, "max concurrently admitted requests (negative = unlimited)")
+	rate := flag.Float64("rate", 0, "per-client token-bucket refill, requests/sec (0 = unlimited)")
+	burst := flag.Int("burst", 10, "per-client token-bucket depth")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+	summaryOut := flag.String("summary", "", "write the per-run summary JSON (with service section) on shutdown")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		CacheEntries: *cache,
+		MaxInflight:  *maxInflight,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+	})
+	if *summaryOut != "" {
+		obs.SetActive(true)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "costd: serving on %s\n", srv.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(os.Stderr, "costd: shutting down (drain budget %v)\n", *grace)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "costd: forced shutdown: %v\n", err)
+	}
+
+	if *summaryOut != "" {
+		sum := report.NewRunSummary("costd", obs.Default())
+		sum.Service = srv.Stats()
+		sum.UnixNano = time.Now().UnixNano()
+		sum.Params = map[string]string{
+			"addr":  *addr,
+			"cache": fmt.Sprint(*cache),
+			"rate":  fmt.Sprint(*rate),
+		}
+		if err := sum.WriteFile(*summaryOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "costd: run summary written to %s\n", *summaryOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "costd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,353 @@
+// Command costload drives a running costd with closed-loop concurrent
+// clients and reports throughput and latency percentiles — the end-to-end
+// harness for the serving layer's coalescing, caching and admission control.
+//
+// Usage:
+//
+//	costload -addr http://127.0.0.1:8433 -clients 16 -duration 10s
+//	costload -addr ... -workload prr -distinct 4      # repeated requests: cache + coalescing exercise
+//	costload -addr ... -probe-cancel                  # explore-stream disconnect probe
+//	costload -addr ... -probe-coalesce                # identical-burst singleflight probe
+//	costload -addr ... -json load.json                # machine-readable summary (CI artifact)
+//
+// Each client issues requests back-to-back (closed loop), cycling through
+// -distinct request variants: a small pool means most requests repeat, so
+// the server's response cache and singleflight absorb them — visible in
+// /metrics as service_cache_hits_total and service_coalesced_total.
+//
+// -probe-cancel opens an NDJSON exploration stream, disconnects after the
+// first point, and measures how long the server takes to observe the
+// cancellation (service_explore_cancelled_total in /metrics).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/service/api"
+)
+
+type result struct {
+	latencies []time.Duration
+	errors    int
+}
+
+// loadSummary is the machine-readable run report (-json).
+type loadSummary struct {
+	Schema        string  `json:"schema"`
+	Workload      string  `json:"workload"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyNS     struct {
+		P50 int64 `json:"p50"`
+		P90 int64 `json:"p90"`
+		P99 int64 `json:"p99"`
+		Max int64 `json:"max"`
+	} `json:"latency_ns"`
+	// CancelProbeNS is the explore-disconnect probe result (with
+	// -probe-cancel): time from client disconnect to the server accounting
+	// the cancelled stream.
+	CancelProbeNS int64 `json:"cancel_probe_ns,omitempty"`
+	// CoalesceProbe is how many requests of the identical-burst probe (with
+	// -probe-coalesce) rode another's in-flight evaluation.
+	CoalesceProbe int64 `json:"coalesce_probe_coalesced,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8433", "costd base URL")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	workload := flag.String("workload", "prr", "request mix: prr, bitstream or mixed")
+	distinct := flag.Int("distinct", 4, "distinct request variants per workload (small = cache/coalesce heavy)")
+	deviceName := flag.String("device", "XC6VLX75T", "target device for generated requests")
+	probeCancel := flag.Bool("probe-cancel", false, "after the load, probe explore-stream disconnect latency")
+	probeCoalesce := flag.Bool("probe-coalesce", false, "after the load, probe singleflight coalescing with an identical-request burst")
+	jsonOut := flag.String("json", "", "write the machine-readable load summary to this file")
+	flag.Parse()
+
+	c := client.New(*addr)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		fatal(fmt.Errorf("server not healthy: %w", err))
+	}
+
+	prrPool, bitPool := buildPools(*deviceName, *distinct)
+	results := make([]result, *clients)
+	loadCtx, cancel := context.WithTimeout(ctx, *duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(*addr)
+			cl.ID = fmt.Sprintf("costload-%d", w)
+			res := &results[w]
+			for i := 0; loadCtx.Err() == nil; i++ {
+				var err error
+				t0 := time.Now()
+				switch pick(*workload, i) {
+				case "prr":
+					_, err = cl.PRR(loadCtx, prrPool[(w+i)%len(prrPool)])
+				case "bitstream":
+					_, err = cl.Bitstream(loadCtx, bitPool[(w+i)%len(bitPool)])
+				}
+				if loadCtx.Err() != nil {
+					return // deadline mid-request: don't count it
+				}
+				if err != nil {
+					res.errors++
+					continue
+				}
+				res.latencies = append(res.latencies, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errors += r.errors
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	sum := loadSummary{
+		Schema:      "repro/loadgen/v1",
+		Workload:    *workload,
+		Clients:     *clients,
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(all),
+		Errors:      errors,
+	}
+	if len(all) > 0 {
+		sum.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+		sum.LatencyNS.P50 = pct(all, 50).Nanoseconds()
+		sum.LatencyNS.P90 = pct(all, 90).Nanoseconds()
+		sum.LatencyNS.P99 = pct(all, 99).Nanoseconds()
+		sum.LatencyNS.Max = all[len(all)-1].Nanoseconds()
+	}
+
+	fmt.Printf("costload: %d clients, %s workload, %v\n", *clients, *workload, elapsed.Round(time.Millisecond))
+	fmt.Printf("  %d requests (%d errors), %.0f req/s\n", sum.Requests, errors, sum.ThroughputRPS)
+	if len(all) > 0 {
+		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(all, 50).Round(time.Microsecond), pct(all, 90).Round(time.Microsecond),
+			pct(all, 99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	}
+
+	if *probeCoalesce {
+		n, err := coalesceProbe(ctx, *addr, *deviceName, *clients)
+		if err != nil {
+			fatal(fmt.Errorf("coalesce probe: %w", err))
+		}
+		sum.CoalesceProbe = n
+		fmt.Printf("  identical burst: %d of %d requests coalesced onto one evaluation\n", n, *clients)
+	}
+
+	if *probeCancel {
+		d, err := cancelProbe(ctx, c, *addr, *deviceName)
+		if err != nil {
+			fatal(fmt.Errorf("cancel probe: %w", err))
+		}
+		sum.CancelProbeNS = d.Nanoseconds()
+		fmt.Printf("  explore disconnect -> engine stop observed in %v\n", d.Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&sum); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  summary written to %s\n", *jsonOut)
+	}
+}
+
+// pick alternates workloads in mixed mode.
+func pick(workload string, i int) string {
+	if workload != "mixed" {
+		return workload
+	}
+	if i%2 == 0 {
+		return "prr"
+	}
+	return "bitstream"
+}
+
+// buildPools derives the distinct request variants. Varying only the logic
+// sizes keeps every variant feasible on the catalog parts while making the
+// canonical hashes distinct.
+func buildPools(dev string, distinct int) ([]*api.PRRRequest, []*api.BitstreamRequest) {
+	if distinct < 1 {
+		distinct = 1
+	}
+	prr := make([]*api.PRRRequest, distinct)
+	bit := make([]*api.BitstreamRequest, distinct)
+	for d := 0; d < distinct; d++ {
+		prr[d] = &api.PRRRequest{
+			Device: dev,
+			PRMs: []api.PRM{
+				{Name: "FIR", Req: api.Requirements{LUTFFPairs: 1300 + 37*d, LUTs: 1156 + 29*d, FFs: 889 + 23*d, DSPs: 4, BRAMs: 2}},
+				{Name: "MIPS", Req: api.Requirements{LUTFFPairs: 2617 + 37*d, LUTs: 2332 + 29*d, FFs: 1698 + 23*d}},
+				{Name: "SDRAM", Req: api.Requirements{LUTFFPairs: 332 + 37*d, LUTs: 288 + 29*d, FFs: 270 + 23*d, BRAMs: 1}},
+			},
+		}
+		bit[d] = &api.BitstreamRequest{
+			Device: dev,
+			Items: []api.Organization{
+				{H: 1 + d%3, WCLB: 4 + d, WDSP: 1},
+				{H: 2, WCLB: 6 + d, WBRAM: 1},
+			},
+		}
+	}
+	return prr, bit
+}
+
+// pct picks the p-th percentile from sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// coalesceProbe fires k barrier-started, byte-identical batch requests whose
+// canonical key the server has never seen (fresh nonce), so the cache cannot
+// answer and the singleflight must: all but the leader should report as
+// coalesced in /metrics. The batch is large enough that its evaluation
+// dwarfs request skew; a zero result is retried with a new nonce before
+// giving up, since the burst is inherently a race.
+func coalesceProbe(ctx context.Context, addr, dev string, k int) (int64, error) {
+	if k < 2 {
+		k = 2
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		before, err := scrapeCounter(ctx, addr, "service_coalesced_total")
+		if err != nil {
+			return 0, err
+		}
+		nonce := int(time.Now().UnixNano() % 4096)
+		req := &api.PRRRequest{Device: dev, PRMs: make([]api.PRM, 512)}
+		for j := range req.PRMs {
+			req.PRMs[j] = api.PRM{Req: api.Requirements{
+				LUTFFPairs: 400 + (nonce+13*j)%800,
+				LUTs:       350 + (nonce+11*j)%700,
+				FFs:        300 + (nonce+7*j)%600,
+			}}
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		errs := make([]error, k)
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := client.New(addr)
+				cl.ID = fmt.Sprintf("costload-coalesce-%d", w)
+				<-start
+				_, errs[w] = cl.PRR(ctx, req)
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		after, err := scrapeCounter(ctx, addr, "service_coalesced_total")
+		if err != nil {
+			return 0, err
+		}
+		if d := after - before; d > 0 {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("no request coalesced across 3 identical bursts")
+}
+
+// cancelProbe opens an exploration stream on a workload big enough to run
+// for a while (Bell(11) = 678570 partitions), disconnects after the first
+// point, and measures how long until /metrics shows the cancelled stream —
+// the serving guarantee that a gone client stops costing engine time.
+func cancelProbe(ctx context.Context, c *client.Client, addr, dev string) (time.Duration, error) {
+	before, err := scrapeCounter(ctx, addr, "service_explore_cancelled_total")
+	if err != nil {
+		return 0, err
+	}
+	probeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cl := client.New(addr)
+	cl.ID = "costload-cancel-probe"
+	cl.MaxRetries = 0
+	_, expErr := cl.Explore(probeCtx, &api.ExploreRequest{Device: dev, SyntheticN: 11},
+		func(api.DesignPoint) bool { return false }) // drop the stream at the first point
+	if expErr == nil {
+		return 0, fmt.Errorf("abandoned stream reported success")
+	}
+	t0 := time.Now()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		now, err := scrapeCounter(ctx, addr, "service_explore_cancelled_total")
+		if err == nil && now > before {
+			return time.Since(t0), nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("server never accounted the cancelled stream")
+}
+
+// scrapeCounter reads one counter value from the Prometheus text exposition.
+func scrapeCounter(ctx context.Context, addr, name string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("counter %s not found in /metrics", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "costload:", err)
+	os.Exit(1)
+}

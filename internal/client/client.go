@@ -1,0 +1,251 @@
+// Package client is the typed Go client of the costd cost-model service:
+// batch PRR and bitstream evaluation, device discovery, and NDJSON
+// exploration streaming, with retry/backoff that honors the server's
+// admission control (429 + Retry-After).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/service/api"
+)
+
+// Client talks to one costd instance. The zero value is not usable; call
+// New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8433".
+	BaseURL string
+	// HTTPClient defaults to a dedicated client (no global timeout: explore
+	// streams are long-lived; use contexts for deadlines).
+	HTTPClient *http.Client
+	// ID is sent as X-Client-ID so the server's per-client rate limiting
+	// and logs can tell callers apart. Empty omits the header.
+	ID string
+	// MaxRetries bounds attempts per call beyond the first (default 3).
+	// Retries apply to 429/503, retried with the server's Retry-After when
+	// given, and to transport errors; all calls here are pure evaluations,
+	// so retrying is safe.
+	MaxRetries int
+	// Backoff is the base of the exponential backoff between retries
+	// (default 100ms, doubling per attempt, capped at 2s). Retry-After
+	// overrides it when larger.
+	Backoff time.Duration
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{},
+		MaxRetries: 3,
+		Backoff:    100 * time.Millisecond,
+	}
+}
+
+// apiError is a non-2xx response decoded from the server's error body.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Msg)
+}
+
+// IsRetryable reports whether the status signals transient overload.
+func (e *apiError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// do issues one request with retry/backoff, returning the response with a
+// 2xx status. The caller owns resp.Body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	maxRetries := c.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.ID != "" {
+			req.Header.Set("X-Client-ID", c.ID)
+		}
+		resp, err := c.HTTPClient.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode/100 == 2:
+			return resp, nil
+		default:
+			ae := &apiError{Status: resp.StatusCode, Msg: readErrBody(resp.Body)}
+			wait = retryAfter(resp)
+			resp.Body.Close()
+			lastErr = ae
+			if !ae.IsRetryable() {
+				return nil, ae
+			}
+		}
+		if attempt >= maxRetries {
+			return nil, lastErr
+		}
+		if d := backoff << attempt; d > wait {
+			wait = d
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// retryAfter parses the Retry-After header (seconds form) if present.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+func readErrBody(r io.Reader) string {
+	var e api.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(r, 4096)).Decode(&e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return "(no error body)"
+}
+
+// getJSON / postJSON decode a whole-body JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]string
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return err
+	}
+	if out["status"] != "ok" {
+		return fmt.Errorf("client: unhealthy: %v", out)
+	}
+	return nil
+}
+
+// Devices lists the server's device catalog.
+func (c *Client) Devices(ctx context.Context) ([]device.Descriptor, error) {
+	var out api.DevicesResponse
+	if err := c.getJSON(ctx, "/v1/devices", &out); err != nil {
+		return nil, err
+	}
+	return out.Devices, nil
+}
+
+// PRR batch-evaluates the PRR size/organization model.
+func (c *Client) PRR(ctx context.Context, req *api.PRRRequest) (*api.PRRResponse, error) {
+	var out api.PRRResponse
+	if err := c.postJSON(ctx, "/v1/prr", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Bitstream batch-evaluates the bitstream size model.
+func (c *Client) Bitstream(ctx context.Context, req *api.BitstreamRequest) (*api.BitstreamResponse, error) {
+	var out api.BitstreamResponse
+	if err := c.postJSON(ctx, "/v1/bitstream", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explore opens the NDJSON exploration stream, calling visit for every Point
+// event (visit may be nil with FrontOnly requests; returning false abandons
+// the stream, which cancels the server-side engine). It returns the final
+// Done event. A stream that ends without one — server shutdown mid-run, or
+// the connection dropping — returns an error.
+func (c *Client) Explore(ctx context.Context, req *api.ExploreRequest, visit func(api.DesignPoint) bool) (*api.ExploreDone, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/explore", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // fronts can be wide
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev api.ExploreEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decoding stream line: %w", err)
+		}
+		switch {
+		case ev.Error != "":
+			return nil, fmt.Errorf("client: explore failed: %s", ev.Error)
+		case ev.Done != nil:
+			return ev.Done, nil
+		case ev.Point != nil:
+			if visit != nil && !visit(*ev.Point) {
+				return nil, fmt.Errorf("client: explore abandoned by visitor")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: explore stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: explore stream ended without a done event (cancelled?)")
+}

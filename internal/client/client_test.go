@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+// newServicePair mounts a real service behind httptest and a client on it.
+func newServicePair(t *testing.T, cfg service.Config) (*service.Server, *Client) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := service.New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+	return s, New(ts.URL)
+}
+
+// TestRetryHonorsRetryAfter: a 429 with Retry-After delays the retry at least
+// that long, and the retried call succeeds.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstTry, retry time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstTry = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"overloaded, retry later"}`)
+		default:
+			retry = time.Now()
+			fmt.Fprint(w, `{"status":"ok"}`)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2 (429 then 200)", n)
+	}
+	if waited := retry.Sub(firstTry); waited < time.Second {
+		t.Errorf("client retried after %v, Retry-After asked for 1s", waited)
+	}
+}
+
+// TestRetryGivesUp: MaxRetries bounds the attempts and the final error
+// carries the server's status.
+func TestRetryGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"still overloaded"}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	c.MaxRetries = 2
+	c.Backoff = time.Millisecond
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("call against a permanently overloaded server succeeded")
+	}
+	if !strings.Contains(err.Error(), "429") {
+		t.Errorf("error %q does not carry the status", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", n)
+	}
+}
+
+// TestNoRetryOnClientError: 4xx other than 429 fails immediately.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"no such device"}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	err := c.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no such device") {
+		t.Fatalf("err = %v, want the server's message", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("client retried a 400: %d calls", n)
+	}
+}
+
+// TestClientAgainstService: the typed calls round-trip through a real
+// service end to end.
+func TestClientAgainstService(t *testing.T) {
+	_, c := newServicePair(t, service.Config{})
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	devs, err := c.Devices(ctx)
+	if err != nil {
+		t.Fatalf("Devices: %v", err)
+	}
+	if len(devs) == 0 {
+		t.Fatal("empty device catalog")
+	}
+
+	prr, err := c.PRR(ctx, &api.PRRRequest{
+		Device: devs[0].Name,
+		PRMs:   []api.PRM{{Name: "FIR", Req: api.Requirements{LUTFFPairs: 1300, LUTs: 1156, FFs: 889}}},
+	})
+	if err != nil {
+		t.Fatalf("PRR: %v", err)
+	}
+	if len(prr.Results) != 1 || !prr.Results[0].OK || prr.Results[0].Org == nil {
+		t.Fatalf("PRR results %+v", prr.Results)
+	}
+
+	bit, err := c.Bitstream(ctx, &api.BitstreamRequest{
+		Device: devs[0].Name,
+		Items:  []api.Organization{{H: 1, WCLB: 4}},
+	})
+	if err != nil {
+		t.Fatalf("Bitstream: %v", err)
+	}
+	if len(bit.Results) != 1 || !bit.Results[0].OK || bit.Results[0].SizeBytes <= 0 {
+		t.Fatalf("Bitstream results %+v", bit.Results)
+	}
+}
+
+// TestClientExploreStream: the NDJSON decoder delivers every point and the
+// terminal Done event.
+func TestClientExploreStream(t *testing.T) {
+	_, c := newServicePair(t, service.Config{})
+	points := 0
+	done, err := c.Explore(context.Background(),
+		&api.ExploreRequest{Device: "XC6VLX75T", SyntheticN: 4},
+		func(api.DesignPoint) bool { points++; return true })
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if done.Stats.Partitions != 15 { // Bell(4)
+		t.Errorf("partitions = %d, want 15", done.Stats.Partitions)
+	}
+	if int64(points) != done.Stats.Evaluated {
+		t.Errorf("visited %d points, stats say %d evaluated", points, done.Stats.Evaluated)
+	}
+	if len(done.Front) == 0 {
+		t.Error("empty front")
+	}
+}
+
+// TestClientExploreAbandon: a visitor returning false abandons the stream,
+// and the server-side engine observes the disconnect.
+func TestClientExploreAbandon(t *testing.T) {
+	s, c := newServicePair(t, service.Config{})
+	c.MaxRetries = 0
+	_, err := c.Explore(context.Background(),
+		&api.ExploreRequest{Device: "XC6VLX75T", SyntheticN: 11},
+		func(api.DesignPoint) bool { return false })
+	if err == nil {
+		t.Fatal("abandoned stream reported success")
+	}
+	deadline := time.Now().Add(time.Second)
+	for s.Stats().ExploreCancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never accounted the abandoned stream")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,60 @@
+package device
+
+// Descriptor is the JSON-serializable summary of one catalog device: what a
+// remote consumer (the costd /v1/devices endpoint, a scheduler picking a
+// part) needs to know without holding the full Fabric grid. Layout round-
+// trips through ParseLayout, so a descriptor is enough to rebuild the fabric.
+type Descriptor struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Rows   int    `json:"rows"`
+	// Columns is the fabric width in columns (including forbidden ones).
+	Columns int `json:"columns"`
+	// Layout is the column string in ParseLayout syntax.
+	Layout string `json:"layout"`
+	// Holes counts hard-macro tiles excluded from PRR placement.
+	Holes int `json:"holes,omitempty"`
+
+	// Resource totals over the fabric (holes subtracted), in device units.
+	CLBs  int `json:"clbs"`
+	LUTs  int `json:"luts"`
+	FFs   int `json:"ffs"`
+	DSPs  int `json:"dsps"`
+	BRAMs int `json:"brams"`
+
+	// ConfigFrames is the full-fabric configuration frame count; FrameWords
+	// the family's words per frame — together the scale of Eqs. (18)–(23).
+	ConfigFrames int `json:"config_frames"`
+	FrameWords   int `json:"frame_words"`
+}
+
+// Describe builds the device's descriptor.
+func (d *Device) Describe() Descriptor {
+	clbs, dsps, brams := d.Fabric.Resources(d.Params)
+	return Descriptor{
+		Name:         d.Name,
+		Family:       d.Params.Family.String(),
+		Rows:         d.Fabric.Rows,
+		Columns:      d.Fabric.NumColumns(),
+		Layout:       d.Fabric.Layout(),
+		Holes:        len(d.Fabric.Holes),
+		CLBs:         clbs,
+		LUTs:         clbs * d.Params.LUTPerCLB,
+		FFs:          clbs * d.Params.FFPerCLB,
+		DSPs:         dsps,
+		BRAMs:        brams,
+		ConfigFrames: d.Fabric.ConfigFrames(d.Params),
+		FrameWords:   d.Params.FrameWords,
+	}
+}
+
+// Descriptors returns every catalog device's descriptor in stable (sorted by
+// name) order — the /v1/devices payload.
+func Descriptors() []Descriptor {
+	all := All()
+	out := make([]Descriptor, len(all))
+	for i, d := range all {
+		out[i] = d.Describe()
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package device
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Descriptors must enumerate the whole catalog in stable name order.
+func TestDescriptorsStableOrder(t *testing.T) {
+	ds := Descriptors()
+	if len(ds) != len(Names()) {
+		t.Fatalf("Descriptors returned %d entries, catalog has %d", len(ds), len(Names()))
+	}
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("descriptor names not sorted: %v", names)
+	}
+	if !reflect.DeepEqual(ds, Descriptors()) {
+		t.Fatal("Descriptors not deterministic across calls")
+	}
+}
+
+// A descriptor must survive a JSON round trip unchanged, and its layout must
+// re-parse to the device's column grid (so remote consumers can rebuild the
+// fabric from the wire form alone).
+func TestDescriptorJSONRoundTrip(t *testing.T) {
+	for _, dev := range All() {
+		d := dev.Describe()
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", dev.Name, err)
+		}
+		var back Descriptor
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", dev.Name, err)
+		}
+		if !reflect.DeepEqual(d, back) {
+			t.Errorf("%s: round trip changed descriptor:\n got %+v\nwant %+v", dev.Name, back, d)
+		}
+		cols, err := ParseLayout(back.Layout)
+		if err != nil {
+			t.Fatalf("%s: layout %q does not re-parse: %v", dev.Name, back.Layout, err)
+		}
+		if !reflect.DeepEqual(cols, dev.Fabric.Columns) {
+			t.Errorf("%s: layout round trip changed columns", dev.Name)
+		}
+	}
+}
+
+// Descriptor resource totals must agree with the fabric accounting the
+// models use.
+func TestDescriptorResources(t *testing.T) {
+	d := XC5VLX110T.Describe()
+	clbs, dsps, brams := XC5VLX110T.Fabric.Resources(XC5VLX110T.Params)
+	if d.CLBs != clbs || d.DSPs != dsps || d.BRAMs != brams {
+		t.Errorf("descriptor resources (%d,%d,%d) != fabric (%d,%d,%d)",
+			d.CLBs, d.DSPs, d.BRAMs, clbs, dsps, brams)
+	}
+	if d.Holes != 3 {
+		t.Errorf("LX110T descriptor holes = %d, want 3", d.Holes)
+	}
+	if d.Family != "Virtex-5" {
+		t.Errorf("family = %q", d.Family)
+	}
+}

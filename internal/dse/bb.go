@@ -137,9 +137,9 @@ type bbState struct {
 // reprice re-derives the priced-group stack from group `from` on, stopping
 // at the first infeasible group exactly like evaluate() does.
 func (s *bbState) reprice(from int) {
-	if s.firstBad >= 0 && s.firstBad < from {
-		return
-	}
+	// Keep the stacks sized to the group count even when an infeasible
+	// prefix makes pricing moot: rec's save/restore slices them at group
+	// indexes and relies on len(evals) == len(members) at every node.
 	k := len(s.members)
 	for len(s.evals) < k {
 		s.evals = append(s.evals, groupEval{})
@@ -147,6 +147,9 @@ func (s *bbState) reprice(from int) {
 	}
 	s.evals = s.evals[:k]
 	s.placed = s.placed[:k]
+	if s.firstBad >= 0 && s.firstBad < from {
+		return
+	}
 	s.firstBad = -1
 	for g := from; g < k; g++ {
 		ev := s.run.e.priceGroup(s.run.prms, s.members[g], s.placed[:g], s.run.bit)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -14,8 +15,9 @@ import (
 // /debug/vars (expvar, including the registry mirrored as a single var) and
 // optionally the net/http/pprof handlers.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // publishOnce guards the process-global expvar name.
@@ -50,8 +52,15 @@ func StartServer(addr string, reg *Registry, enablePprof bool) (*Server, error) 
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go func() { _ = s.srv.Serve(ln) }()
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
 	SetActive(true)
 	return s, nil
 }
@@ -78,5 +87,22 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the server immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server immediately, aborting in-flight scrapes.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting connections,
+// waits for in-flight requests (a scrape mid-gather keeps its response), and
+// returns once the serve goroutine has exited. If ctx expires first the
+// server is closed hard and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	<-s.done
+	return err
+}

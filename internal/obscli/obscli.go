@@ -111,7 +111,11 @@ func (s *Session) Finish(device string, params map[string]string) error {
 		}
 	}
 	if s.server != nil {
-		if err := s.server.Close(); err != nil && firstErr == nil {
+		// Drain rather than abort: a scraper that connected during -hold
+		// keeps its in-flight response.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.server.Shutdown(ctx); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("closing metrics server: %w", err)
 		}
 	}

@@ -27,8 +27,55 @@ type RunSummary struct {
 	UnixNano int64 `json:"unix_nano,omitempty"`
 	// Params records the command-line shape of the run (flag name → value).
 	Params map[string]string `json:"params,omitempty"`
+	// Service summarizes a serving run (costd -summary); nil for the batch
+	// tools. Additive within repro/run-summary/v1: old readers ignore it.
+	Service *ServiceSummary `json:"service,omitempty"`
 	// Metrics is every registry series, sorted by name then labels.
 	Metrics []SummaryMetric `json:"metrics"`
+}
+
+// ServiceSummary is the serving-layer rollup: how much traffic the cost-model
+// service handled and how much work coalescing, caching and admission control
+// saved or shed.
+type ServiceSummary struct {
+	// Requests counts every admitted API request across endpoints.
+	Requests int64 `json:"requests"`
+	// Coalesced counts requests that piggybacked on an identical in-flight
+	// evaluation instead of computing (singleflight followers).
+	Coalesced int64 `json:"coalesced"`
+	// CacheHits / CacheMisses are response-cache lookups.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheEvictions counts LRU evictions under the cache's entry bound.
+	CacheEvictions int64 `json:"cache_evictions"`
+	// Shed counts requests rejected by admission control (429s).
+	Shed int64 `json:"shed"`
+	// ExploreStreams / ExploreCancelled count NDJSON exploration streams
+	// opened and the subset aborted by client disconnect or shutdown.
+	ExploreStreams   int64 `json:"explore_streams"`
+	ExploreCancelled int64 `json:"explore_cancelled"`
+}
+
+// Validate checks the rollup's internal consistency.
+func (s *ServiceSummary) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int64
+	}{
+		{"requests", s.Requests}, {"coalesced", s.Coalesced},
+		{"cache_hits", s.CacheHits}, {"cache_misses", s.CacheMisses},
+		{"cache_evictions", s.CacheEvictions}, {"shed", s.Shed},
+		{"explore_streams", s.ExploreStreams}, {"explore_cancelled", s.ExploreCancelled},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("report: service %s = %d is negative", v.name, v.val)
+		}
+	}
+	if s.ExploreCancelled > s.ExploreStreams {
+		return fmt.Errorf("report: service cancelled %d streams but only %d opened",
+			s.ExploreCancelled, s.ExploreStreams)
+	}
+	return nil
 }
 
 // SummaryMetric is one metric series in the summary.
@@ -133,6 +180,11 @@ func ReadRunSummary(r io.Reader) (*RunSummary, error) {
 	}
 	if s.Schema != RunSummarySchema {
 		return nil, fmt.Errorf("report: unknown run-summary schema %q", s.Schema)
+	}
+	if s.Service != nil {
+		if err := s.Service.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	for _, m := range s.Metrics {
 		if m.Histogram != nil {

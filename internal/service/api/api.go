@@ -1,0 +1,288 @@
+// Package api defines the wire types of the costd cost-model service: the
+// JSON request/response bodies of /v1/devices, /v1/prr, /v1/bitstream and
+// /v1/explore, and the canonical request hashing that the server's response
+// cache and singleflight coalescing key on. The server (internal/service)
+// and the typed client (internal/client) share these types, so a field added
+// here reaches both ends at once.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Batch limits: requests beyond these are rejected with 400 before any model
+// runs, bounding per-request work. MaxExplorePRMs bounds Bell(n): Bell(12)
+// is ~4.2M partitions, the most a single stream is allowed to walk.
+const (
+	MaxBatchItems  = 1024
+	MaxExplorePRMs = 12
+)
+
+// Requirements is the wire form of a PRM's resource needs (Table I).
+type Requirements struct {
+	LUTFFPairs int `json:"lut_ff_pairs"`
+	LUTs       int `json:"luts"`
+	FFs        int `json:"ffs"`
+	DSPs       int `json:"dsps,omitempty"`
+	BRAMs      int `json:"brams,omitempty"`
+}
+
+// Core converts to the model's requirement type.
+func (r Requirements) Core() core.Requirements {
+	return core.Requirements{
+		LUTFFPairs: r.LUTFFPairs, LUTs: r.LUTs, FFs: r.FFs,
+		DSPs: r.DSPs, BRAMs: r.BRAMs,
+	}
+}
+
+// RequirementsFrom converts from the model's requirement type.
+func RequirementsFrom(r core.Requirements) Requirements {
+	return Requirements{
+		LUTFFPairs: r.LUTFFPairs, LUTs: r.LUTs, FFs: r.FFs,
+		DSPs: r.DSPs, BRAMs: r.BRAMs,
+	}
+}
+
+// PRM names one module in a request.
+type PRM struct {
+	Name string       `json:"name,omitempty"`
+	Req  Requirements `json:"req"`
+}
+
+// Region is a placed PRR window on the fabric.
+type Region struct {
+	Row int `json:"row"`
+	Col int `json:"col"`
+	H   int `json:"h"`
+	W   int `json:"w"`
+}
+
+// Organization is a PRR's size/organization: the model's H and per-kind
+// column counts (Eqs. (2)–(7)). In /v1/bitstream requests only the four
+// counts matter; in /v1/prr responses Region reports the placement.
+type Organization struct {
+	H      int     `json:"h"`
+	WCLB   int     `json:"w_clb"`
+	WDSP   int     `json:"w_dsp,omitempty"`
+	WBRAM  int     `json:"w_bram,omitempty"`
+	Region *Region `json:"region,omitempty"`
+}
+
+// Core converts to the model's organization (Region dropped: it is an
+// output, not an input, of the bitstream model).
+func (o Organization) Core() core.Organization {
+	return core.Organization{H: o.H, WCLB: o.WCLB, WDSP: o.WDSP, WBRAM: o.WBRAM}
+}
+
+// Availability is the PRR's resource capacity (Eqs. (8)–(12)).
+type Availability struct {
+	CLBs  int `json:"clbs"`
+	FFs   int `json:"ffs"`
+	LUTs  int `json:"luts"`
+	DSPs  int `json:"dsps"`
+	BRAMs int `json:"brams"`
+}
+
+// Utilization is the per-resource RU percentage (Eqs. (13)–(17)).
+type Utilization struct {
+	CLB  float64 `json:"clb"`
+	FF   float64 `json:"ff"`
+	LUT  float64 `json:"lut"`
+	DSP  float64 `json:"dsp"`
+	BRAM float64 `json:"bram"`
+}
+
+// DevicesResponse is the GET /v1/devices body.
+type DevicesResponse struct {
+	Devices []device.Descriptor `json:"devices"`
+}
+
+// PRRRequest is the POST /v1/prr body: size every PRM independently on the
+// device (the paper's Fig. 1 flow, Eqs. (1)–(17)).
+type PRRRequest struct {
+	Device string `json:"device"`
+	PRMs   []PRM  `json:"prms"`
+}
+
+// Validate bounds the batch before any model runs.
+func (r *PRRRequest) Validate() error {
+	if r.Device == "" {
+		return fmt.Errorf("api: prr request needs a device")
+	}
+	if len(r.PRMs) == 0 {
+		return fmt.Errorf("api: prr request has no PRMs")
+	}
+	if len(r.PRMs) > MaxBatchItems {
+		return fmt.Errorf("api: prr batch of %d exceeds the %d-item limit", len(r.PRMs), MaxBatchItems)
+	}
+	return nil
+}
+
+// PRRResult is one PRM's outcome. A PRM whose requirements are invalid or
+// that has no feasible PRR on the device reports OK=false with the model's
+// error; the batch as a whole still succeeds.
+type PRRResult struct {
+	Name  string        `json:"name,omitempty"`
+	OK    bool          `json:"ok"`
+	Error string        `json:"error,omitempty"`
+	Org   *Organization `json:"org,omitempty"`
+	Avail *Availability `json:"avail,omitempty"`
+	RU    *Utilization  `json:"ru,omitempty"`
+	// SizeTiles is PRR_size = H x W (Eq. (7)).
+	SizeTiles int `json:"size_tiles,omitempty"`
+}
+
+// PRRResponse is the POST /v1/prr response: one result per request PRM, in
+// request order.
+type PRRResponse struct {
+	Device  string      `json:"device"`
+	Results []PRRResult `json:"results"`
+}
+
+// BitstreamRequest is the POST /v1/bitstream body: price partial bitstreams
+// for PRR organizations on the device's family constants (Eqs. (18)–(23)).
+type BitstreamRequest struct {
+	Device string         `json:"device"`
+	Items  []Organization `json:"items"`
+}
+
+// Validate bounds the batch before any model runs.
+func (r *BitstreamRequest) Validate() error {
+	if r.Device == "" {
+		return fmt.Errorf("api: bitstream request needs a device")
+	}
+	if len(r.Items) == 0 {
+		return fmt.Errorf("api: bitstream request has no items")
+	}
+	if len(r.Items) > MaxBatchItems {
+		return fmt.Errorf("api: bitstream batch of %d exceeds the %d-item limit", len(r.Items), MaxBatchItems)
+	}
+	return nil
+}
+
+// BitstreamResult is one organization's bitstream cost.
+type BitstreamResult struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// SizeWords / SizeBytes are Eq. (18) in configuration words and bytes.
+	SizeWords int `json:"size_words,omitempty"`
+	SizeBytes int `json:"size_bytes,omitempty"`
+	// ConfigWordsPerRow is NCW_row (Eq. (19)); BRAMInitWordsPerRow is
+	// NDW_BRAM (Eq. (23)).
+	ConfigWordsPerRow   int `json:"config_words_per_row,omitempty"`
+	BRAMInitWordsPerRow int `json:"bram_init_words_per_row,omitempty"`
+	// ReconfigNS estimates the reconfiguration time over the server's
+	// configuration port and storage medium, in nanoseconds.
+	ReconfigNS int64 `json:"reconfig_ns,omitempty"`
+}
+
+// BitstreamResponse is the POST /v1/bitstream response, in request order.
+type BitstreamResponse struct {
+	Device  string            `json:"device"`
+	Results []BitstreamResult `json:"results"`
+}
+
+// ExploreOptions tunes the branch-and-bound engine behind /v1/explore.
+type ExploreOptions struct {
+	// Workers caps engine goroutines; 0 means the server's default.
+	Workers int `json:"workers,omitempty"`
+	// DisableDominancePrune turns off dominance pruning (the default prunes).
+	DisableDominancePrune bool `json:"disable_dominance_prune,omitempty"`
+	// DisableFitPrune turns off the monotone fit bound.
+	DisableFitPrune bool `json:"disable_fit_prune,omitempty"`
+}
+
+// ExploreRequest is the POST /v1/explore body. Exactly one of PRMs and
+// SyntheticN picks the workload; the response is an NDJSON stream of
+// ExploreEvent lines ending with a Done event.
+type ExploreRequest struct {
+	Device string `json:"device"`
+	PRMs   []PRM  `json:"prms,omitempty"`
+	// SyntheticN explores the deterministic n-module synthetic workload
+	// instead of explicit PRMs (load generation, benchmarking).
+	SyntheticN int `json:"synthetic_n,omitempty"`
+	// FrontOnly suppresses the per-point stream: only the final Done event
+	// (Pareto front + stats) is sent.
+	FrontOnly bool           `json:"front_only,omitempty"`
+	Options   ExploreOptions `json:"options,omitempty"`
+}
+
+// Validate bounds the exploration before the engine starts.
+func (r *ExploreRequest) Validate() error {
+	if r.Device == "" {
+		return fmt.Errorf("api: explore request needs a device")
+	}
+	if (len(r.PRMs) == 0) == (r.SyntheticN == 0) {
+		return fmt.Errorf("api: explore request needs exactly one of prms and synthetic_n")
+	}
+	if n := max(len(r.PRMs), r.SyntheticN); n > MaxExplorePRMs {
+		return fmt.Errorf("api: explore over %d PRMs exceeds the %d-PRM limit", n, MaxExplorePRMs)
+	}
+	return nil
+}
+
+// DesignPoint is one priced PR partitioning on the wire.
+type DesignPoint struct {
+	// Groups lists PRM names per shared PRR.
+	Groups        [][]string `json:"groups"`
+	Feasible      bool       `json:"feasible"`
+	Infeasibility string     `json:"infeasibility,omitempty"`
+
+	TotalTiles          int     `json:"total_tiles,omitempty"`
+	MaxBitstreamBytes   int     `json:"max_bitstream_bytes,omitempty"`
+	TotalBitstreamBytes int     `json:"total_bitstream_bytes,omitempty"`
+	WorstReconfigNS     int64   `json:"worst_reconfig_ns,omitempty"`
+	MinRU               float64 `json:"min_ru,omitempty"`
+}
+
+// ExploreStats mirrors the engine's BBStats.
+type ExploreStats struct {
+	Partitions      int64 `json:"partitions"`
+	Evaluated       int64 `json:"evaluated"`
+	PrunedFit       int64 `json:"pruned_fit"`
+	PrunedDominated int64 `json:"pruned_dominated"`
+	GroupPricings   int64 `json:"group_pricings"`
+	FrontSize       int   `json:"front_size"`
+}
+
+// ExploreDone is the stream's terminal event.
+type ExploreDone struct {
+	Front []DesignPoint `json:"front"`
+	Stats ExploreStats  `json:"stats"`
+}
+
+// ExploreEvent is one NDJSON line of the /v1/explore stream: exactly one
+// field is set. Point events carry priced design points as the engine visits
+// them (absent with FrontOnly); the final line is either Done or Error.
+type ExploreEvent struct {
+	Point *DesignPoint `json:"point,omitempty"`
+	Done  *ExploreDone `json:"done,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CanonicalKey hashes a decoded request into the cache/coalescing key:
+// endpoint plus the SHA-256 of the struct's re-marshaled JSON. Hashing the
+// decoded struct — not the raw body — makes the key insensitive to field
+// order, whitespace and unknown fields, so equivalent requests from
+// different clients coalesce.
+func CanonicalKey(endpoint string, req any) string {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		// Wire types marshal by construction; a failure is a programming
+		// error, but an unshared key is always safe.
+		return endpoint + "!unhashable"
+	}
+	sum := sha256.Sum256(raw)
+	return endpoint + "@" + hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// cacheShards fixes the shard count: enough to keep lock contention off the
+// hot path at typical core counts, small enough that a tiny cache still
+// gets a useful per-shard capacity.
+const cacheShards = 16
+
+// lruCache is a bounded, sharded LRU of serialized responses. Each shard
+// holds its own lock, map and recency list; a key's shard is its maphash, so
+// canonical request hashes spread uniformly.
+type lruCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]lruShard
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache bounds the cache at totalEntries across all shards.
+// totalEntries <= 0 disables caching (every Get misses, Put drops).
+func newLRUCache(totalEntries int) *lruCache {
+	c := &lruCache{seed: maphash.MakeSeed()}
+	per := 0
+	if totalEntries > 0 {
+		per = (totalEntries + cacheShards - 1) / cacheShards
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = per
+		s.ll = list.New()
+		s.items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *lruCache) shard(key string) *lruShard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// Get returns the cached response and refreshes its recency.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) the response and returns how many entries the
+// shard evicted to stay within its bound.
+func (c *lruCache) Put(key string, val []byte) (evicted int) {
+	s := c.shard(key)
+	if s.cap <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		return 0
+	}
+	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.items, old.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// Len is the current entry count across shards.
+func (c *lruCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

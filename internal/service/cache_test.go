@@ -1,0 +1,188 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLRUBasics: hits return what was put, recency protects the reused key,
+// and the per-shard bound evicts the coldest entry.
+func TestLRUBasics(t *testing.T) {
+	c := newLRUCache(cacheShards) // one entry per shard
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k", []byte("v"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("Get(k) = %q, %v; want v, true", got, ok)
+	}
+	// Refresh overwrites in place without growing.
+	c.Put("k", []byte("v2"))
+	if got, _ := c.Get("k"); string(got) != "v2" {
+		t.Fatalf("refresh kept stale value %q", got)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d after refreshing one key, want 1", n)
+	}
+}
+
+// TestLRUEvictionBound: the cache never exceeds its total entry bound, no
+// matter how many distinct keys flow through, and eviction picks the least
+// recently used entry of the shard.
+func TestLRUEvictionBound(t *testing.T) {
+	const total = 2 * cacheShards
+	c := newLRUCache(total)
+	evicted := 0
+	for i := 0; i < 50*total; i++ {
+		evicted += c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		if n := c.Len(); n > total {
+			t.Fatalf("cache grew to %d entries, bound is %d", n, total)
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no evictions under a 50x overflow")
+	}
+	if n := c.Len(); n > total {
+		t.Fatalf("final Len = %d, bound is %d", n, total)
+	}
+}
+
+// TestLRURecency: within one shard, touching an entry protects it from the
+// next eviction.
+func TestLRURecency(t *testing.T) {
+	c := newLRUCache(2 * cacheShards) // two entries per shard
+	// Find three keys in the same shard.
+	shard := c.shard("seed")
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.shard(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], []byte("a"))
+	c.Put(keys[1], []byte("b"))
+	c.Get(keys[0])              // refresh: keys[1] is now coldest
+	c.Put(keys[2], []byte("c")) // evicts keys[1]
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("coldest entry survived eviction")
+	}
+}
+
+// TestLRUDisabled: zero capacity swallows puts and misses gets.
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache served a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache holds entries")
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines under -race.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k-%d", (g*31+i)%128)
+				c.Put(k, []byte(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64 {
+		t.Fatalf("Len = %d, bound is 64", n)
+	}
+}
+
+// TestSingleflightShares: followers arriving while the leader runs share
+// its result; exactly one execution happens.
+func TestSingleflightShares(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	evalCount := 0
+
+	// Leader: enters the flight and blocks on the gate.
+	leaderDone := make(chan []byte, 1)
+	go func() {
+		val, _, _ := g.Do("key", func() ([]byte, error) {
+			mu.Lock()
+			evalCount++
+			mu.Unlock()
+			<-gate
+			return []byte("out"), nil
+		})
+		leaderDone <- val
+	}()
+	waitForFlight(t, g, "key")
+
+	// Followers: the key is in flight, so they must coalesce.
+	const followers = 7
+	var wg sync.WaitGroup
+	sharedCount := 0
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, shared, err := g.Do("key", func() ([]byte, error) {
+				t.Error("follower executed the function")
+				return nil, nil
+			})
+			if err != nil || string(val) != "out" {
+				t.Errorf("follower got %q, %v", val, err)
+			}
+			mu.Lock()
+			if shared {
+				sharedCount++
+			}
+			mu.Unlock()
+		}()
+	}
+	// Give every follower time to reach the flight, then release the leader.
+	// (A straggler past this window would re-execute; the t.Error inside its
+	// fn catches that explicitly rather than deadlocking.)
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	if v := <-leaderDone; string(v) != "out" {
+		t.Fatalf("leader got %q", v)
+	}
+	wg.Wait()
+
+	if evalCount != 1 {
+		t.Fatalf("evaluated %d times for one key, want 1", evalCount)
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d of %d followers reported shared", sharedCount, followers)
+	}
+}
+
+// waitForFlight polls until key has an in-flight call.
+func waitForFlight(t *testing.T, g *flightGroup, key string) {
+	t.Helper()
+	for i := 0; ; i++ {
+		g.mu.Lock()
+		_, running := g.calls[key]
+		g.mu.Unlock()
+		if running {
+			return
+		}
+		if i > 5000 {
+			t.Fatal("leader never entered the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

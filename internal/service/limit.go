@@ -1,0 +1,78 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client accrues rate tokens
+// per second up to burst, and a request spends one. When the bucket is dry,
+// Allow reports how long until the next token — the 429 Retry-After value.
+type rateLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map: past it, buckets idle long enough to
+// have refilled completely are pruned (forgetting them is harmless — a full
+// bucket is exactly what a new client gets).
+const maxClients = 4096
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, now: now, clients: make(map[string]*bucket)}
+}
+
+// Allow spends one token for the client, or reports when to retry.
+func (l *rateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.clients[client]
+	if !found {
+		if len(l.clients) >= maxClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need*1e3)) * time.Millisecond
+}
+
+// prune drops buckets that have been idle long enough to be full again.
+// Called with mu held.
+func (l *rateLimiter) prune(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.clients {
+		if now.Sub(b.last) >= idle {
+			delete(l.clients, k)
+		}
+	}
+}

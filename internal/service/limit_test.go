@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for the rate limiter.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTokenBucketBurstAndRefill: a client spends its burst, gets rejected
+// with a sensible retry hint, and is admitted again after the refill.
+func TestTokenBucketBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(2, 3, clk.now) // 2 tokens/s, depth 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("request %d rejected within burst", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// At 2 tokens/s an empty bucket needs 500ms for the next token.
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s]", retry)
+	}
+	clk.advance(retry)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("request after advertised retry interval still rejected")
+	}
+}
+
+// TestTokenBucketPerClient: one client's burst does not starve another.
+func TestTokenBucketPerClient(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.now)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("alice's first request rejected")
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("alice's second request admitted")
+	}
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("bob rejected because of alice's spend")
+	}
+}
+
+// TestTokenBucketDisabled: zero rate admits everything.
+func TestTokenBucketDisabled(t *testing.T) {
+	l := newRateLimiter(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone"); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+// TestTokenBucketPrune: the client map stays bounded — once past the cap,
+// fully refilled (idle) buckets are dropped, and dropping them never admits
+// more than a fresh bucket would.
+func TestTokenBucketPrune(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(100, 1, clk.now)
+	for i := 0; i < maxClients; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+	}
+	// All buckets refill within 10ms at rate 100; idle them past that.
+	clk.advance(time.Second)
+	l.Allow("one-more")
+	if n := len(l.clients); n > maxClients/2 {
+		t.Fatalf("prune left %d clients, want most of the %d idle ones dropped", n, maxClients)
+	}
+}
+
+// TestTokenBucketConcurrent: total admissions across goroutines never exceed
+// burst + refill, under -race.
+func TestTokenBucketConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(10, 5, clk.now) // frozen clock: exactly 5 tokens exist
+	var admitted sync.WaitGroup
+	var mu sync.Mutex
+	got := 0
+	for g := 0; g < 8; g++ {
+		admitted.Add(1)
+		go func() {
+			defer admitted.Done()
+			for i := 0; i < 10; i++ {
+				if ok, _ := l.Allow("shared"); ok {
+					mu.Lock()
+					got++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	admitted.Wait()
+	if got != 5 {
+		t.Fatalf("admitted %d requests on a frozen clock with burst 5", got)
+	}
+}

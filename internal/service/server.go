@@ -1,0 +1,296 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/icap"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// Config tunes the serving layer. The zero value serves with sane defaults;
+// fields are capacities and policies, not wiring.
+type Config struct {
+	// CacheEntries bounds the response cache across all shards.
+	// 0 means DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+	// MaxInflight caps concurrently admitted requests. 0 means
+	// DefaultMaxInflight; negative disables the cap.
+	MaxInflight int
+	// RatePerSec is the per-client token refill rate; 0 disables rate
+	// limiting. Burst is the bucket depth (minimum 1).
+	RatePerSec float64
+	Burst      int
+	// Estimator prices reconfiguration time for bitstream results and
+	// explorations; nil means ICAP-32 fed from DDR SDRAM.
+	Estimator icap.Estimator
+	// ExploreWorkers caps engine goroutines per exploration; 0 lets the
+	// engine pick (GOMAXPROCS).
+	ExploreWorkers int
+	// Registry receives the serving metrics; nil means obs.Default().
+	Registry *obs.Registry
+
+	// now and evalHook are test seams: a fake clock for the rate limiter and
+	// a hook invoked before each cache-missed batch evaluation.
+	now      func() time.Time
+	evalHook func(endpoint string)
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultCacheEntries = 4096
+	DefaultMaxInflight  = 256
+)
+
+// Server is the cost-model HTTP service. It implements http.Handler (so
+// tests can mount it on httptest.Server) and owns its listener when started
+// via Start.
+type Server struct {
+	cfg   Config
+	met   *serviceMetrics
+	mux   *http.ServeMux
+	cache *lruCache
+	// flight coalesces identical in-flight batch evaluations.
+	flight    *flightGroup
+	limiter   *rateLimiter
+	estimator icap.Estimator
+
+	inflightN atomic.Int64
+	// streamMu guards the explore-stream registry so handler-only shutdown
+	// (no net listener, e.g. under httptest) can drain live streams and
+	// refuse new ones. streamsIdle is non-nil while a drain waits and is
+	// closed when streamN reaches zero.
+	streamMu    sync.Mutex
+	streamN     int
+	draining    bool
+	streamsIdle chan struct{}
+	// drainCtx is cancelled when a graceful shutdown gives up waiting,
+	// cutting in-flight explorations loose.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// New builds the service from the config.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = DefaultCacheEntries
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0
+	}
+	switch {
+	case cfg.MaxInflight == 0:
+		cfg.MaxInflight = DefaultMaxInflight
+	case cfg.MaxInflight < 0:
+		cfg.MaxInflight = 0
+	}
+	est := cfg.Estimator
+	if est == nil {
+		est = icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	}
+	s := &Server{
+		cfg:       cfg,
+		met:       newServiceMetrics(cfg.Registry),
+		cache:     newLRUCache(cfg.CacheEntries),
+		flight:    newFlightGroup(),
+		limiter:   newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.now),
+		estimator: est,
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/devices", s.wrap("devices", s.handleDevices))
+	mux.HandleFunc("POST /v1/prr", s.wrap("prr", s.handlePRR))
+	mux.HandleFunc("POST /v1/bitstream", s.wrap("bitstream", s.handleBitstream))
+	mux.HandleFunc("POST /v1/explore", s.wrap("explore", s.handleExplore))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP lets the server be mounted as a plain handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Start listens on addr (":0" picks a free port) and serves in a background
+// goroutine until Shutdown or Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		_ = s.http.Serve(ln)
+	}()
+	obs.SetActive(true)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown drains the service: it stops accepting connections and waits for
+// in-flight requests — including NDJSON exploration streams — to finish. If
+// ctx expires first, remaining explorations are cancelled (they observe
+// their context within a few hundred tree nodes) and the server is closed
+// hard; the context's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http != nil {
+		err := s.http.Shutdown(ctx)
+		if err != nil {
+			s.drainCancel()
+			_ = s.http.Close()
+		}
+		<-s.done
+		s.drainCancel()
+		return err
+	}
+	// Handler-only mode: no listener to close, but streams still drain.
+	err := s.drainStreams(ctx)
+	s.drainCancel()
+	return err
+}
+
+// registerStream admits one explore stream, unless a drain has begun.
+func (s *Server) registerStream() bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.streamN++
+	return true
+}
+
+func (s *Server) unregisterStream() {
+	s.streamMu.Lock()
+	s.streamN--
+	if s.streamN == 0 && s.streamsIdle != nil {
+		close(s.streamsIdle)
+		s.streamsIdle = nil
+	}
+	s.streamMu.Unlock()
+}
+
+// drainStreams refuses new explore streams and waits for live ones. When ctx
+// expires first, the stragglers are cancelled and awaited; ctx's error is
+// returned.
+func (s *Server) drainStreams(ctx context.Context) error {
+	s.streamMu.Lock()
+	s.draining = true
+	if s.streamN == 0 {
+		s.streamMu.Unlock()
+		return nil
+	}
+	if s.streamsIdle == nil {
+		s.streamsIdle = make(chan struct{})
+	}
+	idle := s.streamsIdle
+	s.streamMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.drainCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately, cancelling in-flight explorations.
+func (s *Server) Close() error {
+	s.drainCancel()
+	if s.http == nil {
+		return nil
+	}
+	err := s.http.Close()
+	<-s.done
+	return err
+}
+
+// Stats rolls the serving metrics into the run-summary service section.
+func (s *Server) Stats() *report.ServiceSummary { return s.met.Summary() }
+
+// wrap applies admission control, accounting and tracing around a handler.
+// Liveness (/healthz) is never shed: a load balancer probing a saturated
+// instance must still get an answer.
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if endpoint != "healthz" {
+			if ok, retry := s.limiter.Allow(clientID(r)); !ok {
+				s.met.shedRate.Inc()
+				shed(w, retry)
+				return
+			}
+			cur := s.inflightN.Add(1)
+			defer s.inflightN.Add(-1)
+			if s.cfg.MaxInflight > 0 && cur > int64(s.cfg.MaxInflight) {
+				s.met.shedInflight.Inc()
+				shed(w, time.Second)
+				return
+			}
+			s.met.inflight.Add(1)
+			defer s.met.inflight.Add(-1)
+		}
+		s.met.requests[endpoint].Inc()
+		t0 := time.Now()
+		ctx, span := obs.StartSpan(r.Context(), "service."+endpoint)
+		defer span.End()
+		h(w, r.WithContext(ctx))
+		s.met.latency[endpoint].ObserveSince(t0)
+	}
+}
+
+// clientID identifies the caller for rate limiting: the X-Client-ID header
+// when present (costload and the typed client set it), else the peer host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// shed writes the 429 + Retry-After admission rejection.
+func shed(w http.ResponseWriter, retry time.Duration) {
+	secs := int(retry / time.Second)
+	if retry%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpErr(w, http.StatusTooManyRequests, "overloaded, retry later")
+}
+
+// httpErr writes the JSON error body every non-2xx response carries.
+func httpErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
