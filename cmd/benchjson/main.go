@@ -7,10 +7,13 @@
 //	go test -bench=. ./internal/dse/ | benchjson -out BENCH_dse.json
 //
 // Compare (exits non-zero when any benchmark present in both files got
-// slower by more than -threshold times the baseline ns/op):
+// slower by more than -threshold times the baseline ns/op, or grew its
+// allocs/op past the same threshold when both sides carry the metric —
+// -benchmem runs record it automatically):
 //
 //	benchjson -compare BENCH_baseline.json BENCH_dse.json -threshold 1.30
 //
+// A zero-alloc baseline is gated strictly: any new allocation regresses.
 // Benchmarks only present on one side are reported but never fail the
 // comparison: benchmark sets may grow, and one-shot (-benchtime=1x) runs of
 // the biggest cases are too noisy to gate until they have a baseline.
@@ -121,7 +124,7 @@ func load(path string) (BenchDoc, error) {
 }
 
 // compare reports per-benchmark ratios and returns the names regressing past
-// the threshold.
+// the threshold on ns/op or — when both sides carry the metric — allocs/op.
 func compare(w io.Writer, old, new BenchDoc, threshold float64) []string {
 	base := map[string]Bench{}
 	for _, b := range old.Benchmarks {
@@ -137,12 +140,25 @@ func compare(w io.Writer, old, new BenchDoc, threshold float64) []string {
 			continue
 		}
 		ratio := b.NsPerOp / o.NsPerOp
+		bad := ratio > threshold
+		allocNote := ""
+		if oa, oHas := o.Metrics["allocs/op"]; oHas {
+			if na, nHas := b.Metrics["allocs/op"]; nHas {
+				allocNote = fmt.Sprintf(", %.0f -> %.0f allocs/op", oa, na)
+				// new > old handles a zero-alloc baseline, where any ratio
+				// is infinite: growing past it at all is a regression.
+				if na > oa*threshold && na > oa {
+					bad = true
+					allocNote += " ALLOCS"
+				}
+			}
+		}
 		status := "ok"
-		if ratio > threshold {
+		if bad {
 			status = "REGRESSED"
 			regressed = append(regressed, b.Name)
 		}
-		fmt.Fprintf(w, "  %-9s %-60s %14.0f -> %14.0f ns/op (%.2fx)\n", status, b.Name, o.NsPerOp, b.NsPerOp, ratio)
+		fmt.Fprintf(w, "  %-9s %-60s %14.0f -> %14.0f ns/op (%.2fx)%s\n", status, b.Name, o.NsPerOp, b.NsPerOp, ratio, allocNote)
 	}
 	for _, o := range old.Benchmarks {
 		if !seen[o.Name] {

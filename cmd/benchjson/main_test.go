@@ -58,3 +58,49 @@ func TestCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchmem(t *testing.T) {
+	const memSample = `BenchmarkEstimate-8   5227338   226.6 ns/op   0 B/op   0 allocs/op
+`
+	doc, err := parse(strings.NewReader(memSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Metrics["B/op"] != 0 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("-benchmem metrics not captured: %+v", b.Metrics)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	allocs := func(n float64) map[string]float64 { return map[string]float64{"allocs/op": n} }
+	old := BenchDoc{Schema: Schema, Benchmarks: []Bench{
+		{Name: "ZeroBase", NsPerOp: 100, Metrics: allocs(0)},
+		{Name: "Steady", NsPerOp: 100, Metrics: allocs(6)},
+		{Name: "Grew", NsPerOp: 100, Metrics: allocs(6)},
+		{Name: "NoMetric", NsPerOp: 100},
+	}}
+	cur := BenchDoc{Schema: Schema, Benchmarks: []Bench{
+		{Name: "ZeroBase", NsPerOp: 100, Metrics: allocs(1)}, // any alloc on a zero base regresses
+		{Name: "Steady", NsPerOp: 100, Metrics: allocs(7)},   // within 1.30x
+		{Name: "Grew", NsPerOp: 100, Metrics: allocs(9)},     // 1.5x: regressed
+		{Name: "NoMetric", NsPerOp: 100, Metrics: allocs(50)}, // baseline has no metric: not gated
+	}}
+	var sb strings.Builder
+	regressed := compare(&sb, old, cur, 1.30)
+	want := map[string]bool{"ZeroBase": true, "Grew": true}
+	if len(regressed) != len(want) {
+		t.Fatalf("regressed = %v, want ZeroBase and Grew\n%s", regressed, sb.String())
+	}
+	for _, name := range regressed {
+		if !want[name] {
+			t.Fatalf("unexpected regression %q\n%s", name, sb.String())
+		}
+	}
+	if !strings.Contains(sb.String(), "allocs/op") {
+		t.Errorf("report does not show alloc counts:\n%s", sb.String())
+	}
+}

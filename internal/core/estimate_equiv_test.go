@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+// refEstimate is the pre-breakpoint sweep: probe every H from 1 to Rows in
+// order, exactly as Estimate did before sweepStartH/nextBreakH. It is the
+// oracle the breakpoint sweep must match bit for bit, including the error.
+func refEstimate(m *PRRModel, req Requirements) (Result, error) {
+	if err := req.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := m.Device.Params
+	fab := &m.Device.Fabric
+	clbReq := 0
+	if req.LUTFFPairs > 0 {
+		clbReq = ceilDiv(req.LUTFFPairs, p.LUTPerCLB)
+	}
+	singleDSPCol := fab.CountKind(device.KindDSP) == 1
+	for h := 1; h <= fab.Rows; h++ {
+		org, feasible := m.organizationAt(req, clbReq, h, singleDSPCol)
+		if !feasible {
+			continue
+		}
+		if reg, ok := floorplan.FindWindow(fab, h, org.Need(), m.Avoid...); ok {
+			org.Region = reg
+			avail := m.availability(org)
+			return Result{Req: req, Org: org, Avail: avail, RU: utilization(req, clbReq, avail)}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("core: no feasible PRR on %s for %v (device has %d rows)",
+		m.Device.Name, req, fab.Rows)
+}
+
+// randomReq draws a valid requirement set (Validate-clean by construction).
+func randomReq(rng *rand.Rand) Requirements {
+	req := Requirements{
+		LUTFFPairs: rng.Intn(30000),
+		DSPs:       rng.Intn(200),
+		BRAMs:      rng.Intn(120),
+	}
+	if req.LUTFFPairs > 0 {
+		req.LUTs = rng.Intn(req.LUTFFPairs + 1)
+		req.FFs = rng.Intn(req.LUTFFPairs + 1)
+	}
+	if req.LUTFFPairs == 0 && req.DSPs == 0 && req.BRAMs == 0 {
+		req.LUTFFPairs = 1 + rng.Intn(100)
+	}
+	return req
+}
+
+// checkEstimateMatches compares the breakpoint Estimate against the full-H
+// oracle for one (device, req, avoid) case.
+func checkEstimateMatches(t *testing.T, m *PRRModel, req Requirements) {
+	t.Helper()
+	want, wantErr := refEstimate(m, req)
+	got, gotErr := m.Estimate(req)
+	switch {
+	case (gotErr == nil) != (wantErr == nil):
+		t.Fatalf("%s %v avoid=%v: breakpoint err = %v, full-sweep err = %v",
+			m.Device.Name, req, m.Avoid, gotErr, wantErr)
+	case gotErr != nil:
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s %v: error text diverged:\nbreakpoint: %s\nfull sweep: %s",
+				m.Device.Name, req, gotErr, wantErr)
+		}
+	case got != want:
+		t.Fatalf("%s %v avoid=%v:\nbreakpoint = %+v\nfull sweep = %+v",
+			m.Device.Name, req, m.Avoid, got, want)
+	}
+}
+
+// TestEstimateMatchesFullSweepCatalog runs the equivalence check over every
+// catalog device with randomized requirements, with and without avoid sets.
+func TestEstimateMatchesFullSweepCatalog(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range device.All() {
+		m := NewPRRModel(d)
+		for i := 0; i < 60; i++ {
+			m.Avoid = nil
+			req := randomReq(rng)
+			checkEstimateMatches(t, m, req)
+			// Same requirement with part of the fabric blocked off.
+			m.Avoid = []floorplan.Region{{
+				Row: 1, Col: 1,
+				H: 1 + rng.Intn(d.Fabric.Rows), W: 1 + rng.Intn(d.Fabric.NumColumns()/2+1),
+			}}
+			checkEstimateMatches(t, m, req)
+		}
+	}
+}
+
+// TestEstimateMatchesFullSweepPaperPRMs pins the equivalence on the paper's
+// own synthesis-report requirements (Table V) across every catalog device,
+// including the devices a PRM does not fit on — the "no feasible PRR" errors
+// must match too.
+func TestEstimateMatchesFullSweepPaperPRMs(t *testing.T) {
+	for _, row := range TableV {
+		for _, d := range device.All() {
+			m := NewPRRModel(d)
+			checkEstimateMatches(t, m, row.Req)
+		}
+	}
+}
+
+// TestEstimateMatchesFullSweepSyntheticFabric covers fabric shapes the
+// catalog lacks: a single-DSP-column device (Eq. (4) pinning) with holes and
+// a narrow constrained layout where most H values share one column mix.
+func TestEstimateMatchesFullSweepSyntheticFabric(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dev := &device.Device{
+		Name:   "synthetic-1dsp",
+		Params: device.XC5VLX110T.Params,
+		Fabric: device.Fabric{
+			Rows:    12,
+			Columns: device.MustParseLayout("I C*6 D C*4 B C*5 I"),
+			Holes: map[device.Coord]string{
+				{Row: 3, Col: 4}: "pcie",
+				{Row: 9, Col: 9}: "emac",
+			},
+		},
+	}
+	m := NewPRRModel(dev)
+	for i := 0; i < 120; i++ {
+		m.Avoid = nil
+		req := randomReq(rng)
+		checkEstimateMatches(t, m, req)
+		m.Avoid = []floorplan.Region{
+			{Row: 1, Col: 1, H: 1 + rng.Intn(12), W: 1 + rng.Intn(8)},
+			{Row: 1 + rng.Intn(6), Col: 10, H: 1 + rng.Intn(6), W: 1 + rng.Intn(8)},
+		}
+		checkEstimateMatches(t, m, req)
+	}
+}

@@ -77,40 +77,122 @@ type PRRModel struct {
 func NewPRRModel(dev *device.Device) *PRRModel { return &PRRModel{Device: dev} }
 
 // Estimate runs the paper's Fig. 1 flow: derive the CLB requirement
-// (Eq. (1)), then for H = 1, 2, ... derive the per-resource column counts
+// (Eq. (1)), then for increasing H derive the per-resource column counts
 // (Eqs. (2)–(5)), and search the fabric bottom-up for W contiguous columns
 // matching that mix. The first H that both covers the resources and admits a
 // physical window yields the smallest PRR and the lowest internal
 // fragmentation. On devices with a single DSP column the model uses Eq. (4):
 // W_DSP is pinned to 1 and the DSP requirement instead constrains H.
+//
+// The sweep visits only the breakpoint values of H — the ceil terms of
+// Eqs. (2)–(5) are step functions of H, so consecutive H values mostly share
+// one column mix, and window existence for a fixed mix is monotone in H (a
+// valid H-row window contains a valid window of every smaller height at the
+// same position). H values below the closed-form lower bound sweepStartH are
+// skipped too: their mixes provably exceed what any PRR-allowed column run
+// can hold. Both skips are exact, so the result — organization, region,
+// utilization, or the error — is identical to the full H = 1..Rows scan.
 func (m *PRRModel) Estimate(req Requirements) (Result, error) {
 	if err := req.Validate(); err != nil {
 		return Result{}, err
 	}
 	p := m.Device.Params
 	fab := &m.Device.Fabric
+	ix := fab.WindowIndex()
 
 	clbReq := 0
 	if req.LUTFFPairs > 0 {
 		clbReq = ceilDiv(req.LUTFFPairs, p.LUTPerCLB) // Eq. (1)
 	}
-	singleDSPCol := fab.CountKind(device.KindDSP) == 1
+	singleDSPCol := ix.KindCount(device.KindDSP) == 1
 
-	for h := 1; h <= fab.Rows; h++ {
+	h, coverable := m.sweepStartH(req, clbReq, singleDSPCol, ix)
+	for coverable && h <= fab.Rows {
 		org, feasible := m.organizationAt(req, clbReq, h, singleDSPCol)
-		if !feasible {
-			continue
+		if feasible {
+			if reg, ok := floorplan.FindWindow(fab, h, org.Need(), m.Avoid...); ok {
+				org.Region = reg
+				avail := m.availability(org)
+				return Result{Req: req, Org: org, Avail: avail, RU: utilization(req, clbReq, avail)}, nil
+			}
 		}
-		reg, ok := floorplan.FindWindow(fab, h, org.Need(), m.Avoid...)
-		if !ok {
-			continue
+		next := m.nextBreakH(req, clbReq, h, singleDSPCol)
+		if next <= h {
+			break // the column mix never changes again; taller windows only shrink the options
 		}
-		org.Region = reg
-		avail := m.availability(org)
-		return Result{Req: req, Org: org, Avail: avail, RU: utilization(req, clbReq, avail)}, nil
+		h = next
 	}
 	return Result{}, fmt.Errorf("core: no feasible PRR on %s for %v (device has %d rows)",
 		m.Device.Name, req, fab.Rows)
+}
+
+// sweepStartH returns the smallest H worth probing: below it some required
+// column count exceeds the per-kind maximum any PRR-allowed run offers, so no
+// window of the exact mix can exist anywhere on the fabric, for any avoid
+// set. On single-DSP-column devices Eq. (4)'s H_DSP floor applies instead of
+// the DSP run bound. coverable is false when some required kind has no
+// allowed run at all — then no H can ever work.
+func (m *PRRModel) sweepStartH(req Requirements, clbReq int, singleDSPCol bool, ix *device.WindowIndex) (h int, coverable bool) {
+	p := m.Device.Params
+	maxRun := ix.MaxRun()
+	h = 1
+	raise := func(hMin int) {
+		if hMin > h {
+			h = hMin
+		}
+	}
+	if clbReq > 0 {
+		if maxRun.Of(device.KindCLB) == 0 {
+			return 0, false
+		}
+		raise(ceilDiv(clbReq, p.CLBPerCol*maxRun.Of(device.KindCLB)))
+	}
+	if req.DSPs > 0 {
+		if maxRun.Of(device.KindDSP) == 0 {
+			return 0, false
+		}
+		if singleDSPCol {
+			raise(ceilDiv(req.DSPs, p.DSPPerCol)) // Eq. (4): H >= H_DSP
+		} else {
+			raise(ceilDiv(req.DSPs, p.DSPPerCol*maxRun.Of(device.KindDSP)))
+		}
+	}
+	if req.BRAMs > 0 {
+		if maxRun.Of(device.KindBRAM) == 0 {
+			return 0, false
+		}
+		raise(ceilDiv(req.BRAMs, p.BRAMPerCol*maxRun.Of(device.KindBRAM)))
+	}
+	return h, true
+}
+
+// nextBreakH returns the smallest H above h at which any of Eqs. (2)–(5)
+// changes a column count, or 0 when the mix is final: each active term
+// ceil(a/(H·c)) with current value v >= 2 next drops at H = ceil(a/(c·(v-1))),
+// and a term at 1 never changes again. Heights strictly between breakpoints
+// share the column mix of the breakpoint below them.
+func (m *PRRModel) nextBreakH(req Requirements, clbReq, h int, singleDSPCol bool) int {
+	p := m.Device.Params
+	next := 0
+	consider := func(a, perCol int) {
+		v := ceilDiv(a, h*perCol)
+		if v <= 1 {
+			return
+		}
+		if nb := ceilDiv(a, perCol*(v-1)); next == 0 || nb < next {
+			next = nb
+		}
+	}
+	if clbReq > 0 {
+		consider(clbReq, p.CLBPerCol) // Eq. (2)
+	}
+	if req.DSPs > 0 && !singleDSPCol {
+		consider(req.DSPs, p.DSPPerCol) // Eq. (3); Eq. (4) pins W_DSP = 1
+	}
+	if req.BRAMs > 0 {
+		consider(req.BRAMs, p.BRAMPerCol) // Eq. (5)
+	}
+	return next
 }
 
 // organizationAt derives the column counts for a candidate H. It reports

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/floorplan"
+)
+
+// BenchmarkEstimate prices the FIR-scale requirement on the LX75T (the
+// service smoke-test case) over and over: the steady-state cost one DSE
+// group evaluation pays per cache miss. Allocations are reported — the
+// breakpoint sweep plus indexed window lookup is expected to stay flat.
+func BenchmarkEstimate(b *testing.B) {
+	d, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewPRRModel(d)
+	req := Requirements{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}
+	if _, err := m.Estimate(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Estimate(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateAvoid is Estimate with part of the fabric blocked, the
+// shape every non-first group in a partition evaluation sees.
+func BenchmarkEstimateAvoid(b *testing.B) {
+	d, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewPRRModel(d)
+	m.Avoid = []floorplan.Region{{Row: 1, Col: 1, H: 3, W: 20}}
+	req := Requirements{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}
+	if _, err := m.Estimate(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Estimate(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteCandidates classifies every start column directly on the fabric.
+func bruteCandidates(f *Fabric, comp Composition) []int {
+	w := comp.Total()
+	var cands []int
+	for col := 1; col <= f.NumColumns()-w+1; col++ {
+		c := f.CompositionOf(col, w)
+		if !c.HasForbidden() && c == comp {
+			cands = append(cands, col)
+		}
+	}
+	return cands
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowIndexCandidatesMatchBruteForce checks the memoized candidate
+// sets against direct classification across the catalog and random mixes.
+func TestWindowIndexCandidatesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range All() {
+		ix := d.Fabric.WindowIndex()
+		for i := 0; i < 40; i++ {
+			var comp Composition
+			comp.Add(KindCLB, rng.Intn(10))
+			comp.Add(KindDSP, rng.Intn(3))
+			comp.Add(KindBRAM, rng.Intn(3))
+			if comp.Total() == 0 {
+				continue
+			}
+			got, _ := ix.Candidates(comp)
+			want := bruteCandidates(&d.Fabric, comp)
+			if !equalInts(got, want) {
+				t.Errorf("%s comp %v: candidates = %v, want %v", d.Name, comp, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowIndexCached: the same fabric yields the same index instance, and
+// repeat candidate lookups return the memoized slice without rebuilding.
+func TestWindowIndexCached(t *testing.T) {
+	f := &Fabric{Rows: 2, Columns: MustParseLayout("C*4 D C*4")}
+	if f.WindowIndex() != f.WindowIndex() {
+		t.Fatal("WindowIndex must return one instance per fabric")
+	}
+	ix := f.WindowIndex()
+	var comp Composition
+	comp.Add(KindCLB, 2)
+	comp.Add(KindDSP, 1)
+	_, built := ix.Candidates(comp)
+	if !built {
+		t.Error("first lookup must build the entry")
+	}
+	_, built = ix.Candidates(comp)
+	if built {
+		t.Error("second lookup must be a memo hit")
+	}
+	if n := ix.NeedsIndexed(); n != 1 {
+		t.Errorf("NeedsIndexed = %d, want 1", n)
+	}
+}
+
+// TestWindowIndexFabricFacts: kind counts match the direct scan and the run
+// census bounds are consistent on every catalog device.
+func TestWindowIndexFabricFacts(t *testing.T) {
+	for _, d := range All() {
+		f := &d.Fabric
+		ix := f.WindowIndex()
+		for k := ColumnKind(0); k < numKinds; k++ {
+			if ix.KindCount(k) != f.CountKind(k) {
+				t.Errorf("%s kind %v: KindCount = %d, want %d", d.Name, k, ix.KindCount(k), f.CountKind(k))
+			}
+		}
+		total := 0
+		for _, run := range ix.Runs() {
+			w := run.Total()
+			total += w
+			if w > ix.MaxRunWidth() {
+				t.Errorf("%s: run %v wider than MaxRunWidth %d", d.Name, run, ix.MaxRunWidth())
+			}
+			for k := ColumnKind(0); k < numKinds; k++ {
+				if run.Of(k) > ix.MaxRun().Of(k) {
+					t.Errorf("%s: run %v exceeds MaxRun %v", d.Name, run, ix.MaxRun())
+				}
+			}
+		}
+		allowed := 0
+		for _, k := range f.Columns {
+			if k.PRRAllowed() {
+				allowed++
+			}
+		}
+		if total != allowed {
+			t.Errorf("%s: runs cover %d columns, fabric has %d PRR-allowed", d.Name, total, allowed)
+		}
+	}
+}
+
+// TestWindowIndexImpossibleMixes: mixes exceeding any run's capacity come
+// back empty without a scan, including forbidden-kind mixes.
+func TestWindowIndexImpossibleMixes(t *testing.T) {
+	f := &Fabric{Rows: 2, Columns: MustParseLayout("C*3 I C*3 D C*2")}
+	ix := f.WindowIndex()
+	cases := []Composition{}
+	var wide Composition
+	wide.Add(KindCLB, 7) // more CLB columns than any run holds
+	cases = append(cases, wide)
+	var iob Composition
+	iob.Add(KindCLB, 1)
+	iob.Add(KindIOB, 1) // forbidden kind can never be requested
+	cases = append(cases, iob)
+	for _, comp := range cases {
+		if got, _ := ix.Candidates(comp); len(got) != 0 {
+			t.Errorf("comp %v: candidates = %v, want none", comp, got)
+		}
+	}
+}

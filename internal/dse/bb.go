@@ -439,7 +439,7 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		prms:     prms,
 		n:        n,
 		bounds:   e.elemBounds(prms),
-		runIdx:   floorplan.NewRunIndex(&e.Device.Fabric),
+		runIdx:   floorplan.RunIndexFor(&e.Device.Fabric),
 		ext:      newExtTable(n),
 		bit:      core.NewBitstreamModel(e.Device.Params),
 		fitPrune: !opts.DisableFitPrune,

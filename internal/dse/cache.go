@@ -1,12 +1,25 @@
 package dse
 
 import (
-	"sort"
 	"strconv"
 	"sync"
 
 	"repro/internal/floorplan"
 )
+
+// regionLess orders regions for the canonical avoid-set key encoding.
+func regionLess(a, c floorplan.Region) bool {
+	if a.Row != c.Row {
+		return a.Row < c.Row
+	}
+	if a.Col != c.Col {
+		return a.Col < c.Col
+	}
+	if a.H != c.H {
+		return a.H < c.H
+	}
+	return a.W < c.W
+}
 
 // groupEval is the cached outcome of pricing one PRM group against an
 // avoid-set: everything a design point needs from core.PRRModel.
@@ -24,29 +37,29 @@ type groupEval struct {
 // growth strings emit members ascending) plus the avoid-set signature. The
 // avoid regions are sorted into a canonical order: window search depends
 // only on the set of blocked tiles, so permutations of the same placed
-// regions share one cache entry.
-func groupKey(g []int, avoid []floorplan.Region) string {
-	b := make([]byte, 0, 8*len(g)+16*len(avoid))
+// regions share one cache entry. The key stays a []byte so cache hits — the
+// overwhelming majority of lookups — never allocate a string: map reads via
+// m[string(key)] are compiler-optimized to skip the conversion. buf is an
+// optional scratch slice the key is built into (callers reuse one buffer
+// across a partition's groups).
+func groupKey(buf []byte, g []int, avoid []floorplan.Region) []byte {
+	b := buf[:0]
 	for _, idx := range g {
 		b = strconv.AppendInt(b, int64(idx), 10)
 		b = append(b, ',')
 	}
 	b = append(b, '|')
 	if len(avoid) > 0 {
-		sorted := append([]floorplan.Region(nil), avoid...)
-		sort.Slice(sorted, func(i, j int) bool {
-			a, c := sorted[i], sorted[j]
-			if a.Row != c.Row {
-				return a.Row < c.Row
+		// Insertion sort into a copy: avoid sets hold one region per
+		// already-priced group, so they are tiny and the reflection cost of
+		// sort.Slice would dominate the key build.
+		sorted := make([]floorplan.Region, len(avoid))
+		copy(sorted, avoid)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && regionLess(sorted[j], sorted[j-1]); j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 			}
-			if a.Col != c.Col {
-				return a.Col < c.Col
-			}
-			if a.H != c.H {
-				return a.H < c.H
-			}
-			return a.W < c.W
-		})
+		}
 		for _, r := range sorted {
 			b = strconv.AppendInt(b, int64(r.Row), 10)
 			b = append(b, '.')
@@ -58,7 +71,7 @@ func groupKey(g []int, avoid []floorplan.Region) string {
 			b = append(b, ';')
 		}
 	}
-	return string(b)
+	return b
 }
 
 // cacheShardCount spreads the group cache over independently locked shards
@@ -87,7 +100,7 @@ func newGroupCache() *groupCache {
 // shardIndex picks the shard by FNV-1a over the key. The index is exposed
 // (rather than the shard pointer) so callers can stripe their own accounting
 // the same way — see explorerStats.
-func (c *groupCache) shardIndex(key string) int {
+func (c *groupCache) shardIndex(key []byte) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -100,17 +113,17 @@ func (c *groupCache) shardIndex(key string) int {
 	return int(h % cacheShardCount)
 }
 
-func (c *groupCache) get(shard int, key string) (groupEval, bool) {
+func (c *groupCache) get(shard int, key []byte) (groupEval, bool) {
 	s := &c.shards[shard]
 	s.mu.RLock()
-	ev, ok := s.m[key]
+	ev, ok := s.m[string(key)] // no alloc: map read with converted key
 	s.mu.RUnlock()
 	return ev, ok
 }
 
-func (c *groupCache) put(shard int, key string, ev groupEval) {
+func (c *groupCache) put(shard int, key []byte, ev groupEval) {
 	s := &c.shards[shard]
 	s.mu.Lock()
-	s.m[key] = ev
+	s.m[string(key)] = ev
 	s.mu.Unlock()
 }

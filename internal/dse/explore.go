@@ -82,11 +82,13 @@ func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache) Desig
 		metCacheMisses.Add(misses)
 	}()
 
-	var placed []floorplan.Region
+	placed := make([]floorplan.Region, 0, len(groups))
+	var keyBuf []byte
 	for _, g := range groups {
 		var ev groupEval
 		if cache != nil {
-			key := groupKey(g, placed)
+			keyBuf = groupKey(keyBuf, g, placed)
+			key := keyBuf
 			shard := cache.shardIndex(key)
 			var ok bool
 			if ev, ok = cache.get(shard, key); ok {
@@ -202,7 +204,9 @@ func forEachPartitionRGS(n int, visit func(index int, rgs []int) bool) {
 }
 
 // decodeGroups converts a restricted growth string into freshly allocated
-// groups, ordered by first appearance with members ascending.
+// groups, ordered by first appearance with members ascending. All groups
+// share one backing array sized up front, so the decode costs three
+// allocations regardless of the group count.
 func decodeGroups(rgs []int) [][]int {
 	k := 0
 	for _, g := range rgs {
@@ -210,7 +214,17 @@ func decodeGroups(rgs []int) [][]int {
 			k = g + 1
 		}
 	}
+	sizes := make([]int, k)
+	for _, g := range rgs {
+		sizes[g]++
+	}
 	groups := make([][]int, k)
+	backing := make([]int, len(rgs))
+	off := 0
+	for g, sz := range sizes {
+		groups[g] = backing[off:off:off+sz]
+		off += sz
+	}
 	for idx, g := range rgs {
 		groups[g] = append(groups[g], idx)
 	}

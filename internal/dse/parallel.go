@@ -9,13 +9,21 @@ import (
 	"repro/internal/obs"
 )
 
-// partitionJob carries one partition to a worker: its position in the
-// sequential enumeration order plus a private copy of its restricted growth
-// string.
+// partitionJob carries a chunk of consecutive partitions to a worker: the
+// enumeration index of the first one plus count restricted growth strings
+// packed back to back in one slab (partition i at rgs[i*n : (i+1)*n]).
+// Chunking amortizes the channel handoff and the RGS copies over jobChunk
+// partitions — per-partition sends dominated the producer at small n.
 type partitionJob struct {
-	index int
+	start int
+	count int
 	rgs   []int
 }
+
+// jobChunk is the partitions-per-job batch size. Large enough to make the
+// channel costs negligible, small enough that tiny explorations still spread
+// across workers.
+const jobChunk = 64
 
 // ExploreAllParallel evaluates every set partition of the PRMs like
 // ExploreAll, but streams the partitions to GOMAXPROCS workers and memoizes
@@ -35,6 +43,9 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 	defer span.End()
 	points := make([]DesignPoint, bellNumber(n))
 	cache := newGroupCache()
+	// Build the shared per-fabric window index before the workers start, so
+	// they share one classification instead of racing to build it.
+	e.Device.Fabric.WindowIndex()
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(points) {
@@ -54,20 +65,24 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 			_, ws := obs.StartSpan(ctx, "dse.worker")
 			evaluated := 0
 			for j := range jobs {
-				if ctx.Err() != nil {
-					continue // drain without evaluating
+				for i := 0; i < j.count; i++ {
+					if ctx.Err() != nil {
+						break // drain without evaluating
+					}
+					rgs := j.rgs[i*n : (i+1)*n]
+					// Each index is owned by exactly one job, so workers
+					// write disjoint elements and need no lock. Wall-clock
+					// sampling is gated on Active so the disabled path pays
+					// no time.Now.
+					if obs.Active() {
+						t0 := time.Now()
+						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache)
+						metEvalLatency.ObserveSince(t0)
+					} else {
+						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache)
+					}
+					evaluated++
 				}
-				// Each index is owned by exactly one job, so workers write
-				// disjoint elements and need no lock. Wall-clock sampling is
-				// gated on Active so the disabled path pays no time.Now.
-				if obs.Active() {
-					t0 := time.Now()
-					points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
-					metEvalLatency.ObserveSince(t0)
-				} else {
-					points[j.index] = e.evaluate(prms, decodeGroups(j.rgs), cache)
-				}
-				evaluated++
 			}
 			metPartitions.Add(int64(evaluated))
 			ws.SetAttr("worker", id).SetAttr("partitions", evaluated)
@@ -76,17 +91,32 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 	}
 
 	cancelled := false
-	forEachPartitionRGS(n, func(index int, rgs []int) bool {
-		cp := make([]int, n)
-		copy(cp, rgs)
+	cur := partitionJob{rgs: make([]int, 0, jobChunk*n)}
+	send := func(j partitionJob) bool {
 		select {
-		case jobs <- partitionJob{index: index, rgs: cp}:
+		case jobs <- j:
 			return true
 		case <-ctx.Done():
 			cancelled = true
 			return false
 		}
+	}
+	forEachPartitionRGS(n, func(index int, rgs []int) bool {
+		if cur.count == 0 {
+			cur.start = index
+		}
+		cur.rgs = append(cur.rgs, rgs...)
+		cur.count++
+		if cur.count < jobChunk {
+			return true
+		}
+		ok := send(cur)
+		cur = partitionJob{rgs: make([]int, 0, jobChunk*n)}
+		return ok
 	})
+	if cur.count > 0 && !cancelled {
+		send(cur)
+	}
 	close(jobs)
 	if cancelled {
 		// Cancellation latency: how long the workers take to drain and exit

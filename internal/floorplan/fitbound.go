@@ -1,6 +1,10 @@
 package floorplan
 
-import "repro/internal/device"
+import (
+	"sync"
+
+	"repro/internal/device"
+)
 
 // RunIndex summarizes a fabric's maximal contiguous runs of PRR-allowed
 // columns (no IOB or CLK column inside) by their per-kind column counts. Any
@@ -20,37 +24,34 @@ type runCount struct {
 	clb, dsp, bram int
 }
 
-// NewRunIndex scans the fabric's column sequence once and records every
-// maximal run of PRR-allowed columns.
+// NewRunIndex records every maximal run of PRR-allowed columns, reusing the
+// run census the fabric's WindowIndex already computed.
 func NewRunIndex(f *device.Fabric) *RunIndex {
-	ri := &RunIndex{}
-	var cur runCount
-	open := false
-	flush := func() {
-		if open {
-			ri.runs = append(ri.runs, cur)
-			cur = runCount{}
-			open = false
+	runs := f.WindowIndex().Runs()
+	ri := &RunIndex{runs: make([]runCount, len(runs))}
+	for i, c := range runs {
+		ri.runs[i] = runCount{
+			clb:  c.Of(device.KindCLB),
+			dsp:  c.Of(device.KindDSP),
+			bram: c.Of(device.KindBRAM),
 		}
 	}
-	for col := 1; col <= f.NumColumns(); col++ {
-		k := f.KindAt(col)
-		if !k.PRRAllowed() {
-			flush()
-			continue
-		}
-		open = true
-		switch k {
-		case device.KindCLB:
-			cur.clb++
-		case device.KindDSP:
-			cur.dsp++
-		case device.KindBRAM:
-			cur.bram++
-		}
-	}
-	flush()
 	return ri
+}
+
+// runIndexes caches one RunIndex per fabric, keyed by identity like the
+// device package's window-index cache.
+var runIndexes sync.Map // *device.Fabric -> *RunIndex
+
+// RunIndexFor returns the fabric's cached RunIndex, building it on first
+// use. Explorations over the same device share one index instead of
+// rescanning the column sequence per run.
+func RunIndexFor(f *device.Fabric) *RunIndex {
+	if v, ok := runIndexes.Load(f); ok {
+		return v.(*RunIndex)
+	}
+	v, _ := runIndexes.LoadOrStore(f, NewRunIndex(f))
+	return v.(*RunIndex)
 }
 
 // CanHold reports whether some allowed run contains at least need.CLB CLB

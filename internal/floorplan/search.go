@@ -20,6 +20,35 @@ var (
 		"searches that found a matching window")
 )
 
+// Window-index observability: builds versus hits show how quickly the
+// per-fabric candidate memo converges (a steady state is all hits), and the
+// empty-needs counter exposes searches answered without touching a single
+// row — the needs the fabric can structurally never place.
+var (
+	metIndexBuilds = obs.Default().Counter("floorplan_index_builds_total",
+		"candidate-column sets built and memoized in a fabric's WindowIndex")
+	metIndexHits = obs.Default().Counter("floorplan_index_lookup_hits_total",
+		"window-candidate lookups answered from a fabric's WindowIndex memo")
+	metIndexEmpty = obs.Default().Counter("floorplan_index_empty_needs_total",
+		"searches whose need has no candidate column anywhere on the fabric")
+)
+
+// recordLookup folds one index lookup into the registry; the per-device
+// candidate-count histogram costs a registry lookup, so it is gated on
+// obs.Active and only sampled when the entry was freshly built.
+func recordLookup(f *device.Fabric, cands []int, built bool) {
+	if !built {
+		metIndexHits.Inc()
+		return
+	}
+	metIndexBuilds.Inc()
+	if obs.Active() {
+		obs.Default().Histogram("floorplan_index_candidates",
+			"candidate start columns per freshly indexed need", obs.CountBuckets,
+			obs.L("device", deviceLabel(f))).Observe(float64(len(cands)))
+	}
+}
+
 // deviceLabel names the fabric for per-device metric series.
 func deviceLabel(f *device.Fabric) string {
 	if f.Name == "" {
@@ -94,6 +123,17 @@ type Step struct {
 	Reason   string // why the probe failed, empty when Found
 }
 
+// TraceStepCap bounds the steps FindWindowTrace accumulates. An unbounded
+// trace is O(rows·cols) memory on large fabrics (every classification failure
+// is replayed per row); once the cap is reached a single marker step with
+// Reason TraceTruncated is appended, further failures are dropped, and the
+// final successful step (if any) is still recorded.
+const TraceStepCap = 4096
+
+// TraceTruncated is the Reason of the marker step appended when a trace hits
+// TraceStepCap.
+const TraceTruncated = "trace truncated: step cap reached"
+
 // FindWindow runs the paper's Fig. 1 inner search: scan the fabric bottom-up
 // (row 1 first) and left-to-right for a window of H rows and need.Width()
 // contiguous columns whose composition exactly matches the need, containing
@@ -106,7 +146,9 @@ func FindWindow(f *device.Fabric, h int, need Need, avoid ...Region) (Region, bo
 }
 
 // FindWindowTrace is FindWindow with a per-probe trace, used to reproduce
-// the paper's Fig. 1 flow as a narrated search.
+// the paper's Fig. 1 flow as a narrated search. The trace is bounded by
+// TraceStepCap; a truncated trace ends its failure steps with a marker whose
+// Reason is TraceTruncated (the final successful step is always recorded).
 func FindWindowTrace(f *device.Fabric, h int, need Need, avoid ...Region) (Region, bool, []Step) {
 	return findWindow(f, h, need, true, avoid)
 }
@@ -123,52 +165,91 @@ func findWindow(f *device.Fabric, h int, need Need, trace bool, avoid []Region) 
 		return Region{}, false, nil
 	}
 	wantComp := need.Composition()
+	if trace {
+		return findWindowTraced(f, h, w, wantComp, maxCol, avoid, &probes)
+	}
 
 	// A window's composition depends only on (col, w), never on the row, so
-	// classify every candidate column once per call (O(cols) with per-kind
-	// prefix sums) and leave only the hole/avoid checks in the row loop.
+	// the candidate columns come from the fabric's memoized WindowIndex —
+	// a map read after the first search for this need — leaving only the
+	// hole/avoid checks in the row loop.
+	cands, built := f.WindowIndex().Candidates(wantComp)
+	recordLookup(f, cands, built)
+	if len(cands) == 0 {
+		// No start column anywhere on the fabric matches the mix: the
+		// search can never succeed for any row, so don't sweep any.
+		metIndexEmpty.Inc()
+		return Region{}, false, nil
+	}
+
+	for row := 1; row+h-1 <= f.Rows; row++ {
+		for _, col := range cands {
+			probes++
+			if cand, ok := probeFast(f, row, col, h, w, avoid); ok {
+				return cand, true, nil
+			}
+		}
+	}
+	return Region{}, false, nil
+}
+
+// probeFast runs the row-dependent checks for one candidate window without
+// rendering failure reasons — the hot path pays no fmt work.
+func probeFast(f *device.Fabric, row, col, h, w int, avoid []Region) (Region, bool) {
+	cand := Region{Row: row, Col: col, H: h, W: w}
+	if _, holed := f.HoleIn(row, col, h, w); holed {
+		return Region{}, false
+	}
+	if overlapAny(cand, avoid) != nil {
+		return Region{}, false
+	}
+	return cand, true
+}
+
+// findWindowTraced is the narrated variant: it classifies the columns per
+// call (the reasons need the rejected compositions) and records every step up
+// to TraceStepCap, walking exactly the rows and columns the scanning search
+// would — the narration's step and probe counts are part of the Fig. 1
+// reproduction output.
+func findWindowTraced(f *device.Fabric, h, w int, wantComp device.Composition, maxCol int, avoid []Region, probes *int) (Region, bool, []Step) {
+	var steps []Step
+	truncated := false
+	addStep := func(s Step) {
+		switch {
+		case s.Found || len(steps) < TraceStepCap:
+			steps = append(steps, s)
+		case !truncated:
+			truncated = true
+			steps = append(steps, Step{Row: s.Row, Col: s.Col, Reason: TraceTruncated})
+		}
+	}
+
 	pre := f.PrefixSums()
 	cands := make([]int, 0, maxCol)
-	var colReason []string // per-col failure text, trace only
-	if trace {
-		colReason = make([]string, maxCol+1)
-	}
+	colReason := make([]string, maxCol+1)
 	for col := 1; col <= maxCol; col++ {
 		comp := pre.CompositionOf(col, w)
 		switch {
 		case comp.HasForbidden():
-			if trace {
-				colReason[col] = "window contains IOB/CLK column"
-			}
+			colReason[col] = "window contains IOB/CLK column"
 		case comp != wantComp:
-			if trace {
-				colReason[col] = fmt.Sprintf("composition %v != %v", comp, wantComp)
-			}
+			colReason[col] = fmt.Sprintf("composition %v != %v", comp, wantComp)
 		default:
 			cands = append(cands, col)
 		}
 	}
 
 	for row := 1; row+h-1 <= f.Rows; row++ {
-		if trace {
-			for col := 1; col <= maxCol; col++ {
-				if colReason[col] != "" {
-					steps = append(steps, Step{Row: row, Col: col, Reason: colReason[col]})
-					continue
-				}
-				probes++
-				cand, ok, step := probe(f, row, col, h, w, avoid)
-				steps = append(steps, step)
-				if ok {
-					return cand, true, steps
-				}
+		for col := 1; col <= maxCol; col++ {
+			if colReason[col] != "" {
+				addStep(Step{Row: row, Col: col, Reason: colReason[col]})
+				continue
 			}
-			continue
-		}
-		for _, col := range cands {
-			probes++
-			if cand, ok, _ := probe(f, row, col, h, w, avoid); ok {
-				return cand, true, nil
+			*probes++
+			cand, ok, step := probe(f, row, col, h, w, avoid)
+			addStep(step)
+			if ok {
+				return cand, true, steps
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+package floorplan
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// BenchmarkFindWindowHit measures the steady-state indexed search on the
+// LX110T for the paper's MIPS need: candidates come from the memoized index,
+// so the loop body is the hole/avoid probes only. Allocations are reported —
+// the hit path is expected to allocate nothing.
+func BenchmarkFindWindowHit(b *testing.B) {
+	f := &device.XC5VLX110T.Fabric
+	need := Need{CLB: 17, DSP: 1, BRAM: 2}
+	if _, ok := FindWindow(f, 1, need); !ok {
+		b.Fatal("MIPS window must exist")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindWindow(f, 1, need); !ok {
+			b.Fatal("window vanished")
+		}
+	}
+}
+
+// BenchmarkFindWindowAvoid adds placed regions, the DSE group-pricing shape:
+// the bottom rows are blocked so several rows are probed before the match.
+func BenchmarkFindWindowAvoid(b *testing.B) {
+	f := &device.XC5VLX110T.Fabric
+	need := Need{CLB: 2, DSP: 1}
+	avoid := []Region{{Row: 1, Col: 1, H: 2, W: f.NumColumns()}}
+	if _, ok := FindWindow(f, 5, need, avoid...); !ok {
+		b.Fatal("FIR window must exist above the blocked rows")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindWindow(f, 5, need, avoid...); !ok {
+			b.Fatal("window vanished")
+		}
+	}
+}
+
+// BenchmarkFindWindowEmpty measures the impossible-need fast path: the index
+// answers from the run census without sweeping any row.
+func BenchmarkFindWindowEmpty(b *testing.B) {
+	f := &device.XC5VLX110T.Fabric
+	need := Need{DSP: 3} // the LX110T has a single DSP column
+	if _, ok := FindWindow(f, 1, need); ok {
+		b.Fatal("three-DSP need must be impossible")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindWindow(f, 1, need); ok {
+			b.Fatal("impossible need matched")
+		}
+	}
+}

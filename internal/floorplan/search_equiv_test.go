@@ -1,0 +1,267 @@
+package floorplan
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/obs"
+)
+
+// refFindWindow is the pre-index scanning search: classify every start
+// column on every probe, exactly as findWindow did before the WindowIndex.
+// It is the oracle the indexed path must match bit for bit.
+func refFindWindow(f *device.Fabric, h int, need Need, avoid []Region) (Region, bool) {
+	w := need.Width()
+	if w == 0 || h < 1 {
+		return Region{}, false
+	}
+	maxCol := f.NumColumns() - w + 1
+	if maxCol < 1 {
+		return Region{}, false
+	}
+	want := need.Composition()
+	for row := 1; row+h-1 <= f.Rows; row++ {
+		for col := 1; col <= maxCol; col++ {
+			comp := f.CompositionOf(col, w)
+			if comp.HasForbidden() || comp != want {
+				continue
+			}
+			if _, holed := f.HoleIn(row, col, h, w); holed {
+				continue
+			}
+			cand := Region{Row: row, Col: col, H: h, W: w}
+			if overlapAny(cand, avoid) != nil {
+				continue
+			}
+			return cand, true
+		}
+	}
+	return Region{}, false
+}
+
+// randomFabric draws a fabric with a CLB-heavy random column mix, a few
+// forbidden columns, and a few hard-macro holes.
+func randomFabric(rng *rand.Rand) *device.Fabric {
+	kinds := []device.ColumnKind{
+		device.KindCLB, device.KindCLB, device.KindCLB, device.KindCLB,
+		device.KindDSP, device.KindBRAM, device.KindIOB, device.KindCLK,
+	}
+	cols := make([]device.ColumnKind, 1+rng.Intn(40))
+	for i := range cols {
+		cols[i] = kinds[rng.Intn(len(kinds))]
+	}
+	f := &device.Fabric{Rows: 1 + rng.Intn(8), Columns: cols}
+	for n := rng.Intn(4); n > 0; n-- {
+		if f.Holes == nil {
+			f.Holes = make(map[device.Coord]string)
+		}
+		c := device.Coord{Row: 1 + rng.Intn(f.Rows), Col: 1 + rng.Intn(len(cols))}
+		f.Holes[c] = "macro"
+	}
+	return f
+}
+
+// randomNeed draws a need; about a third are impossible mixes.
+func randomNeed(rng *rand.Rand) Need {
+	return Need{CLB: rng.Intn(8), DSP: rng.Intn(3), BRAM: rng.Intn(3)}
+}
+
+// randomAvoid draws up to three blocked regions inside the fabric.
+func randomAvoid(rng *rand.Rand, f *device.Fabric) []Region {
+	var avoid []Region
+	for n := rng.Intn(4); n > 0; n-- {
+		row, col := 1+rng.Intn(f.Rows), 1+rng.Intn(f.NumColumns())
+		avoid = append(avoid, Region{
+			Row: row, Col: col,
+			H: 1 + rng.Intn(f.Rows-row+1), W: 1 + rng.Intn(f.NumColumns()-col+1),
+		})
+	}
+	return avoid
+}
+
+// TestFindWindowMatchesScanningReference drives the indexed FindWindow and
+// the scanning oracle across random fabrics, needs, heights and avoid sets:
+// found/not-found and the exact region must agree everywhere. Repeated
+// lookups against the same fabric also exercise the memoized path.
+func TestFindWindowMatchesScanningReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		f := randomFabric(rng)
+		// Several needs per fabric: later ones hit the memoized candidates.
+		for j := 0; j < 6; j++ {
+			need := randomNeed(rng)
+			h := 1 + rng.Intn(f.Rows+2) // sometimes taller than the fabric
+			avoid := randomAvoid(rng, f)
+			wantReg, wantOK := refFindWindow(f, h, need, avoid)
+			gotReg, gotOK := FindWindow(f, h, need, avoid...)
+			if gotOK != wantOK || gotReg != wantReg {
+				t.Fatalf("fabric %q rows=%d h=%d need=%v avoid=%v:\nindexed = %v,%v\nscanning = %v,%v",
+					f.Layout(), f.Rows, h, need, avoid, gotReg, gotOK, wantReg, wantOK)
+			}
+			// The traced variant must agree on the outcome too.
+			tReg, tOK, _ := FindWindowTrace(f, h, need, avoid...)
+			if tOK != wantOK || tReg != wantReg {
+				t.Fatalf("fabric %q h=%d need=%v: trace = %v,%v, want %v,%v",
+					f.Layout(), h, need, tReg, tOK, wantReg, wantOK)
+			}
+		}
+	}
+}
+
+// TestFindWindowConcurrentLookups hammers one fabric's index from many
+// goroutines with overlapping needs; run under -race this checks the lazily
+// built candidate sets publish safely, and every result still matches the
+// oracle.
+func TestFindWindowConcurrentLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := randomFabric(rng)
+	type query struct {
+		need  Need
+		h     int
+		avoid []Region
+	}
+	queries := make([]query, 64)
+	for i := range queries {
+		queries[i] = query{need: randomNeed(rng), h: 1 + rng.Intn(f.Rows), avoid: randomAvoid(rng, f)}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(queries)*4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				wantReg, wantOK := refFindWindow(f, q.h, q.need, q.avoid)
+				gotReg, gotOK := FindWindow(f, q.h, q.need, q.avoid...)
+				if gotOK != wantOK || gotReg != wantReg {
+					errs <- q.need.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for need := range errs {
+		t.Errorf("concurrent lookup diverged from oracle for need %s", need)
+	}
+}
+
+// TestFindWindowEmptyNeedSkipsRows: a need no start column can ever satisfy
+// must answer without probing a single window (satellite: the empty
+// candidate list returns before the row sweep).
+func TestFindWindowEmptyNeedSkipsRows(t *testing.T) {
+	f := &device.Fabric{Rows: 512, Columns: device.MustParseLayout("C*20 D C*20")}
+	before := metScanned.Value()
+	if _, ok := FindWindow(f, 1, Need{DSP: 2}); ok {
+		t.Fatal("two-DSP need cannot exist on a one-DSP-column fabric")
+	}
+	if d := metScanned.Value() - before; d != 0 {
+		t.Errorf("empty-candidate search probed %d windows, want 0", d)
+	}
+}
+
+// TestIndexLookupMetrics checks the floorplan_index_* counters: a fresh need
+// counts one build, a repeat counts one hit, and an impossible need counts
+// toward the empty-needs total on every lookup.
+func TestIndexLookupMetrics(t *testing.T) {
+	f := &device.Fabric{Rows: 4, Columns: device.MustParseLayout("C*6 B C*6")}
+	builds0, hits0, empty0 := metIndexBuilds.Value(), metIndexHits.Value(), metIndexEmpty.Value()
+
+	if _, ok := FindWindow(f, 2, Need{CLB: 3}); !ok {
+		t.Fatal("{3xCLB} must fit")
+	}
+	if d := metIndexBuilds.Value() - builds0; d != 1 {
+		t.Errorf("first lookup: builds delta = %d, want 1", d)
+	}
+	if d := metIndexHits.Value() - hits0; d != 0 {
+		t.Errorf("first lookup: hits delta = %d, want 0", d)
+	}
+
+	if _, ok := FindWindow(f, 3, Need{CLB: 3}); !ok {
+		t.Fatal("{3xCLB} must fit at H=3 too")
+	}
+	if d := metIndexBuilds.Value() - builds0; d != 1 {
+		t.Errorf("repeat lookup: builds delta = %d, want 1 (memoized)", d)
+	}
+	if d := metIndexHits.Value() - hits0; d != 1 {
+		t.Errorf("repeat lookup: hits delta = %d, want 1", d)
+	}
+
+	for i := 0; i < 2; i++ { // impossible need: build then hit, empty both times
+		if _, ok := FindWindow(f, 1, Need{DSP: 1}); ok {
+			t.Fatal("DSP need cannot fit on a DSP-free fabric")
+		}
+	}
+	if d := metIndexEmpty.Value() - empty0; d != 2 {
+		t.Errorf("empty-needs delta = %d, want 2", d)
+	}
+	if d := metIndexBuilds.Value() - builds0; d != 2 {
+		t.Errorf("after impossible need: builds delta = %d, want 2", d)
+	}
+	if d := metIndexHits.Value() - hits0; d != 2 {
+		t.Errorf("after impossible need: hits delta = %d, want 2", d)
+	}
+
+	// The counters must be registered on the default registry under their
+	// exported names.
+	var sb strings.Builder
+	if err := obs.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"floorplan_index_builds_total",
+		"floorplan_index_lookup_hits_total",
+		"floorplan_index_empty_needs_total",
+	} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("default registry does not export %s", name)
+		}
+	}
+}
+
+// TestFindWindowTraceCap: on a fabric whose failed search would narrate far
+// more than TraceStepCap probes, the trace stops at the cap plus one marker
+// step whose Reason is TraceTruncated.
+func TestFindWindowTraceCap(t *testing.T) {
+	f := &device.Fabric{Rows: 300, Columns: device.MustParseLayout("C*60")}
+	blockAll := Region{Row: 1, Col: 1, H: 300, W: 60}
+	_, ok, steps := FindWindowTrace(f, 2, Need{CLB: 2}, blockAll)
+	if ok {
+		t.Fatal("fully blocked fabric must not place a window")
+	}
+	if len(steps) != TraceStepCap+1 {
+		t.Fatalf("trace has %d steps, want cap %d + 1 marker", len(steps), TraceStepCap)
+	}
+	if last := steps[len(steps)-1]; last.Reason != TraceTruncated {
+		t.Errorf("last step reason = %q, want the truncation marker", last.Reason)
+	}
+	for _, s := range steps[:len(steps)-1] {
+		if s.Reason == TraceTruncated {
+			t.Fatal("truncation marker appears before the end")
+		}
+	}
+}
+
+// TestFindWindowTraceCapKeepsSuccess: when the match lands beyond the cap,
+// the trace is truncated but still ends with the successful step.
+func TestFindWindowTraceCapKeepsSuccess(t *testing.T) {
+	f := &device.Fabric{Rows: 300, Columns: device.MustParseLayout("C*60")}
+	blockLow := Region{Row: 1, Col: 1, H: 298, W: 60} // rows 1-298 blocked
+	reg, ok, steps := FindWindowTrace(f, 2, Need{CLB: 2}, blockLow)
+	if !ok || reg.Row != 299 {
+		t.Fatalf("window = %v, %v; want a match at row 299", reg, ok)
+	}
+	if len(steps) != TraceStepCap+2 {
+		t.Fatalf("trace has %d steps, want cap + marker + success", len(steps))
+	}
+	last := steps[len(steps)-1]
+	if !last.Found || last.Row != 299 {
+		t.Errorf("final step = %+v, want the successful probe at row 299", last)
+	}
+	if steps[len(steps)-2].Reason != TraceTruncated {
+		t.Errorf("penultimate step reason = %q, want the truncation marker", steps[len(steps)-2].Reason)
+	}
+}

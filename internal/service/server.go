@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/device"
+	"repro/internal/floorplan"
 	"repro/internal/icap"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -112,6 +114,13 @@ func New(cfg Config) *Server {
 		estimator: est,
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+
+	// Warm the per-fabric window and run indexes for the whole catalog up
+	// front: the first request against any device then pays only its own
+	// need's candidate build, not the fabric classification.
+	for _, d := range device.All() {
+		floorplan.RunIndexFor(&d.Fabric)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
