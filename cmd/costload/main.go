@@ -8,6 +8,7 @@
 //	costload -addr ... -workload prr -distinct 4      # repeated requests: cache + coalescing exercise
 //	costload -addr ... -probe-cancel                  # explore-stream disconnect probe
 //	costload -addr ... -probe-coalesce                # identical-burst singleflight probe
+//	costload -addr ... -probe-dup                     # permuted duplicate-workload explore-cache probe
 //	costload -addr ... -json load.json                # machine-readable summary (CI artifact)
 //
 // Each client issues requests back-to-back (closed loop), cycling through
@@ -65,6 +66,10 @@ type loadSummary struct {
 	// CoalesceProbe is how many requests of the identical-burst probe (with
 	// -probe-coalesce) rode another's in-flight evaluation.
 	CoalesceProbe int64 `json:"coalesce_probe_coalesced,omitempty"`
+	// DupProbe is how many of the permuted duplicate-workload explorations
+	// (with -probe-dup) answered from the response cache: the canonical
+	// request key recognizes reordered interchangeable PRMs.
+	DupProbe int64 `json:"dup_probe_cache_hits,omitempty"`
 }
 
 func main() {
@@ -76,6 +81,7 @@ func main() {
 	deviceName := flag.String("device", "XC6VLX75T", "target device for generated requests")
 	probeCancel := flag.Bool("probe-cancel", false, "after the load, probe explore-stream disconnect latency")
 	probeCoalesce := flag.Bool("probe-coalesce", false, "after the load, probe singleflight coalescing with an identical-request burst")
+	probeDup := flag.Bool("probe-dup", false, "after the load, probe the explore cache with permutations of a duplicate-heavy workload")
 	jsonOut := flag.String("json", "", "write the machine-readable load summary to this file")
 	flag.Parse()
 
@@ -160,6 +166,15 @@ func main() {
 		}
 		sum.CoalesceProbe = n
 		fmt.Printf("  identical burst: %d of %d requests coalesced onto one evaluation\n", n, *clients)
+	}
+
+	if *probeDup {
+		hits, total, err := dupProbe(ctx, *addr, *deviceName)
+		if err != nil {
+			fatal(fmt.Errorf("dup probe: %w", err))
+		}
+		sum.DupProbe = hits
+		fmt.Printf("  duplicate workload: %d of %d permuted explorations answered from cache\n", hits, total)
 	}
 
 	if *probeCancel {
@@ -293,6 +308,56 @@ func coalesceProbe(ctx context.Context, addr, dev string, k int) (int64, error) 
 		}
 	}
 	return 0, fmt.Errorf("no request coalesced across 3 identical bursts")
+}
+
+// dupProbe sends one front-only exploration of a duplicate-heavy workload —
+// eight PRMs over two requirement signatures, fresh sizes per run so the
+// cache starts cold — then k permutations of the same PRM list. The server
+// canonicalizes explore requests before keying its cache, so every
+// permutation after the first must be a cache hit; returned is the hit delta
+// observed in /metrics against the permutation count.
+func dupProbe(ctx context.Context, addr, dev string) (hits, total int64, err error) {
+	nonce := int(time.Now().UnixNano() % 4096)
+	sigs := []api.Requirements{
+		{LUTFFPairs: 1200 + nonce, LUTs: 1000 + nonce, FFs: 800 + nonce/2},
+		{LUTFFPairs: 500 + nonce, LUTs: 440 + nonce, FFs: 360 + nonce/2},
+	}
+	prms := make([]api.PRM, 8)
+	for i := range prms {
+		prms[i] = api.PRM{Name: fmt.Sprintf("dup%d", i), Req: sigs[i/4]}
+	}
+	cl := client.New(addr)
+	cl.ID = "costload-dup-probe"
+	seed := &api.ExploreRequest{Device: dev, FrontOnly: true, PRMs: prms}
+	first, err := cl.Explore(ctx, seed, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if first.Stats.OrbitsCollapsed == 0 {
+		return 0, 0, fmt.Errorf("server reported no symmetry collapse on a duplicate workload")
+	}
+	before, err := scrapeCounter(ctx, addr, "service_cache_hits_total")
+	if err != nil {
+		return 0, 0, err
+	}
+	const perms = 4
+	for p := 1; p <= perms; p++ {
+		rotated := &api.ExploreRequest{Device: dev, FrontOnly: true,
+			PRMs: append(append([]api.PRM{}, prms[p:]...), prms[:p]...)}
+		done, err := cl.Explore(ctx, rotated, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(done.Front) != len(first.Front) {
+			return 0, 0, fmt.Errorf("permutation %d served %d front points, seed served %d",
+				p, len(done.Front), len(first.Front))
+		}
+	}
+	after, err := scrapeCounter(ctx, addr, "service_cache_hits_total")
+	if err != nil {
+		return 0, 0, err
+	}
+	return after - before, perms, nil
 }
 
 // cancelProbe opens an exploration stream on a workload big enough to run

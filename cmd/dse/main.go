@@ -15,7 +15,9 @@
 // streams the exact Pareto front while pruning subtrees whose partitions can
 // never be placed (-prune=false disables the fit bound). -constrained swaps
 // in the deliberately tight fabric and its mixed DSP/BRAM workload where the
-// bounds bite hardest.
+// bounds bite hardest. -dup k explores the duplicate-heavy workload with k
+// distinct shapes, where the bb engine's symmetry collapse (-symmetry off
+// disables it) skips interchangeable partitions.
 //
 // Observability: -metrics-addr serves Prometheus text at /metrics (plus
 // expvar, and pprof with -pprof), -trace-out writes nested spans as JSON
@@ -49,6 +51,8 @@ func main() {
 	prune := flag.Bool("prune", true, "bb engine: enable the monotone fit bound")
 	constrained := flag.Bool("constrained", false, "use the tight two-run fabric and its DSP/BRAM workload (requires -n)")
 	nSynthetic := flag.Int("n", 0, "explore n synthetic PRMs instead of the paper's three (stress mode)")
+	dupShapes := flag.Int("dup", 0, "with -n: use the duplicate-heavy workload with this many distinct shapes (symmetry stress mode)")
+	symmetry := flag.String("symmetry", "auto", "bb engine: interchangeable-PRM collapse: auto or off")
 	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 	if *sequential {
@@ -76,6 +80,11 @@ func main() {
 	switch {
 	case *constrained:
 		prms = dse.ConstrainedPRMs(*nSynthetic)
+	case *dupShapes > 0:
+		if *nSynthetic <= 0 {
+			fatal(fmt.Errorf("-dup needs -n (it shapes the synthetic workload)"))
+		}
+		prms = dse.DuplicatePRMs(*nSynthetic, *dupShapes)
 	case *nSynthetic > 0:
 		prms = dse.SyntheticPRMs(*nSynthetic)
 	default:
@@ -106,8 +115,15 @@ func main() {
 		front = dse.Pareto(points)
 		evaluated = len(points)
 	case "bb":
-		front, bbStats, err = e.ExploreParetoBB(sess.Context(context.Background()), prms,
-			dse.BBOptions{DominancePrune: true, DisableFitPrune: !*prune})
+		opts := dse.BBOptions{DominancePrune: true, DisableFitPrune: !*prune}
+		switch *symmetry {
+		case "auto":
+		case "off":
+			opts.Symmetry = dse.SymmetryOff
+		default:
+			fatal(fmt.Errorf("unknown -symmetry %q (want auto or off)", *symmetry))
+		}
+		front, bbStats, err = e.ExploreParetoBB(sess.Context(context.Background()), prms, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -154,6 +170,11 @@ func main() {
 		fmt.Printf("  %d group pricings over %d subtree jobs (split depth %d); front %d, resident peak %d points\n",
 			bbStats.GroupPricings, bbStats.Subtrees, bbStats.SplitDepth,
 			bbStats.FrontSize, bbStats.MaxResident)
+		if bbStats.CollapsedSymmetry > 0 {
+			fmt.Printf("  symmetry: %d signature classes, %d partitions collapsed (%.1f%%)\n",
+				bbStats.Classes, bbStats.CollapsedSymmetry,
+				100*float64(bbStats.CollapsedSymmetry)/float64(bbStats.Partitions))
+		}
 	}
 
 	var flowPerPoint time.Duration

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -163,6 +164,54 @@ func TestClientExploreStream(t *testing.T) {
 	}
 	if len(done.Front) == 0 {
 		t.Error("empty front")
+	}
+}
+
+// TestClientExploreSymmetry: the symmetry option and stats ride the typed
+// client, a duplicate-heavy front-only explore reports the collapse, and a
+// permuted resend of the same workload answers identically from the server's
+// cache.
+func TestClientExploreSymmetry(t *testing.T) {
+	_, c := newServicePair(t, service.Config{})
+	ctx := context.Background()
+	sigA := api.Requirements{LUTFFPairs: 1300, LUTs: 1156, FFs: 889}
+	sigB := api.Requirements{LUTFFPairs: 700, LUTs: 640, FFs: 520}
+	req := &api.ExploreRequest{Device: "XC6VLX75T", FrontOnly: true, PRMs: []api.PRM{
+		{Name: "a0", Req: sigA}, {Name: "a1", Req: sigA}, {Name: "b0", Req: sigB}, {Name: "b1", Req: sigB},
+	}}
+	done, err := c.Explore(ctx, req, nil)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if done.Stats.Classes != 2 {
+		t.Errorf("classes = %d, want 2", done.Stats.Classes)
+	}
+	if done.Stats.OrbitsCollapsed == 0 {
+		t.Error("no collapse reported on a duplicate-heavy workload")
+	}
+
+	permuted := &api.ExploreRequest{Device: req.Device, FrontOnly: true, PRMs: []api.PRM{
+		req.PRMs[3], req.PRMs[1], req.PRMs[0], req.PRMs[2],
+	}}
+	again, err := c.Explore(ctx, permuted, nil)
+	if err != nil {
+		t.Fatalf("permuted Explore: %v", err)
+	}
+	if !reflect.DeepEqual(again, done) {
+		t.Error("permuted workload answered differently")
+	}
+
+	off := &api.ExploreRequest{Device: req.Device, FrontOnly: true, PRMs: req.PRMs,
+		Options: api.ExploreOptions{Symmetry: "off"}}
+	flat, err := c.Explore(ctx, off, nil)
+	if err != nil {
+		t.Fatalf("symmetry-off Explore: %v", err)
+	}
+	if flat.Stats.OrbitsCollapsed != 0 {
+		t.Errorf("symmetry off still collapsed %d partitions", flat.Stats.OrbitsCollapsed)
+	}
+	if !reflect.DeepEqual(flat.Front, done.Front) {
+		t.Error("symmetric and flat fronts differ over the client")
 	}
 }
 

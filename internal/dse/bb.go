@@ -27,11 +27,15 @@ type BBOptions struct {
 	// DisableFitPrune turns off the monotone infeasibility bound, pricing
 	// every partition like the flat engines (for measurement).
 	DisableFitPrune bool
+	// Symmetry selects the interchangeable-PRM collapse (see SymmetryMode).
+	// The default, SymmetryAuto, canonicalizes whenever two PRMs share a
+	// requirement signature; SymmetryOff explores the full space.
+	Symmetry SymmetryMode
 }
 
 // BBStats reports what the branch-and-bound run did. Partitions always
-// equals Evaluated + PrunedFit + PrunedDominated: every set partition is
-// either priced or charged to exactly one pruned subtree.
+// equals Evaluated + PrunedFit + PrunedDominated + CollapsedSymmetry: every
+// set partition is either priced or charged to exactly one skipped subtree.
 type BBStats struct {
 	// Partitions is Bell(n), the full design-space size.
 	Partitions int64
@@ -43,6 +47,13 @@ type BBStats struct {
 	// PrunedDominated counts partitions skipped because every completion is
 	// strictly dominated by a current front point.
 	PrunedDominated int64
+	// CollapsedSymmetry counts partitions skipped as non-canonical members of
+	// an interchangeable-PRM fiber: each prices identically to the canonical
+	// representative the engine did evaluate (0 with SymmetryOff or when all
+	// signatures are distinct).
+	CollapsedSymmetry int64
+	// Classes is the number of distinct PRM requirement signatures.
+	Classes int
 	// GroupPricings counts EstimateShared-equivalent group pricings — the
 	// engine's real work unit. The flat engines price (or look up) every
 	// group of every partition; prefix sharing prices each tree edge once.
@@ -81,6 +92,12 @@ type bbRun struct {
 	fitPrune bool
 	domPrune bool
 	pareto   bool
+	// sym enables the interchangeable-PRM collapse: classOf maps each PRM to
+	// its signature class (classifyPRMs) and workers enumerate only canonical
+	// RGS — per class, group labels non-decreasing in element order.
+	sym     bool
+	classOf []int
+	classes int
 
 	ctx     context.Context
 	stop    atomic.Bool
@@ -90,6 +107,7 @@ type bbRun struct {
 	evaluated   atomic.Int64
 	prunedFit   atomic.Int64
 	prunedDom   atomic.Int64
+	collapsed   atomic.Int64
 	pricings    atomic.Int64
 	resident    atomic.Int64
 	maxResident atomic.Int64
@@ -125,13 +143,22 @@ type bbState struct {
 	// needLB / tilesLB are the per-group monotone bounds (max over members).
 	needLB  []floorplan.Need
 	tilesLB []int
+	// lastLabel (symmetry mode) is the permanent per-class symmetry floor:
+	// the highest label an element of the class joined at, or a frozen
+	// opener's label (see mrgs.go for the reduction rule). pendLabel/
+	// pendClass track the most recent group opening while it is still
+	// swappable: alive until another group opens, frozen into lastLabel if
+	// its group recurs first. pendLabel is -1 when no opening is pending.
+	lastLabel []int
+	pendLabel int
+	pendClass int
 
 	front *ParetoFront
 	seq   uint64
 	nodes int
 
 	// local counters, flushed into the run at job end
-	evaluated, prunedFit, prunedDom, pricings int64
+	evaluated, prunedFit, prunedDom, collapsed, pricings int64
 }
 
 // reprice re-derives the priced-group stack from group `from` on, stopping
@@ -247,7 +274,26 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 		s.skip(r.ext.leaves(r.n-i, u), false, i)
 		return true
 	}
-	for g := 0; g <= u; g++ {
+	gMin, ci := 0, 0
+	if r.sym {
+		// Symmetry floor: labels below the class's floor begin reducible
+		// fiber members, each pricing identically to a representative
+		// enumerated elsewhere (see mrgs.go for the reduction rule). All
+		// skipped labels join existing groups (floors are in-use labels, so
+		// gMin <= u-1 here), so each subtree holds leaves(n-i-1, u)
+		// partitions.
+		ci = r.classOf[i]
+		gMin = s.lastLabel[ci]
+		if s.pendClass == ci && s.pendLabel > gMin {
+			gMin = s.pendLabel
+		}
+		if gMin > 0 {
+			skipped := int64(gMin) * r.ext.leaves(r.n-i-1, u)
+			s.collapsed += skipped
+			s.seq += uint64(skipped)
+		}
+	}
+	for g := gMin; g <= u; g++ {
 		childUsed := u
 		if g == u {
 			childUsed = u + 1
@@ -295,6 +341,25 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 		}
 
 		s.rgs[i] = g
+		savedLast, savedPendL, savedPendC, savedFroze := 0, 0, 0, -1
+		if r.sym {
+			savedLast = s.lastLabel[ci]
+			savedPendL, savedPendC = s.pendLabel, s.pendClass
+			if g < u {
+				if g == s.pendLabel {
+					// The pending opener's group recurred before any other
+					// group opened: its floor freezes in permanently.
+					savedFroze = s.lastLabel[s.pendClass]
+					if g > s.lastLabel[s.pendClass] {
+						s.lastLabel[s.pendClass] = g
+					}
+					s.pendLabel = -1
+				}
+				s.lastLabel[ci] = g
+			} else {
+				s.pendLabel, s.pendClass = g, ci
+			}
+		}
 		var ok bool
 		if g < u {
 			savedMemLen := len(s.members[g])
@@ -326,6 +391,13 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 				s.firstBad = -1
 			}
 		}
+		if r.sym {
+			s.lastLabel[ci] = savedLast
+			if savedFroze >= 0 {
+				s.lastLabel[savedPendC] = savedFroze
+			}
+			s.pendLabel, s.pendClass = savedPendL, savedPendC
+		}
 		if !ok {
 			return false
 		}
@@ -346,6 +418,7 @@ func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront) {
 		r.evaluated.Add(s.evaluated)
 		r.prunedFit.Add(s.prunedFit)
 		r.prunedDom.Add(s.prunedDom)
+		r.collapsed.Add(s.collapsed)
 		r.pricings.Add(s.pricings)
 	}()
 
@@ -355,6 +428,42 @@ func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront) {
 	for i := 0; i < k; i++ {
 		g := j.prefix[i]
 		s.members[g] = append(s.members[g], i)
+	}
+	if r.sym {
+		// Rebuild the per-class symmetry floors over the prefix by replaying
+		// the reduction state machine (see mrgs.go). Jobs are cut from the
+		// full-space enumeration, so a prefix may itself be reducible — then
+		// every completion is a reducible fiber member and the whole subtree
+		// is charged to the collapse.
+		s.lastLabel = make([]int, r.classes)
+		s.pendLabel = -1
+		used := 0
+		for i := 0; i < k; i++ {
+			g := j.prefix[i]
+			c := r.classOf[i]
+			floor := s.lastLabel[c]
+			if s.pendClass == c && s.pendLabel > floor {
+				floor = s.pendLabel
+			}
+			if g < floor {
+				s.collapsed += r.ext.leaves(r.n-k, j.used)
+				return
+			}
+			if g < used {
+				if g == s.pendLabel {
+					if g > s.lastLabel[s.pendClass] {
+						s.lastLabel[s.pendClass] = g
+					}
+					s.pendLabel = -1
+				}
+				s.lastLabel[c] = g
+			} else {
+				used = g + 1
+				s.pendLabel, s.pendClass = g, c
+			}
+		}
+	} else {
+		s.pendLabel = -1
 	}
 	tilesSum, bytesMax, minRUub := 0, 0, 200.0
 	for g := range s.members {
@@ -412,12 +521,15 @@ func autoSplitDepth(n, workers int) int {
 	return k
 }
 
-// exploreBB is the engine shared by the callback and Pareto entry points.
-func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pareto bool, visit func(DesignPoint) bool) (*ParetoFront, BBStats, error) {
+// exploreBB is the engine shared by the callback and Pareto entry points. In
+// Pareto mode it returns the final front (already expanded back to concrete
+// partitions when the symmetry collapse was active); in callback mode the
+// returned slice is nil.
+func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pareto bool, visit func(DesignPoint) bool) ([]DesignPoint, BBStats, error) {
 	n := len(prms)
 	var stats BBStats
 	if n == 0 {
-		return &ParetoFront{}, stats, ctx.Err()
+		return nil, stats, ctx.Err()
 	}
 	ctx, span := obs.StartSpan(ctx, "dse.bb")
 	defer span.End()
@@ -434,6 +546,10 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		k = n
 	}
 
+	ct := classifyPRMs(prms)
+	sym := opts.Symmetry == SymmetryAuto && ct.hasDuplicates()
+	metSymClasses.Add(int64(ct.classes()))
+
 	run := &bbRun{
 		e:        e,
 		prms:     prms,
@@ -445,6 +561,9 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		fitPrune: !opts.DisableFitPrune,
 		domPrune: pareto && opts.DominancePrune,
 		pareto:   pareto,
+		sym:      sym,
+		classOf:  ct.classOf,
+		classes:  ct.classes(),
 		ctx:      ctx,
 		visit:    visit,
 	}
@@ -510,20 +629,38 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 	}
 
 	stats = BBStats{
-		Partitions:      int64(bellNumber(n)),
-		Evaluated:       run.evaluated.Load(),
-		PrunedFit:       run.prunedFit.Load(),
-		PrunedDominated: run.prunedDom.Load(),
-		GroupPricings:   run.pricings.Load(),
-		Subtrees:        len(jobs),
-		SplitDepth:      k,
-		FrontSize:       global.Len(),
-		MaxResident:     run.maxResident.Load(),
+		Partitions:        int64(bellNumber(n)),
+		Evaluated:         run.evaluated.Load(),
+		PrunedFit:         run.prunedFit.Load(),
+		PrunedDominated:   run.prunedDom.Load(),
+		CollapsedSymmetry: run.collapsed.Load(),
+		Classes:           ct.classes(),
+		GroupPricings:     run.pricings.Load(),
+		Subtrees:          len(jobs),
+		SplitDepth:        k,
+		FrontSize:         global.Len(),
+		MaxResident:       run.maxResident.Load(),
+	}
+	var points []DesignPoint
+	if pareto {
+		points = global.Points()
+		if sym && len(points) > 0 {
+			// Rehydrate the representative front: the engine only priced the
+			// lex-least member of each fiber, but the flat front contains
+			// every member of each surviving fiber (equal objectives are
+			// never dominated away), in full-space enumeration order.
+			points = expandFront(&ct, run.ext, points)
+		}
+		stats.FrontSize = len(points)
 	}
 	metBBExplorations.Inc()
 	metBBEvaluated.Add(stats.Evaluated)
 	metBBPrunedFit.Add(stats.PrunedFit)
 	metBBPrunedDom.Add(stats.PrunedDominated)
+	metSymCollapsed.Add(stats.CollapsedSymmetry)
+	if stats.Partitions > 0 {
+		metSymCollapsePct.Set(100 * stats.CollapsedSymmetry / stats.Partitions)
+	}
 	metBBGroupPricings.Add(stats.GroupPricings)
 	if pareto {
 		metBBFrontSize.Set(int64(stats.FrontSize))
@@ -533,15 +670,19 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 	span.SetAttr("evaluated", stats.Evaluated).
 		SetAttr("pruned_fit", stats.PrunedFit).
 		SetAttr("pruned_dominated", stats.PrunedDominated).
+		SetAttr("collapsed_symmetry", stats.CollapsedSymmetry).
 		SetAttr("elapsed_ns", elapsed.Nanoseconds())
-	return global, stats, nil
+	return points, stats, nil
 }
 
 // ExploreBB streams every priced design point of the branch-and-bound
 // exploration to visit. Points arrive in no particular cross-subtree order
 // (visit is serialized but subtrees run concurrently); partitions skipped by
-// the fit bound are all infeasible and are not delivered. Returning false
-// from visit halts the exploration early with a nil error.
+// the fit bound are all infeasible and are not delivered. With the symmetry
+// collapse active (duplicate signatures under SymmetryAuto), only canonical
+// fiber representatives are priced and delivered — use ExpandSymmetric to
+// rehydrate a front derived from them. Returning false from visit halts the
+// exploration early with a nil error.
 func (e *Explorer) ExploreBB(ctx context.Context, prms []PRM, opts BBOptions, visit func(DesignPoint) bool) (BBStats, error) {
 	_, stats, err := e.exploreBB(ctx, prms, opts, false, visit)
 	return stats, err
@@ -551,13 +692,16 @@ func (e *Explorer) ExploreBB(ctx context.Context, prms []PRM, opts BBOptions, vi
 // feasible leaves feed per-subtree online Pareto mergers whose fronts are
 // merged in enumeration order, so the result is element-for-element
 // identical to Pareto(ExploreAll(prms)) while resident memory stays
-// O(front) instead of O(Bell(n)).
+// O(front) instead of O(Bell(n)). When interchangeable PRMs let the symmetry
+// collapse skip fibers, the representative front is expanded back to
+// concrete partitions before returning, so callers see the same bit-exact
+// front either way.
 func (e *Explorer) ExploreParetoBB(ctx context.Context, prms []PRM, opts BBOptions) ([]DesignPoint, BBStats, error) {
 	front, stats, err := e.exploreBB(ctx, prms, opts, true, nil)
 	if err != nil {
 		return nil, stats, err
 	}
-	return front.Points(), stats, nil
+	return front, stats, nil
 }
 
 // ExplorePareto is the convenience entry point: branch-and-bound with

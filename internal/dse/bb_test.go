@@ -41,9 +41,10 @@ func TestExploreParetoMatchesFlat(t *testing.T) {
 					t.Errorf("%s n=%d opts=%+v: front differs\n got %d points: %+v\nwant %d points: %+v",
 						devName, n, opts, len(got), got, len(want), want)
 				}
-				if total := stats.Evaluated + stats.PrunedFit + stats.PrunedDominated; total != stats.Partitions {
-					t.Errorf("%s n=%d opts=%+v: evaluated %d + pruned %d+%d != Bell(n) %d",
-						devName, n, opts, stats.Evaluated, stats.PrunedFit, stats.PrunedDominated, stats.Partitions)
+				if total := stats.Evaluated + stats.PrunedFit + stats.PrunedDominated + stats.CollapsedSymmetry; total != stats.Partitions {
+					t.Errorf("%s n=%d opts=%+v: evaluated %d + pruned %d+%d + collapsed %d != Bell(n) %d",
+						devName, n, opts, stats.Evaluated, stats.PrunedFit, stats.PrunedDominated,
+						stats.CollapsedSymmetry, stats.Partitions)
 				}
 			}
 		}

@@ -32,8 +32,11 @@ func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
 		return float64(dp.TotalTiles) + dp.WorstReconfig.Seconds()*1e4
 	}
 	cache := newGroupCache()
+	// Class ids over the full PRM list are prefix-consistent: prms[:m] keys
+	// through the same classOf entries, so the shared cache stays exact.
+	ct := classifyPRMs(prms)
 	beam := []cand{{groups: [][]int{{0}}}}
-	beam[0].dp = e.evaluate(prms[:1], beam[0].groups, cache)
+	beam[0].dp = e.evaluate(prms[:1], beam[0].groups, cache, ct.classOf)
 	for i := 1; i < len(prms); i++ {
 		var next []cand
 		sub := prms[:i+1]
@@ -42,12 +45,12 @@ func (e *Explorer) ExploreBeam(prms []PRM, beamWidth int) []DesignPoint {
 			for g := range c.groups {
 				groups := copyGroups(c.groups)
 				groups[g] = append(groups[g], i)
-				next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache)})
+				next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache, ct.classOf)})
 			}
 			// Open a new group.
 			groups := copyGroups(c.groups)
 			groups = append(groups, []int{i})
-			next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache)})
+			next = append(next, cand{groups: groups, dp: e.evaluate(sub, groups, cache, ct.classOf)})
 		}
 		sort.SliceStable(next, func(a, b int) bool { return score(next[a].dp) < score(next[b].dp) })
 		if len(next) > beamWidth {

@@ -33,19 +33,24 @@ type groupEval struct {
 	minCLB   float64
 }
 
-// groupKey canonically encodes a group (sorted PRM indexes — restricted
-// growth strings emit members ascending) plus the avoid-set signature. The
-// avoid regions are sorted into a canonical order: window search depends
-// only on the set of blocked tiles, so permutations of the same placed
-// regions share one cache entry. The key stays a []byte so cache hits — the
-// overwhelming majority of lookups — never allocate a string: map reads via
-// m[string(key)] are compiler-optimized to skip the conversion. buf is an
-// optional scratch slice the key is built into (callers reuse one buffer
-// across a partition's groups).
-func groupKey(buf []byte, g []int, avoid []floorplan.Region) []byte {
+// groupKey canonically encodes a group plus the avoid-set signature. Members
+// are encoded as their signature-class ids (classifyPRMs), in member order —
+// restricted growth strings emit members ascending — so two groups whose
+// ascending members carry the same class sequence share one entry: pricing
+// reads only the ordered requirement list and the avoid set, so their
+// evaluations are identical field for field (including the infeasibility
+// message, whose PRM position refers to the in-group index). The avoid
+// regions are sorted into a canonical order: window search depends only on
+// the set of blocked tiles, so permutations of the same placed regions share
+// one cache entry. The key stays a []byte so cache hits — the overwhelming
+// majority of lookups — never allocate a string: map reads via m[string(key)]
+// are compiler-optimized to skip the conversion. buf is an optional scratch
+// slice the key is built into (callers reuse one buffer across a partition's
+// groups).
+func groupKey(buf []byte, g []int, classOf []int, avoid []floorplan.Region) []byte {
 	b := buf[:0]
 	for _, idx := range g {
-		b = strconv.AppendInt(b, int64(idx), 10)
+		b = strconv.AppendInt(b, int64(classOf[idx]), 10)
 		b = append(b, ',')
 	}
 	b = append(b, '|')

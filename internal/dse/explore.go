@@ -64,13 +64,15 @@ func (e *Explorer) CacheStats() (hits, misses int64) {
 
 // Evaluate prices one partitioning with the cost models.
 func (e *Explorer) Evaluate(prms []PRM, groups [][]int) DesignPoint {
-	return e.evaluate(prms, groups, nil)
+	return e.evaluate(prms, groups, nil, nil)
 }
 
 // evaluate prices one partitioning, consulting and filling cache (when
-// non-nil) for per-group results. Groups are priced in order; each group's
-// PRR must avoid the regions placed for the groups before it.
-func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache) DesignPoint {
+// non-nil) for per-group results; classOf is the signature-class map the
+// cache keys encode members through (required when cache is non-nil, so
+// interchangeable PRMs share entries). Groups are priced in order; each
+// group's PRR must avoid the regions placed for the groups before it.
+func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache, classOf []int) DesignPoint {
 	dp := DesignPoint{Groups: groups, Feasible: true, MinRU: 100}
 	bit := core.NewBitstreamModel(e.Device.Params)
 
@@ -87,7 +89,7 @@ func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache) Desig
 	for _, g := range groups {
 		var ev groupEval
 		if cache != nil {
-			keyBuf = groupKey(keyBuf, g, placed)
+			keyBuf = groupKey(keyBuf, g, classOf, placed)
 			key := keyBuf
 			shard := cache.shardIndex(key)
 			var ok bool

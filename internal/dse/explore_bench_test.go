@@ -88,6 +88,43 @@ func BenchmarkExploreParetoBB(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreParetoBBDup is the symmetry collapse on duplicate-heavy
+// workloads: n modules over k distinct requirement signatures in contiguous
+// blocks (see DuplicatePRMs). n=16 (Bell ≈ 1.0e10) is far beyond the flat
+// engines and reachable only because the engine walks fiber representatives;
+// collapsed-frac reports the fraction of the partition space skipped as
+// symmetric images. n=20/k=5 is deliberately absent: it still has over 2e8
+// fiber representatives (a single-core run was killed after 35 CPU-minutes
+// without finishing), so pricing it exactly needs the orbit-level memo or
+// cluster scatter the ROADMAP names — not a benchmark iteration.
+func BenchmarkExploreParetoBBDup(b *testing.B) {
+	for _, c := range []struct{ n, k int }{{12, 3}, {16, 4}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", c.n, c.k), func(b *testing.B) {
+			// XC6VLX75T, not the larger bench default: the duplicate shapes
+			// all place there, so the engine prices real fronts instead of
+			// fit-pruning the whole space.
+			dev, err := device.Lookup("XC6VLX75T")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := &Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+			prms := DuplicatePRMs(c.n, c.k)
+			b.ResetTimer()
+			var stats BBStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = e.ExploreParetoBB(context.Background(), prms, BBOptions{DominancePrune: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stats.CollapsedSymmetry)/float64(stats.Partitions), "collapsed-frac")
+			b.ReportMetric(float64(stats.Evaluated), "evaluated")
+		})
+	}
+}
+
 // BenchmarkExploreAllParallelConstrained is the flat baseline on the same
 // constrained workload, for a like-for-like pruned-versus-flat comparison.
 // n=13 (Bell ≈ 27.6M flat evaluations) is omitted: only the tree engine

@@ -62,6 +62,18 @@ var (
 		obs.CountBuckets, obs.L("bound", "dominated"))
 )
 
+// Symmetry-collapse metrics: how many PRM equivalence classes the
+// canonicalizer found and how much of the partition space the multiset
+// enumeration removed as interchangeable-fiber duplicates.
+var (
+	metSymClasses = obs.Default().Counter("dse_symmetry_classes_total",
+		"PRM requirement-signature equivalence classes identified across explorations")
+	metSymCollapsed = obs.Default().Counter("dse_symmetry_collapsed_total",
+		"partitions skipped as non-canonical members of an interchangeable-PRM fiber")
+	metSymCollapsePct = obs.Default().Gauge("dse_symmetry_collapse_ratio_pct",
+		"percentage of the most recent exploration's partition space removed by the symmetry collapse")
+)
+
 // statStripe is one stripe of an Explorer's cache-lookup accounting, padded
 // to its own cache line so parallel workers do not false-share.
 type statStripe struct {

@@ -1,0 +1,239 @@
+package dse
+
+import "strconv"
+
+// Multiset restricted-growth-string support: the combinatorial core of the
+// symmetry-aware exploration. Interchangeable PRMs (equal requirement
+// signatures, see classifyPRMs) make whole families of set partitions price
+// identically. Pricing is a function of the ordered sequence of per-group
+// class-count vectors — groups ordered by smallest member, members merged by
+// per-resource maxima, avoid sets accumulated in that order — so the engine
+// only needs representatives per "fiber": the equivalence class of partitions
+// sharing that ordered sequence.
+//
+// Representatives are the irreducible strings under a fiber-preserving
+// lex-reduction. The base move: if element i of class c carries a label
+// strictly below the label s[p] of some earlier class-c element p, swapping
+// the two elements' labels strictly lowers the string and keeps every
+// group's class vector; it stays inside the fiber exactly when it moves no
+// label's first-use position out of order. That is guaranteed in two
+// prefix-checkable cases:
+//
+//   - p JOINED its group (s[p] < used(p)): both labels were already open
+//     before p, so no first use moves at all. p's label becomes a permanent
+//     floor for class c.
+//   - p OPENED its group and that group recurs (any element joins it) before
+//     any other group opens: the swap moves the group's first use to the
+//     recurrence position, past which no opening intervenes, so the opening
+//     order is unchanged. The opener's label is a pending floor — alive
+//     until another group opens (which kills it), frozen into the permanent
+//     floor if its group recurs first. While pending it also floors its
+//     class directly: with no recurrence yet, the swap makes element i
+//     itself the group's first use, again crossing no other opening.
+//
+// An opener whose group is still empty when another group opens raises no
+// floor: its position pins the group order, so a later same-class element
+// legitimately drops below its label — e.g. classes [0,1,2,1] and RGS 0120,
+// the only member of its fiber.
+//
+// Every fiber holds at least one representative (its lex-least member
+// reduces to nothing) but may hold several: the moves permute same-class
+// elements pairwise and do not bridge every equal-vector interleaving. All
+// of a fiber's representatives price identically, so correctness needs only
+// that the expansion dedupe by fiber before rehydrating (see expandFront).
+// The branch-and-bound engine enforces the floors incrementally and charges
+// each skipped label's subtree to the CollapsedSymmetry counter, keeping the
+// full-space enumeration index arithmetic (and with it the Pareto
+// tie-breaks) intact.
+
+// forEachCanonicalRGS enumerates, in lexicographic order, the irreducible
+// restricted growth strings for the given class assignment — the symmetry
+// representatives the branch-and-bound engine visits, at least one (and
+// including the lex-least member) per fiber. classes is the number of
+// distinct class ids in classOf. The rgs slice is only valid during the
+// visit; returning false stops the enumeration.
+func forEachCanonicalRGS(classOf []int, classes int, visit func(rgs []int) bool) {
+	n := len(classOf)
+	if n == 0 {
+		return
+	}
+	rgs := make([]int, n)
+	last := make([]int, classes)
+	// rec carries the pending-opener state (label pendL of class pendC, -1
+	// when none) alongside the permanent floors in last.
+	var rec func(i, used, pendL, pendC int) bool
+	rec = func(i, used, pendL, pendC int) bool {
+		if i == n {
+			return visit(rgs)
+		}
+		c := classOf[i]
+		floor := last[c]
+		if pendC == c && pendL > floor {
+			floor = pendL
+		}
+		ok := true
+		for g := floor; g <= used && ok; g++ {
+			rgs[i] = g
+			switch {
+			case g == used:
+				// Opening: the new group becomes the pending opener.
+				ok = rec(i+1, used+1, g, c)
+			case g == pendL:
+				// The pending opener's group recurred first: freeze its
+				// floor permanently.
+				savedP := last[pendC]
+				savedC := last[c]
+				if g > last[pendC] {
+					last[pendC] = g
+				}
+				last[c] = g
+				ok = rec(i+1, used, -1, 0)
+				last[c] = savedC
+				last[pendC] = savedP
+			default:
+				saved := last[c]
+				last[c] = g
+				ok = rec(i+1, used, pendL, pendC)
+				last[c] = saved
+			}
+		}
+		return ok
+	}
+	rec(0, 0, -1, 0)
+}
+
+// forEachFiberRGS enumerates every restricted growth string in the fiber of
+// the given canonical partition: all assignments whose groups, in first-use
+// (= smallest-member) order, carry exactly the representative's class-count
+// vectors. The representative itself is among the visits. The rgs slice is
+// only valid during the visit.
+func forEachFiberRGS(ct *classTable, groups [][]int, visit func(rgs []int)) {
+	k := len(groups)
+	n := 0
+	need := make([][]int, k)
+	for j, g := range groups {
+		need[j] = make([]int, ct.classes())
+		for _, m := range g {
+			need[j][ct.classOf[m]]++
+		}
+		n += len(g)
+	}
+	rgs := make([]int, n)
+	var rec func(i, opened int)
+	rec = func(i, opened int) {
+		if i == n {
+			visit(rgs)
+			return
+		}
+		c := ct.classOf[i]
+		lim := opened
+		if opened < k {
+			lim = opened + 1 // group `opened` may open here, later ones not yet
+		}
+		for g := 0; g < lim; g++ {
+			if need[g][c] == 0 {
+				continue
+			}
+			need[g][c]--
+			rgs[i] = g
+			childOpened := opened
+			if g == opened {
+				childOpened = opened + 1
+			}
+			rec(i+1, childOpened)
+			need[g][c]++
+		}
+	}
+	rec(0, 0)
+}
+
+// rgsRank returns the full-space lexicographic enumeration index of an RGS —
+// the position forEachPartitionRGS would report for it. Every label smaller
+// than rgs[i] at position i joins an existing group (labels are at most the
+// used count, so h < rgs[i] implies h < used), contributing one full subtree
+// of ext.leaves(n-i-1, used) completions each.
+func rgsRank(ext extTable, rgs []int) uint64 {
+	var rank uint64
+	used := 0
+	for i, g := range rgs {
+		rank += uint64(g) * uint64(ext.leaves(len(rgs)-i-1, used))
+		if g == used {
+			used++
+		}
+	}
+	return rank
+}
+
+// multisetPartitionCount returns the number of partitions of a multiset with
+// the given per-class multiplicities — the partial-Bell orbit count: how many
+// PRM-permutation orbits the Bell(n) set partitions collapse into when
+// same-class PRMs are interchangeable. The engine enumerates fibers, which
+// refine orbits (an orbit splits into one fiber per distinct ordering of its
+// group class-vectors), so this count is the lower bound the fiber count is
+// tested against, not the enumeration count itself. Computed by the standard
+// first-block recursion — pick the lexicographically largest block first,
+// bounded above by the previous block — with memoization on (remaining, cap).
+func multisetPartitionCount(counts []int) int64 {
+	remaining := append([]int(nil), counts...)
+	memo := map[string]int64{}
+	var count func(rem, cap []int) int64
+	count = func(rem, cap []int) int64 {
+		total := 0
+		for _, v := range rem {
+			total += v
+		}
+		if total == 0 {
+			return 1
+		}
+		key := mpKey(rem, cap)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var sum int64
+		block := make([]int, len(rem))
+		rest := make([]int, len(rem))
+		var choose func(i int, tied, nonzero bool)
+		choose = func(i int, tied, nonzero bool) {
+			if i == len(rem) {
+				if !nonzero {
+					return
+				}
+				for j := range rem {
+					rest[j] = rem[j] - block[j]
+				}
+				sum += count(rest, block)
+				return
+			}
+			hi := rem[i]
+			if tied && cap[i] < hi {
+				hi = cap[i]
+			}
+			for v := hi; v >= 0; v-- {
+				block[i] = v
+				// tied tracks whether the block still equals cap on every
+				// position so far; once strictly below, later positions are
+				// unconstrained by cap.
+				choose(i+1, tied && v == cap[i], nonzero || v > 0)
+			}
+		}
+		choose(0, true, false)
+		memo[key] = sum
+		return sum
+	}
+	return count(remaining, remaining)
+}
+
+// mpKey encodes a (remaining, cap) pair for the memo.
+func mpKey(rem, cap []int) string {
+	b := make([]byte, 0, 4*len(rem)+4)
+	for _, v := range rem {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	for _, v := range cap {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

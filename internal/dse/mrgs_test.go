@@ -1,0 +1,340 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fiberKey encodes the ordered sequence of per-group class-count vectors of a
+// partition — the exact quantity pricing depends on (see mrgs.go). RGS labels
+// are assigned in first-use order, which is also the smallest-member order, so
+// bucketing counts by label yields the groups in pricing order.
+func fiberKey(classOf []int, classes int, rgs []int) string {
+	k := 0
+	for _, g := range rgs {
+		if g+1 > k {
+			k = g + 1
+		}
+	}
+	counts := make([][]int, k)
+	for j := range counts {
+		counts[j] = make([]int, classes)
+	}
+	for i, g := range rgs {
+		counts[g][classOf[i]]++
+	}
+	return fmt.Sprint(counts)
+}
+
+// isCanonicalRGS replays the irreducibility rule directly: each element's
+// label must clear its class's floor, where joins raise a permanent floor
+// and the most recent opener raises a pending floor (killed by the next
+// opening, frozen permanently if its group recurs first) — see mrgs.go.
+func isCanonicalRGS(classOf []int, classes int, rgs []int) bool {
+	last := make([]int, classes)
+	pendL, pendC := -1, 0
+	used := 0
+	for i, g := range rgs {
+		c := classOf[i]
+		floor := last[c]
+		if pendC == c && pendL > floor {
+			floor = pendL
+		}
+		if g < floor {
+			return false
+		}
+		if g < used {
+			if g == pendL {
+				if g > last[pendC] {
+					last[pendC] = g
+				}
+				pendL = -1
+			}
+			last[c] = g
+		} else {
+			used = g + 1
+			pendL, pendC = g, c
+		}
+	}
+	return true
+}
+
+func classCount(classOf []int) int {
+	classes := 0
+	for _, c := range classOf {
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	return classes
+}
+
+// classCounts returns the per-class multiplicities of a class assignment.
+func classCounts(classOf []int) []int {
+	counts := make([]int, classCount(classOf))
+	for _, c := range classOf {
+		counts[c]++
+	}
+	return counts
+}
+
+// checkCanonicalEnumeration brute-forces one class assignment: the
+// representative enumeration must visit, in strictly lexicographic order,
+// exactly the irreducible strings; every fiber must surface at least its
+// lex-least member; and the fiber sizes must sum to Bell(n).
+func checkCanonicalEnumeration(t *testing.T, classOf []int) {
+	t.Helper()
+	n := len(classOf)
+	classes := classCount(classOf)
+
+	// Brute force the fibers and the irreducible set over the full Bell(n)
+	// enumeration.
+	fiberMin := map[string][]int{} // fiber key -> lex-least RGS (first seen wins: lex order)
+	fiberSize := map[string]int64{}
+	irreducible := map[string]bool{}
+	total := int64(0)
+	forEachPartitionRGS(n, func(_ int, rgs []int) bool {
+		key := fiberKey(classOf, classes, rgs)
+		if _, ok := fiberMin[key]; !ok {
+			fiberMin[key] = append([]int(nil), rgs...)
+		}
+		fiberSize[key]++
+		if isCanonicalRGS(classOf, classes, rgs) {
+			irreducible[fmt.Sprint(rgs)] = true
+		}
+		total++
+		return true
+	})
+
+	var got [][]int
+	seenFibers := map[string]bool{}
+	var prev []int
+	forEachCanonicalRGS(classOf, classes, func(rgs []int) bool {
+		if !validRGS(rgs) {
+			t.Fatalf("classOf=%v: invalid representative RGS %v", classOf, rgs)
+		}
+		if !isCanonicalRGS(classOf, classes, rgs) {
+			t.Fatalf("classOf=%v: reducible visit %v", classOf, rgs)
+		}
+		if prev != nil && !rgsLess(prev, rgs) {
+			t.Fatalf("classOf=%v: %v not lexicographically after %v", classOf, rgs, prev)
+		}
+		prev = append(prev[:0], rgs...)
+		got = append(got, append([]int(nil), rgs...))
+		seenFibers[fiberKey(classOf, classes, rgs)] = true
+		return true
+	})
+
+	if len(got) != len(irreducible) {
+		t.Fatalf("classOf=%v: enumerated %d representatives, brute force found %d irreducible strings",
+			classOf, len(got), len(irreducible))
+	}
+	// Every fiber must be covered (>= 1 representative), and the lex-least
+	// member is always one of them.
+	if len(seenFibers) != len(fiberMin) {
+		t.Fatalf("classOf=%v: representatives cover %d fibers, brute force found %d",
+			classOf, len(seenFibers), len(fiberMin))
+	}
+	for key, min := range fiberMin {
+		if !isCanonicalRGS(classOf, classes, min) {
+			t.Fatalf("classOf=%v: fiber %q lex-min %v is reducible", classOf, key, min)
+		}
+	}
+	// Fibers refine orbits (ordered class-vector sequences vs unordered
+	// multiset partitions), so representatives >= fibers >= orbits.
+	if orbits := multisetPartitionCount(classCounts(classOf)); int64(len(fiberMin)) < orbits {
+		t.Fatalf("classOf=%v: %d fibers below orbit count %d", classOf, len(fiberMin), orbits)
+	}
+	if total != int64(bellNumber(n)) {
+		t.Fatalf("classOf=%v: fiber sizes sum to %d, want Bell(%d)=%d", classOf, total, n, bellNumber(n))
+	}
+}
+
+func TestCanonicalRGSEnumeration(t *testing.T) {
+	cases := [][]int{
+		{0},
+		{0, 0},
+		{0, 1},
+		{0, 0, 0},
+		{0, 1, 0, 1},
+		{0, 0, 1, 1, 2},
+		{0, 1, 2, 3},             // all distinct: every partition canonical
+		{0, 0, 0, 0, 0, 0},       // one class: integer partitions of 6
+		{0, 1, 0, 1, 0, 1, 0},    // alternating
+		{2, 2, 0, 1, 0, 2, 1, 0}, // unordered class ids
+	}
+	for _, classOf := range cases {
+		checkCanonicalEnumeration(t, classOf)
+	}
+}
+
+// TestCanonicalRGSAllDistinct: with every element its own class, the canonical
+// enumeration IS the full RGS enumeration.
+func TestCanonicalRGSAllDistinct(t *testing.T) {
+	n := 7
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i
+	}
+	var canon [][]int
+	forEachCanonicalRGS(classOf, n, func(rgs []int) bool {
+		canon = append(canon, append([]int(nil), rgs...))
+		return true
+	})
+	i := 0
+	forEachPartitionRGS(n, func(_ int, rgs []int) bool {
+		if i >= len(canon) || !reflect.DeepEqual(canon[i], rgs) {
+			t.Fatalf("visit %d: canonical enumeration diverges from full enumeration", i)
+		}
+		i++
+		return true
+	})
+	if i != len(canon) {
+		t.Fatalf("canonical enumeration has %d extra entries", len(canon)-i)
+	}
+}
+
+// TestFiberEnumerationCoversFiber: for every canonical RGS, forEachFiberRGS
+// visits exactly the brute-forced fiber members, each once.
+func TestFiberEnumerationCoversFiber(t *testing.T) {
+	for _, classOf := range [][]int{{0, 0, 1}, {0, 1, 0, 1}, {0, 0, 0, 1, 1}, {0, 0, 1, 2, 1, 0}} {
+		n := len(classOf)
+		classes := classCount(classOf)
+		// PRM list matching the class assignment, so classifyPRMs reproduces it
+		// (class ids sorted by signature == ascending LUTs here).
+		prms := make([]PRM, n)
+		for i, c := range classOf {
+			prms[i] = PRM{Name: fmt.Sprintf("P%d", i)}
+			prms[i].Req.LUTs = 100 * (c + 1)
+			prms[i].Req.LUTFFPairs = 100 * (c + 1)
+		}
+		ct := classifyPRMs(prms)
+		if !reflect.DeepEqual(ct.classOf, classOf) {
+			t.Fatalf("classifyPRMs gave %v, want %v", ct.classOf, classOf)
+		}
+
+		fibers := map[string][]string{} // fiber key -> sorted member strings
+		forEachPartitionRGS(n, func(_ int, rgs []int) bool {
+			key := fiberKey(classOf, classes, rgs)
+			fibers[key] = append(fibers[key], fmt.Sprint(rgs))
+			return true
+		})
+
+		forEachCanonicalRGS(classOf, classes, func(rgs []int) bool {
+			key := fiberKey(classOf, classes, rgs)
+			var got []string
+			forEachFiberRGS(&ct, decodeGroups(rgs), func(member []int) {
+				if !validRGS(member) {
+					t.Fatalf("fiber of %v: invalid member %v", rgs, member)
+				}
+				got = append(got, fmt.Sprint(member))
+			})
+			want := append([]string(nil), fibers[key]...)
+			sort.Strings(got)
+			sort.Strings(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("classOf=%v fiber of %v: got members %v, want %v", classOf, rgs, got, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestRGSRankMatchesEnumeration: rgsRank must reproduce the full-space
+// lexicographic enumeration index for every partition up to n=8 — the
+// invariant the expanded front's tie-breaks rely on.
+func TestRGSRankMatchesEnumeration(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		ext := newExtTable(n)
+		forEachPartitionRGS(n, func(index int, rgs []int) bool {
+			if got := rgsRank(ext, rgs); got != uint64(index) {
+				t.Fatalf("n=%d rgs=%v: rank %d, enumeration index %d", n, rgs, got, index)
+			}
+			return true
+		})
+	}
+}
+
+// TestMultisetPartitionCountKnown pins the count against known sequences:
+// all-distinct multiplicities give Bell numbers, a single class gives the
+// integer partition numbers p(n).
+func TestMultisetPartitionCountKnown(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		ones := make([]int, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		if got := multisetPartitionCount(ones); got != int64(bellNumber(n)) {
+			t.Errorf("all-distinct n=%d: %d, want Bell(n)=%d", n, got, bellNumber(n))
+		}
+	}
+	partitionNumbers := []int64{1, 2, 3, 5, 7, 11, 15, 22, 30, 42} // p(1)..p(10)
+	for i, want := range partitionNumbers {
+		if got := multisetPartitionCount([]int{i + 1}); got != want {
+			t.Errorf("single class n=%d: %d, want p(n)=%d", i+1, got, want)
+		}
+	}
+	// A096443-style mixed case: partitions of the multiset {a,a,b,b}.
+	if got := multisetPartitionCount([]int{2, 2}); got != 9 {
+		t.Errorf("counts [2 2]: %d, want 9", got)
+	}
+}
+
+// FuzzCanonicalRGS fuzzes class assignments: whatever the classes, the
+// canonical enumeration must be lex-increasing, emit only canonical strings,
+// and agree with multisetPartitionCount.
+func FuzzCanonicalRGS(f *testing.F) {
+	f.Add(5, int64(1))
+	f.Add(7, int64(42))
+	f.Add(1, int64(0))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		if n < 1 || n > 8 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		classOf := make([]int, n)
+		next := 0
+		for i := range classOf {
+			c := rng.Intn(next + 1)
+			classOf[i] = c
+			if c == next {
+				next++
+			}
+		}
+		classes := classCount(classOf)
+		fibers := map[string]bool{}
+		irreducible := int64(0)
+		forEachPartitionRGS(n, func(_ int, rgs []int) bool {
+			fibers[fiberKey(classOf, classes, rgs)] = true
+			if isCanonicalRGS(classOf, classes, rgs) {
+				irreducible++
+			}
+			return true
+		})
+		var prev []int
+		count := int64(0)
+		covered := map[string]bool{}
+		forEachCanonicalRGS(classOf, classes, func(rgs []int) bool {
+			if !validRGS(rgs) || !isCanonicalRGS(classOf, classes, rgs) ||
+				(prev != nil && !rgsLess(prev, rgs)) {
+				t.Fatalf("classOf=%v: bad representative visit %v after %v", classOf, rgs, prev)
+			}
+			prev = append(prev[:0], rgs...)
+			covered[fiberKey(classOf, classes, rgs)] = true
+			count++
+			return true
+		})
+		if count != irreducible {
+			t.Fatalf("classOf=%v: %d representatives, want %d irreducible strings", classOf, count, irreducible)
+		}
+		if len(covered) != len(fibers) {
+			t.Fatalf("classOf=%v: representatives cover %d of %d fibers", classOf, len(covered), len(fibers))
+		}
+		if orbits := multisetPartitionCount(classCounts(classOf)); int64(len(fibers)) < orbits {
+			t.Fatalf("classOf=%v: %d fibers below orbit count %d", classOf, len(fibers), orbits)
+		}
+	})
+}

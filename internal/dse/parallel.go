@@ -43,6 +43,10 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 	defer span.End()
 	points := make([]DesignPoint, bellNumber(n))
 	cache := newGroupCache()
+	// Cache keys encode members by signature class, so interchangeable PRMs
+	// (duplicate requirement signatures) replay each other's group pricings.
+	ct := classifyPRMs(prms)
+	metSymClasses.Add(int64(ct.classes()))
 	// Build the shared per-fabric window index before the workers start, so
 	// they share one classification instead of racing to build it.
 	e.Device.Fabric.WindowIndex()
@@ -76,10 +80,10 @@ func (e *Explorer) ExploreAllParallel(ctx context.Context, prms []PRM) ([]Design
 					// no time.Now.
 					if obs.Active() {
 						t0 := time.Now()
-						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache)
+						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache, ct.classOf)
 						metEvalLatency.ObserveSince(t0)
 					} else {
-						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache)
+						points[j.start+i] = e.evaluate(prms, decodeGroups(rgs), cache, ct.classOf)
 					}
 					evaluated++
 				}

@@ -30,6 +30,45 @@ func SyntheticPRMs(n int) []PRM {
 	return prms
 }
 
+// DuplicatePRMs builds a deterministic duplicate-heavy n-module workload with
+// exactly min(k, n) distinct requirement signatures: module i carries shape
+// i*k/n, so each shape recurs ~n/k times in one contiguous block. This is the
+// regime the symmetry collapse targets — real multitasking workloads
+// instantiate the same accelerator many times — and the multiset enumeration
+// shrinks the Bell(n) partition space toward the much smaller count of
+// partitions of the shape multiset. The block layout matters: the collapse is
+// exact under any listing order, but its lex-reduction floors bite hardest
+// when same-class modules are adjacent (interleaving the classes round-robin
+// costs roughly an order of magnitude of collapse at n=12, k=3). The service's
+// canonical request ordering produces exactly this layout. Names stay
+// per-instance ("D0".."Dn-1") to prove name-independence of the collapse.
+func DuplicatePRMs(n, k int) []PRM {
+	if k < 1 {
+		k = 1
+	}
+	bases := []core.Requirements{
+		{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}, // FIR scale
+		{LUTFFPairs: 2617, LUTs: 2332, FFs: 1698},                   // MIPS scale
+		{LUTFFPairs: 332, LUTs: 288, FFs: 270, BRAMs: 1},            // SDRAM scale
+		{LUTFFPairs: 700, LUTs: 640, FFs: 520, DSPs: 2},
+	}
+	shapes := make([]core.Requirements, k)
+	for j := range shapes {
+		req := bases[j%len(bases)]
+		// Distinct shapes beyond the base templates: grow by the template
+		// cycle count, never per module index.
+		req.LUTFFPairs += 151 * (j / len(bases))
+		req.LUTs += 131 * (j / len(bases))
+		req.FFs += 109 * (j / len(bases))
+		shapes[j] = req
+	}
+	prms := make([]PRM, n)
+	for i := range prms {
+		prms[i] = PRM{Name: fmt.Sprintf("D%d", i), Req: shapes[i*k/n]}
+	}
+	return prms
+}
+
 // ConstrainedDevice returns a deliberately tight PR fabric for pruning
 // experiments: four rows and two allowed column runs, one carrying the only
 // DSP column and the other the only BRAM column. No contiguous window can

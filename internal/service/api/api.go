@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -196,6 +197,11 @@ type ExploreOptions struct {
 	DisableDominancePrune bool `json:"disable_dominance_prune,omitempty"`
 	// DisableFitPrune turns off the monotone fit bound.
 	DisableFitPrune bool `json:"disable_fit_prune,omitempty"`
+	// Symmetry selects the interchangeable-PRM collapse: "" or "auto"
+	// collapses whenever two PRMs share a requirement signature (the expanded
+	// front is always identical to the flat exploration's), "off" forces the
+	// full partition walk.
+	Symmetry string `json:"symmetry,omitempty"`
 }
 
 // ExploreRequest is the POST /v1/explore body. Exactly one of PRMs and
@@ -224,7 +230,62 @@ func (r *ExploreRequest) Validate() error {
 	if n := max(len(r.PRMs), r.SyntheticN); n > MaxExplorePRMs {
 		return fmt.Errorf("api: explore over %d PRMs exceeds the %d-PRM limit", n, MaxExplorePRMs)
 	}
+	if s := r.Options.Symmetry; s != "" && s != "auto" && s != "off" {
+		return fmt.Errorf("api: unknown symmetry mode %q (want auto or off)", s)
+	}
 	return nil
+}
+
+// reqLess orders requirement signatures by their field tuple, mirroring the
+// engine's equivalence-class ordering.
+func reqLess(a, b Requirements) bool {
+	if a.LUTFFPairs != b.LUTFFPairs {
+		return a.LUTFFPairs < b.LUTFFPairs
+	}
+	if a.LUTs != b.LUTs {
+		return a.LUTs < b.LUTs
+	}
+	if a.FFs != b.FFs {
+		return a.FFs < b.FFs
+	}
+	if a.DSPs != b.DSPs {
+		return a.DSPs < b.DSPs
+	}
+	return a.BRAMs < b.BRAMs
+}
+
+// Canonicalized returns a copy of the request with explicit PRMs brought to
+// canonical order: unnamed PRMs first receive their positional default name
+// ("M%d" by original index, the same default the explore handler assigns),
+// then the list is sorted by requirement signature with the name as the
+// final tie-break. Any permutation of the same PRM multiset therefore
+// marshals identically, so CanonicalKey collides on purpose and permuted
+// requests share one cache entry and one in-flight computation. The handler
+// prices the canonicalized order, which is well-defined because response
+// groups reference PRMs by name, and which also lays same-signature PRMs out
+// contiguously — the layout where the engine's symmetry collapse is
+// strongest. Synthetic requests have no PRM list and are returned as a plain
+// copy.
+func (r *ExploreRequest) Canonicalized() *ExploreRequest {
+	out := *r
+	if len(r.PRMs) == 0 {
+		return &out
+	}
+	out.PRMs = make([]PRM, len(r.PRMs))
+	copy(out.PRMs, r.PRMs)
+	for i := range out.PRMs {
+		if out.PRMs[i].Name == "" {
+			out.PRMs[i].Name = fmt.Sprintf("M%d", i)
+		}
+	}
+	sort.SliceStable(out.PRMs, func(i, j int) bool {
+		a, b := &out.PRMs[i], &out.PRMs[j]
+		if a.Req != b.Req {
+			return reqLess(a.Req, b.Req)
+		}
+		return a.Name < b.Name
+	})
+	return &out
 }
 
 // DesignPoint is one priced PR partitioning on the wire.
@@ -249,6 +310,11 @@ type ExploreStats struct {
 	PrunedDominated int64 `json:"pruned_dominated"`
 	GroupPricings   int64 `json:"group_pricings"`
 	FrontSize       int   `json:"front_size"`
+	// Classes is the number of distinct PRM requirement signatures;
+	// OrbitsCollapsed counts partitions skipped as symmetric images of
+	// evaluated representatives (zero with symmetry off or all-distinct PRMs).
+	Classes         int   `json:"classes,omitempty"`
+	OrbitsCollapsed int64 `json:"orbits_collapsed,omitempty"`
 }
 
 // ExploreDone is the stream's terminal event.
@@ -275,8 +341,13 @@ type ErrorResponse struct {
 // endpoint plus the SHA-256 of the struct's re-marshaled JSON. Hashing the
 // decoded struct — not the raw body — makes the key insensitive to field
 // order, whitespace and unknown fields, so equivalent requests from
-// different clients coalesce.
+// different clients coalesce. Explore requests are canonicalized first, so
+// permutations of the same PRM multiset (interchangeable orderings of
+// duplicate-heavy workloads in particular) also share a key.
 func CanonicalKey(endpoint string, req any) string {
+	if er, ok := req.(*ExploreRequest); ok {
+		req = er.Canonicalized()
+	}
 	raw, err := json.Marshal(req)
 	if err != nil {
 		// Wire types marshal by construction; a failure is a programming

@@ -93,10 +93,52 @@ func TestExploreRequestValidate(t *testing.T) {
 		"neither workload": {Device: "d"},
 		"both workloads":   {Device: "d", PRMs: []PRM{{}}, SyntheticN: 4},
 		"too many PRMs":    {Device: "d", SyntheticN: MaxExplorePRMs + 1},
+		"bad symmetry":     {Device: "d", SyntheticN: 4, Options: ExploreOptions{Symmetry: "maybe"}},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+	for _, mode := range []string{"", "auto", "off"} {
+		req := ExploreRequest{Device: "d", SyntheticN: 4, Options: ExploreOptions{Symmetry: mode}}
+		if err := req.Validate(); err != nil {
+			t.Errorf("symmetry %q rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestExploreCanonicalized: canonicalization defaults names by original
+// position and sorts by requirement signature, so any permutation of a PRM
+// multiset — named or not — maps to one canonical request and one key.
+func TestExploreCanonicalized(t *testing.T) {
+	fir := Requirements{LUTFFPairs: 1300, LUTs: 1156, FFs: 889, DSPs: 4, BRAMs: 2}
+	mips := Requirements{LUTFFPairs: 2617, LUTs: 2332, FFs: 1698}
+	req := ExploreRequest{Device: "XC6VLX75T", PRMs: []PRM{
+		{Name: "b", Req: mips}, {Req: fir}, {Name: "a", Req: mips}, {Req: fir},
+	}}
+	canon := req.Canonicalized()
+	// Unnamed PRMs were at original positions 1 and 3; FIR sorts before MIPS.
+	wantNames := []string{"M1", "M3", "a", "b"}
+	for i, want := range wantNames {
+		if canon.PRMs[i].Name != want {
+			t.Errorf("canonical PRM %d named %q, want %q", i, canon.PRMs[i].Name, want)
+		}
+	}
+	if len(req.PRMs) != 4 || req.PRMs[0].Name != "b" || req.PRMs[1].Name != "" {
+		t.Error("Canonicalized mutated the original request")
+	}
+
+	// Every permutation of the canonical list keys identically; a different
+	// multiset does not.
+	permuted := ExploreRequest{Device: req.Device, PRMs: []PRM{
+		{Name: "M3", Req: fir}, {Name: "a", Req: mips}, {Name: "M1", Req: fir}, {Name: "b", Req: mips},
+	}}
+	if CanonicalKey("explore", &req) != CanonicalKey("explore", &permuted) {
+		t.Error("permuted PRM lists keyed differently")
+	}
+	other := ExploreRequest{Device: req.Device, PRMs: append([]PRM{}, canon.PRMs[:3]...)}
+	if CanonicalKey("explore", &req) == CanonicalKey("explore", &other) {
+		t.Error("different PRM multisets share a key")
 	}
 }
 

@@ -154,22 +154,44 @@ func (s *Server) serveBatch(w http.ResponseWriter, endpoint, key string, compute
 // request context — a client disconnect cancels the engine within a few
 // hundred tree nodes — and participates in graceful drain.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	var req api.ExploreRequest
-	dev, ok := decodeBatch(w, r, &req, func() (string, error) { return req.Device, req.Validate() })
+	var raw api.ExploreRequest
+	dev, ok := decodeBatch(w, r, &raw, func() (string, error) { return raw.Device, raw.Validate() })
 	if !ok {
 		return
 	}
+	// Price the canonicalized PRM order: permutations of the same workload
+	// then produce byte-identical responses (groups reference PRMs by name),
+	// share one cache key, and lay same-signature PRMs out contiguously where
+	// the symmetry collapse is strongest.
+	req := raw.Canonicalized()
 	prms := make([]dse.PRM, 0, len(req.PRMs))
 	if req.SyntheticN > 0 {
 		prms = dse.SyntheticPRMs(req.SyntheticN)
 	} else {
-		for i, p := range req.PRMs {
-			name := p.Name
-			if name == "" {
-				name = fmt.Sprintf("M%d", i)
-			}
-			prms = append(prms, dse.PRM{Name: name, Req: p.Req.Core()})
+		for _, p := range req.PRMs {
+			prms = append(prms, dse.PRM{Name: p.Name, Req: p.Req.Core()})
 		}
+	}
+
+	workers := req.Options.Workers
+	if workers <= 0 {
+		workers = s.cfg.ExploreWorkers
+	}
+	e := &dse.Explorer{Device: dev, Estimator: s.estimator}
+	opts := dse.BBOptions{
+		Workers:         workers,
+		DominancePrune:  !req.Options.DisableDominancePrune,
+		DisableFitPrune: req.Options.DisableFitPrune,
+	}
+	if req.Options.Symmetry == "off" {
+		opts.Symmetry = dse.SymmetryOff
+	}
+
+	if req.FrontOnly {
+		// Front-only explorations are pure request-to-front functions, so
+		// they share the batch endpoints' cache + singleflight machinery.
+		s.serveExploreFront(w, req, e, prms, opts)
+		return
 	}
 
 	if !s.registerStream() {
@@ -194,48 +216,33 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 
-	workers := req.Options.Workers
-	if workers <= 0 {
-		workers = s.cfg.ExploreWorkers
-	}
-	e := &dse.Explorer{Device: dev, Estimator: s.estimator}
-	opts := dse.BBOptions{
-		Workers:         workers,
-		DominancePrune:  !req.Options.DisableDominancePrune,
-		DisableFitPrune: req.Options.DisableFitPrune,
-	}
-
-	var front []dse.DesignPoint
-	var stats dse.BBStats
-	var err error
-	if req.FrontOnly {
-		front, stats, err = e.ExploreParetoBB(ctx, prms, opts)
-	} else {
-		var points []dse.DesignPoint
-		sent := 0
-		stats, err = e.ExploreBB(ctx, prms, opts, func(dp dse.DesignPoint) bool {
-			if ctx.Err() != nil {
-				return false
-			}
-			if encErr := enc.Encode(api.ExploreEvent{Point: wirePoint(prms, dp)}); encErr != nil {
-				// The client is gone; stop the engine.
-				cancel()
-				return false
-			}
-			s.met.explorePoints.Inc()
-			points = append(points, dp)
-			// Flush the first point promptly so clients see liveness, then
-			// in batches to keep syscalls off the hot path.
-			sent++
-			if sent == 1 || sent%256 == 0 {
-				flush()
-			}
-			return true
-		})
-		if err == nil && ctx.Err() == nil {
-			front = dse.Pareto(points)
-			stats.FrontSize = len(front)
+	var front, points []dse.DesignPoint
+	sent := 0
+	stats, err := e.ExploreBB(ctx, prms, opts, func(dp dse.DesignPoint) bool {
+		if ctx.Err() != nil {
+			return false
 		}
+		if encErr := enc.Encode(api.ExploreEvent{Point: wirePoint(prms, dp)}); encErr != nil {
+			// The client is gone; stop the engine.
+			cancel()
+			return false
+		}
+		s.met.explorePoints.Inc()
+		points = append(points, dp)
+		// Flush the first point promptly so clients see liveness, then
+		// in batches to keep syscalls off the hot path.
+		sent++
+		if sent == 1 || sent%256 == 0 {
+			flush()
+		}
+		return true
+	})
+	if err == nil && ctx.Err() == nil {
+		// With the symmetry collapse active the stream carries only fiber
+		// representatives; the Done front is always the full expansion, so
+		// both explore modes report element-for-element identical fronts.
+		front = dse.ExpandSymmetric(prms, dse.Pareto(points))
+		stats.FrontSize = len(front)
 	}
 	if err != nil || ctx.Err() != nil {
 		s.met.exploreCancelled.Inc()
@@ -244,7 +251,73 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	done := api.ExploreDone{
+	done := wireDone(prms, front, stats)
+	_ = enc.Encode(api.ExploreEvent{Done: done})
+	flush()
+}
+
+// serveExploreFront answers a front-only exploration through the response
+// cache and singleflight, keyed on the canonicalized request: permutations of
+// one PRM multiset hit the same entry. The engine runs under the drain
+// context rather than the first caller's request context — coalesced
+// followers and future cache hits outlive that caller, so a disconnect must
+// not cancel the shared computation; only a server drain does.
+func (s *Server) serveExploreFront(w http.ResponseWriter, req *api.ExploreRequest, e *dse.Explorer, prms []dse.PRM, opts dse.BBOptions) {
+	key := api.CanonicalKey("explore", req)
+	if resp, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Inc()
+		w.Header().Set("X-Cache", "hit")
+		writeNDJSON(w, resp)
+		return
+	}
+	s.met.cacheMisses.Inc()
+	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		if !s.registerStream() {
+			return nil, errDraining
+		}
+		defer s.unregisterStream()
+		s.met.exploreStreams.Inc()
+		if s.cfg.evalHook != nil {
+			s.cfg.evalHook("explore")
+		}
+		front, stats, err := e.ExploreParetoBB(s.drainCtx, prms, opts)
+		if err != nil {
+			s.met.exploreCancelled.Inc()
+			return nil, err
+		}
+		out, err := json.Marshal(api.ExploreEvent{Done: wireDone(prms, front, stats)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, '\n')
+		if ev := s.cache.Put(key, out); ev > 0 {
+			s.met.cacheEvictions.Add(int64(ev))
+		}
+		s.met.cacheEntries.Set(int64(s.cache.Len()))
+		return out, nil
+	})
+	if shared {
+		s.met.coalesced.Inc()
+	}
+	switch {
+	case err == errDraining:
+		httpErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		httpErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	writeNDJSON(w, resp)
+}
+
+// errDraining marks front-only explorations refused by a shutdown drain.
+var errDraining = fmt.Errorf("service: draining")
+
+// wireDone assembles the stream's terminal event from an expanded front and
+// the engine statistics.
+func wireDone(prms []dse.PRM, front []dse.DesignPoint, stats dse.BBStats) *api.ExploreDone {
+	done := &api.ExploreDone{
 		Front: make([]api.DesignPoint, len(front)),
 		Stats: api.ExploreStats{
 			Partitions:      stats.Partitions,
@@ -253,13 +326,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			PrunedDominated: stats.PrunedDominated,
 			GroupPricings:   stats.GroupPricings,
 			FrontSize:       stats.FrontSize,
+			Classes:         stats.Classes,
+			OrbitsCollapsed: stats.CollapsedSymmetry,
 		},
 	}
 	for i, dp := range front {
 		done.Front[i] = *wirePoint(prms, dp)
 	}
-	_ = enc.Encode(api.ExploreEvent{Done: &done})
-	flush()
+	return done
 }
 
 // wireOrg converts a model organization (with placement) to the wire form.
@@ -300,5 +374,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func writeRawJSON(w http.ResponseWriter, raw []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// writeNDJSON writes a pre-marshaled event-stream body (front-only explore
+// responses are a single Done line, cacheable as bytes).
+func writeNDJSON(w http.ResponseWriter, raw []byte) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	_, _ = w.Write(raw)
 }

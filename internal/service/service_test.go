@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -471,6 +472,82 @@ func TestExploreFrontOnly(t *testing.T) {
 	}
 	if len(ev.Done.Front) == 0 {
 		t.Error("front_only returned an empty front")
+	}
+}
+
+// TestExploreFrontCachedAcrossPermutations: front-only explorations go
+// through the response cache keyed on the canonicalized request, so a
+// permutation of a duplicate-heavy PRM list answers from the LRU without
+// running the engine again — and the answer reports the symmetry stats.
+func TestExploreFrontCachedAcrossPermutations(t *testing.T) {
+	evals := 0
+	s, ts := newTestServer(t, Config{evalHook: func(string) { evals++ }})
+
+	prm := func(name string, luts int) string {
+		return fmt.Sprintf(`{"name":%q,"req":{"lut_ff_pairs":%d,"luts":%d,"ffs":%d}}`, name, 2*luts, luts, luts/2)
+	}
+	// Two signatures, two instances each — listed in different orders. The
+	// first request leaves its second PRM unnamed, so it defaults to the
+	// positional name M1 that the second request spells out.
+	unnamed := `{"req":{"lut_ff_pairs":800,"luts":400,"ffs":200}}`
+	first := fmt.Sprintf(`{"device":"XC6VLX75T","front_only":true,"prms":[%s,%s,%s,%s]}`,
+		prm("a", 900), unnamed, prm("b", 900), prm("c", 400))
+	second := fmt.Sprintf(`{"device":"XC6VLX75T","front_only":true,"prms":[%s,%s,%s,%s]}`,
+		prm("c", 400), prm("b", 900), prm("M1", 400), prm("a", 900))
+
+	resp1, raw1 := post(t, ts, "/v1/explore", first)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first explore: status %d: %s", resp1.StatusCode, raw1)
+	}
+	if hdr := resp1.Header.Get("X-Cache"); hdr != "miss" {
+		t.Errorf("first explore X-Cache = %q, want miss", hdr)
+	}
+	resp2, raw2 := post(t, ts, "/v1/explore", second)
+	if hdr := resp2.Header.Get("X-Cache"); hdr != "hit" {
+		t.Errorf("permuted explore X-Cache = %q, want hit", hdr)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("permuted request served a different body than the original")
+	}
+	if evals != 1 {
+		t.Errorf("engine ran %d times for two permuted requests, want 1", evals)
+	}
+	if got := s.met.cacheHits.Value(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+
+	var ev api.ExploreEvent
+	if err := json.Unmarshal(bytes.TrimSpace(raw1), &ev); err != nil || ev.Done == nil {
+		t.Fatalf("response is not a single done event: %v", err)
+	}
+	if ev.Done.Stats.Classes != 2 {
+		t.Errorf("stats report %d classes, want 2", ev.Done.Stats.Classes)
+	}
+	if ev.Done.Stats.OrbitsCollapsed == 0 {
+		t.Error("no orbits collapsed on a duplicate-heavy workload")
+	}
+	if ev.Done.Stats.Evaluated+ev.Done.Stats.PrunedFit+ev.Done.Stats.PrunedDominated+
+		ev.Done.Stats.OrbitsCollapsed != ev.Done.Stats.Partitions {
+		t.Errorf("stats do not cover the partition space: %+v", ev.Done.Stats)
+	}
+
+	// Symmetry off is a distinct request: it must not hit the symmetric
+	// entry, and must report the same front with no collapse.
+	off := fmt.Sprintf(`{"device":"XC6VLX75T","front_only":true,"options":{"symmetry":"off"},"prms":[%s,%s,%s,%s]}`,
+		prm("a", 900), prm("M1", 400), prm("b", 900), prm("c", 400))
+	respOff, rawOff := post(t, ts, "/v1/explore", off)
+	if hdr := respOff.Header.Get("X-Cache"); hdr != "miss" {
+		t.Errorf("symmetry-off explore X-Cache = %q, want miss", hdr)
+	}
+	var evOff api.ExploreEvent
+	if err := json.Unmarshal(bytes.TrimSpace(rawOff), &evOff); err != nil || evOff.Done == nil {
+		t.Fatalf("symmetry-off response is not a single done event: %v", err)
+	}
+	if evOff.Done.Stats.OrbitsCollapsed != 0 {
+		t.Errorf("symmetry off still collapsed %d partitions", evOff.Done.Stats.OrbitsCollapsed)
+	}
+	if !reflect.DeepEqual(evOff.Done.Front, ev.Done.Front) {
+		t.Error("symmetric and flat explorations served different fronts")
 	}
 }
 
