@@ -8,14 +8,23 @@
 //	costd -addr :8433
 //	costd -addr :8433 -rate 50 -burst 100 -max-inflight 256 -cache 4096
 //	costd -addr :0 -summary run.json     # summary written on shutdown
+//	costd -addr :0 -trace-out spans.jsonl -access-log access.jsonl
 //
 // Endpoints: GET /v1/devices, POST /v1/prr, POST /v1/bitstream,
-// POST /v1/explore (NDJSON stream), GET /healthz, GET /metrics.
+// POST /v1/explore (NDJSON stream), GET /healthz, GET /metrics (including
+// the rolling SLO gauges), GET /debug/slo.
+//
+// Every response carries X-Request-ID: the trace ID from the caller's W3C
+// traceparent header when one was sent, a freshly minted one otherwise. With
+// -trace-out each request records a span tree (admission, handler, engine
+// subtrees) under that ID; with -access-log each request appends one JSON
+// line carrying it, so logs, traces and client-side records correlate.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests and exploration
 // streams drain within -grace, then stragglers are cancelled. With -summary
 // the per-run metric summary — including the service section (requests,
-// coalesced, cache hits, shed) — is written on exit.
+// coalesced, cache hits, shed) and the rolling SLO standings — is written on
+// exit.
 package main
 
 import (
@@ -27,7 +36,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/report"
 	"repro/internal/service"
 )
@@ -39,18 +48,22 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client token-bucket refill, requests/sec (0 = unlimited)")
 	burst := flag.Int("burst", 10, "per-client token-bucket depth")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
-	summaryOut := flag.String("summary", "", "write the per-run summary JSON (with service section) on shutdown")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("costd")
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := service.New(service.Config{
 		CacheEntries: *cache,
 		MaxInflight:  *maxInflight,
 		RatePerSec:   *rate,
 		Burst:        *burst,
+		Tracer:       sess.Tracer(),
+		AccessLog:    sess.AccessLog(),
 	})
-	if *summaryOut != "" {
-		obs.SetActive(true)
-	}
 	if err := srv.Start(*addr); err != nil {
 		fatal(err)
 	}
@@ -67,19 +80,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "costd: forced shutdown: %v\n", err)
 	}
 
-	if *summaryOut != "" {
-		sum := report.NewRunSummary("costd", obs.Default())
+	sess.SummaryHook = func(sum *report.RunSummary) {
 		sum.Service = srv.Stats()
-		sum.UnixNano = time.Now().UnixNano()
-		sum.Params = map[string]string{
-			"addr":  *addr,
-			"cache": fmt.Sprint(*cache),
-			"rate":  fmt.Sprint(*rate),
-		}
-		if err := sum.WriteFile(*summaryOut); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "costd: run summary written to %s\n", *summaryOut)
+		sum.SLO = report.NewSLOSummary(srv.SLO())
+	}
+	if err := sess.Finish("", map[string]string{
+		"addr":  *addr,
+		"cache": fmt.Sprint(*cache),
+		"rate":  fmt.Sprint(*rate),
+	}); err != nil {
+		fatal(err)
 	}
 }
 

@@ -10,6 +10,8 @@
 //	costload -addr ... -probe-coalesce                # identical-burst singleflight probe
 //	costload -addr ... -probe-dup                     # permuted duplicate-workload explore-cache probe
 //	costload -addr ... -json load.json                # machine-readable summary (CI artifact)
+//	costload -addr ... -slo-p99 250ms                 # SLO gate: exit 1 when client-observed p99 exceeds it
+//	costload -addr ... -trace-out spans.jsonl         # record client-side spans (one trace per request)
 //
 // Each client issues requests back-to-back (closed loop), cycling through
 // -distinct request variants: a small pool means most requests repeat, so
@@ -19,6 +21,12 @@
 // -probe-cancel opens an NDJSON exploration stream, disconnects after the
 // first point, and measures how long the server takes to observe the
 // cancellation (service_explore_cancelled_total in /metrics).
+//
+// Every request carries a W3C traceparent header; the server echoes the
+// trace ID as X-Request-ID and logs it, so a costload trace file and a costd
+// access log line up row for row. After the load, one "costload-slo:" line
+// per endpoint reports the client-observed rolling quantiles against
+// -slo-p99; with the flag set, any FAIL verdict exits 1 (the CI gate).
 package main
 
 import (
@@ -36,6 +44,9 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/obscli"
+	"repro/internal/report"
 	"repro/internal/service/api"
 )
 
@@ -70,6 +81,9 @@ type loadSummary struct {
 	// (with -probe-dup) answered from the response cache: the canonical
 	// request key recognizes reordered interchangeable PRMs.
 	DupProbe int64 `json:"dup_probe_cache_hits,omitempty"`
+	// SLO is the client-observed rolling standing per workload endpoint,
+	// scored against -slo-p99 when set.
+	SLO *report.SLOSummary `json:"slo,omitempty"`
 }
 
 func main() {
@@ -83,13 +97,28 @@ func main() {
 	probeCoalesce := flag.Bool("probe-coalesce", false, "after the load, probe singleflight coalescing with an identical-request burst")
 	probeDup := flag.Bool("probe-dup", false, "after the load, probe the explore cache with permutations of a duplicate-heavy workload")
 	jsonOut := flag.String("json", "", "write the machine-readable load summary to this file")
+	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 1) when a workload endpoint's client-observed p99 exceeds this (0 = report only)")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
+	sess, err := obsFlags.Start("costload")
+	if err != nil {
+		fatal(err)
+	}
+
 	c := client.New(*addr)
-	ctx := context.Background()
+	ctx := sess.Context(context.Background())
 	if err := c.Health(ctx); err != nil {
 		fatal(fmt.Errorf("server not healthy: %w", err))
 	}
+
+	// The tracker's window must cover the whole run: slots scale with the
+	// load duration so nothing ages out before the verdict.
+	var objectives []obs.Objective
+	for _, ep := range []string{"prr", "bitstream"} {
+		objectives = append(objectives, obs.Objective{Endpoint: ep, P99: *sloP99})
+	}
+	slo := obs.NewSLOTracker(*duration, 6, objectives)
 
 	prrPool, bitPool := buildPools(*deviceName, *distinct)
 	results := make([]result, *clients)
@@ -105,8 +134,9 @@ func main() {
 			res := &results[w]
 			for i := 0; loadCtx.Err() == nil; i++ {
 				var err error
+				ep := pick(*workload, i)
 				t0 := time.Now()
-				switch pick(*workload, i) {
+				switch ep {
 				case "prr":
 					_, err = cl.PRR(loadCtx, prrPool[(w+i)%len(prrPool)])
 				case "bitstream":
@@ -115,6 +145,7 @@ func main() {
 				if loadCtx.Err() != nil {
 					return // deadline mid-request: don't count it
 				}
+				slo.Observe(ep, time.Since(t0), err != nil)
 				if err != nil {
 					res.errors++
 					continue
@@ -159,6 +190,22 @@ func main() {
 			pct(all, 99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 	}
 
+	// One greppable verdict line per endpoint that saw traffic: the CI SLO
+	// gate matches on verdict=FAIL rather than parsing JSON.
+	sum.SLO = report.NewSLOSummary(slo)
+	sloFailed := false
+	for _, ep := range sum.SLO.Endpoints {
+		if ep.Requests == 0 {
+			continue
+		}
+		verdict := "PASS"
+		if !ep.Pass {
+			verdict, sloFailed = "FAIL", true
+		}
+		fmt.Printf("costload-slo: endpoint=%s requests=%d errors=%d p50_ns=%d p90_ns=%d p99_ns=%d objective_p99_ns=%d verdict=%s\n",
+			ep.Endpoint, ep.Requests, ep.Errors, ep.P50NS, ep.P90NS, ep.P99NS, ep.ObjectiveP99NS, verdict)
+	}
+
 	if *probeCoalesce {
 		n, err := coalesceProbe(ctx, *addr, *deviceName, *clients)
 		if err != nil {
@@ -200,6 +247,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("  summary written to %s\n", *jsonOut)
+	}
+
+	if err := sess.Finish("", map[string]string{"workload": *workload, "clients": fmt.Sprint(*clients)}); err != nil {
+		fatal(err)
+	}
+	if sloFailed {
+		fatal(fmt.Errorf("SLO violated: p99 above %v (see costload-slo lines)", *sloP99))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/service/api"
 )
 
@@ -66,9 +67,30 @@ func (e *apiError) IsRetryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
+// startOp begins the per-call client span and guarantees the context holds a
+// propagable trace position: with a tracer attached the span's own position
+// is used; without one fresh IDs are minted, so every request still carries a
+// traceparent and the server's access log stays correlatable with the caller.
+func startOp(ctx context.Context, op string) (context.Context, *obs.Span) {
+	ctx, span := obs.StartSpan(ctx, op)
+	if span == nil {
+		tc, _ := obs.TraceFrom(ctx)
+		if tc.TraceID == "" {
+			tc.TraceID = obs.NewTraceID()
+		}
+		if tc.SpanID == 0 {
+			tc.SpanID = obs.NewSpanID()
+		}
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	return ctx, span
+}
+
 // do issues one request with retry/backoff, returning the response with a
-// 2xx status. The caller owns resp.Body.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+// 2xx status. The caller owns resp.Body. Every attempt carries the context's
+// trace position as a traceparent header; span (nil allowed) receives the
+// attempt count, so retries stay visible inside the per-call span.
+func (c *Client) do(ctx context.Context, span *obs.Span, method, path string, body []byte) (*http.Response, error) {
 	maxRetries := c.MaxRetries
 	if maxRetries < 0 {
 		maxRetries = 0
@@ -93,12 +115,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		if c.ID != "" {
 			req.Header.Set("X-Client-ID", c.ID)
 		}
+		obs.Inject(ctx, req.Header)
 		resp, err := c.HTTPClient.Do(req)
 		var wait time.Duration
 		switch {
 		case err != nil:
 			lastErr = err
 		case resp.StatusCode/100 == 2:
+			span.SetAttr("attempts", attempt+1)
 			return resp, nil
 		default:
 			ae := &apiError{Status: resp.StatusCode, Msg: readErrBody(resp.Body)}
@@ -110,6 +134,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 			}
 		}
 		if attempt >= maxRetries {
+			span.SetAttr("attempts", attempt+1).SetAttr("failed", true)
 			return nil, lastErr
 		}
 		if d := backoff << attempt; d > wait {
@@ -144,9 +169,12 @@ func readErrBody(r io.Reader) string {
 	return "(no error body)"
 }
 
-// getJSON / postJSON decode a whole-body JSON response into out.
-func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	resp, err := c.do(ctx, http.MethodGet, path, nil)
+// getJSON / postJSON decode a whole-body JSON response into out under a span
+// named op ("client.<endpoint>").
+func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
+	ctx, span := startOp(ctx, op)
+	defer span.End()
+	resp, err := c.do(ctx, span, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -154,12 +182,14 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+func (c *Client) postJSON(ctx context.Context, op, path string, in, out any) error {
+	ctx, span := startOp(ctx, op)
+	defer span.End()
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, path, body)
+	resp, err := c.do(ctx, span, http.MethodPost, path, body)
 	if err != nil {
 		return err
 	}
@@ -170,7 +200,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	var out map[string]string
-	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+	if err := c.getJSON(ctx, "client.health", "/healthz", &out); err != nil {
 		return err
 	}
 	if out["status"] != "ok" {
@@ -182,7 +212,7 @@ func (c *Client) Health(ctx context.Context) error {
 // Devices lists the server's device catalog.
 func (c *Client) Devices(ctx context.Context) ([]device.Descriptor, error) {
 	var out api.DevicesResponse
-	if err := c.getJSON(ctx, "/v1/devices", &out); err != nil {
+	if err := c.getJSON(ctx, "client.devices", "/v1/devices", &out); err != nil {
 		return nil, err
 	}
 	return out.Devices, nil
@@ -191,7 +221,7 @@ func (c *Client) Devices(ctx context.Context) ([]device.Descriptor, error) {
 // PRR batch-evaluates the PRR size/organization model.
 func (c *Client) PRR(ctx context.Context, req *api.PRRRequest) (*api.PRRResponse, error) {
 	var out api.PRRResponse
-	if err := c.postJSON(ctx, "/v1/prr", req, &out); err != nil {
+	if err := c.postJSON(ctx, "client.prr", "/v1/prr", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -200,7 +230,7 @@ func (c *Client) PRR(ctx context.Context, req *api.PRRRequest) (*api.PRRResponse
 // Bitstream batch-evaluates the bitstream size model.
 func (c *Client) Bitstream(ctx context.Context, req *api.BitstreamRequest) (*api.BitstreamResponse, error) {
 	var out api.BitstreamResponse
-	if err := c.postJSON(ctx, "/v1/bitstream", req, &out); err != nil {
+	if err := c.postJSON(ctx, "client.bitstream", "/v1/bitstream", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -212,16 +242,26 @@ func (c *Client) Bitstream(ctx context.Context, req *api.BitstreamRequest) (*api
 // Done event. A stream that ends without one — server shutdown mid-run, or
 // the connection dropping — returns an error.
 func (c *Client) Explore(ctx context.Context, req *api.ExploreRequest, visit func(api.DesignPoint) bool) (*api.ExploreDone, error) {
+	ctx, span := startOp(ctx, "client.explore")
+	defer span.End()
+	span.SetAttr("front_only", req.FrontOnly)
+	if req.SyntheticN > 0 {
+		span.SetAttr("synthetic_n", req.SyntheticN)
+	} else {
+		span.SetAttr("prms", len(req.PRMs))
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/explore", body)
+	resp, err := c.do(ctx, span, http.MethodPost, "/v1/explore", body)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 
+	points := 0
+	defer func() { span.SetAttr("points", points) }()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 16<<20) // fronts can be wide
 	for sc.Scan() {
@@ -239,6 +279,7 @@ func (c *Client) Explore(ctx context.Context, req *api.ExploreRequest, visit fun
 		case ev.Done != nil:
 			return ev.Done, nil
 		case ev.Point != nil:
+			points++
 			if visit != nil && !visit(*ev.Point) {
 				return nil, fmt.Errorf("client: explore abandoned by visitor")
 			}

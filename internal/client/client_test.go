@@ -215,6 +215,90 @@ func TestClientExploreSymmetry(t *testing.T) {
 	}
 }
 
+// TestClientAlwaysSendsTraceparent: even with no tracer attached, every
+// attempt carries a well-formed traceparent, and retries keep the same trace.
+func TestClientAlwaysSendsTraceparent(t *testing.T) {
+	var calls atomic.Int64
+	headers := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(obs.TraceparentHeader)
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"overloaded, retry later"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	first, second := <-headers, <-headers
+	tc1, ok := obs.ParseTraceparent(first)
+	if !ok {
+		t.Fatalf("first attempt sent malformed traceparent %q", first)
+	}
+	tc2, ok := obs.ParseTraceparent(second)
+	if !ok {
+		t.Fatalf("retry sent malformed traceparent %q", second)
+	}
+	if tc1.TraceID != tc2.TraceID {
+		t.Errorf("retry switched traces: %s then %s", tc1.TraceID, tc2.TraceID)
+	}
+}
+
+// TestClientServiceSharedSpanTree: with tracers on both sides, one call
+// yields a client span and a service span in the same trace, the service span
+// parented under the client's, and the retry count on the client span.
+func TestClientServiceSharedSpanTree(t *testing.T) {
+	serverRing := obs.NewRingSink(64)
+	_, c := newServicePair(t, service.Config{Tracer: obs.NewTracer(serverRing)})
+	clientRing := obs.NewRingSink(64)
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(clientRing))
+
+	if _, err := c.PRR(ctx, &api.PRRRequest{
+		Device: "XC6VLX75T",
+		PRMs:   []api.PRM{{Req: api.Requirements{LUTs: 500, FFs: 400}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var cl, sv *obs.SpanRecord
+	cspans := clientRing.Snapshot()
+	for i := range cspans {
+		if cspans[i].Name == "client.prr" {
+			cl = &cspans[i]
+		}
+	}
+	sspans := serverRing.Snapshot()
+	for i := range sspans {
+		if sspans[i].Name == "service.prr" {
+			sv = &sspans[i]
+		}
+	}
+	if cl == nil || sv == nil {
+		t.Fatalf("missing spans: client=%v server=%v", cl != nil, sv != nil)
+	}
+	if cl.Trace != sv.Trace {
+		t.Errorf("client trace %s, server trace %s — not one tree", cl.Trace, sv.Trace)
+	}
+	if sv.Parent != cl.ID {
+		t.Errorf("service span parent %x, want the client span %x", sv.Parent, cl.ID)
+	}
+	attempts := -1
+	for _, a := range cl.Attrs {
+		if a.Key == "attempts" {
+			attempts, _ = a.Value.(int)
+		}
+	}
+	if attempts != 1 {
+		t.Errorf("client span attempts = %d, want 1", attempts)
+	}
+}
+
 // TestClientExploreAbandon: a visitor returning false abandons the stream,
 // and the server-side engine observes the disconnect.
 func TestClientExploreAbandon(t *testing.T) {

@@ -603,12 +603,21 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 			defer wg.Done()
 			metWorkersActive.Add(1)
 			defer metWorkersActive.Add(-1)
+			// Each worker owns one child span of dse.bb covering the subtree
+			// jobs it drains, so a request's trace shows how the partition
+			// space was carved up (spans are goroutine-local; the parent span
+			// must not be touched from here).
+			_, wspan := obs.StartSpan(ctx, "dse.bb.worker")
+			defer wspan.End()
+			done := 0
 			for ji := range jobCh {
 				if ctx.Err() != nil || run.stop.Load() {
 					continue
 				}
 				run.runJob(jobs[ji], fronts)
+				done++
 			}
+			wspan.SetAttr("subtree_jobs", done)
 		}()
 	}
 	wg.Wait()

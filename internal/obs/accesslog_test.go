@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes Writes (the log's own lock already does, but the
+// race detector should see a safe underlying writer in tests that read it
+// concurrently with Flush).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestAccessLogConcurrentWriters: many goroutines logging at once produce
+// exactly one valid JSON object per line, none interleaved, all accounted.
+func TestAccessLogConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 16, 64
+	var buf syncBuffer
+	l := NewAccessLog(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Write(AccessRecord{
+					Method:   "POST",
+					Endpoint: fmt.Sprintf("ep%d", w),
+					Status:   200,
+					Bytes:    int64(i),
+					TraceID:  strings.Repeat("ab", 16),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Lines() != writers*perWriter {
+		t.Fatalf("accepted %d lines, want %d", l.Lines(), writers*perWriter)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != writers*perWriter {
+		t.Fatalf("file holds %d lines, want %d", len(lines), writers*perWriter)
+	}
+	perEndpoint := map[string]int{}
+	for i, line := range lines {
+		var rec AccessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON (interleaved?): %v: %q", i, err, line)
+		}
+		if rec.Schema != AccessLogSchema {
+			t.Fatalf("line %d schema %q, want %q", i, rec.Schema, AccessLogSchema)
+		}
+		if rec.Time == "" {
+			t.Fatalf("line %d has no timestamp", i)
+		}
+		perEndpoint[rec.Endpoint]++
+	}
+	for w := 0; w < writers; w++ {
+		if got := perEndpoint[fmt.Sprintf("ep%d", w)]; got != perWriter {
+			t.Errorf("writer %d: %d lines survived, want %d", w, got, perWriter)
+		}
+	}
+}
+
+// TestAccessLogFlushPolicy: the first write after a quiet period reaches the
+// underlying writer immediately; writes inside the flush interval stay
+// buffered (bounded buffer, batched syscalls) until Flush or Close.
+func TestAccessLogFlushPolicy(t *testing.T) {
+	var buf syncBuffer
+	l := NewAccessLog(&buf)
+	clock := time.Unix(1000, 0)
+	l.now = func() time.Time { return clock }
+
+	l.Write(AccessRecord{Endpoint: "a", Status: 200})
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("first write: %d flushed lines, want 1 (immediate flush after quiet)", got)
+	}
+	clock = clock.Add(time.Millisecond) // within the interval: buffered
+	l.Write(AccessRecord{Endpoint: "b", Status: 200})
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("burst write: %d flushed lines, want still 1 (buffered)", got)
+	}
+	clock = clock.Add(accessFlushInterval) // interval elapsed: flush
+	l.Write(AccessRecord{Endpoint: "c", Status: 200})
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("post-interval write: %d flushed lines, want 3", got)
+	}
+	clock = clock.Add(time.Millisecond)
+	l.Write(AccessRecord{Endpoint: "d", Status: 200})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("explicit Flush: %d lines, want 4", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccessLogNilInert: a nil log accepts every call without effect, so
+// call sites log unconditionally.
+func TestAccessLogNilInert(t *testing.T) {
+	var l *AccessLog
+	l.Write(AccessRecord{Endpoint: "x"})
+	if l.Lines() != 0 || l.Flush() != nil || l.Err() != nil || l.Close() != nil {
+		t.Fatal("nil AccessLog is not inert")
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip: inject → extract preserves the trace ID and the
+// span ID, and a span started under the extracted context joins the trace as
+// a child of the remote span.
+func TestTraceparentRoundTrip(t *testing.T) {
+	ring := NewRingSink(8)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+	ctx, client := StartSpan(ctx, "client.call")
+
+	h := http.Header{}
+	Inject(ctx, h)
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		t.Fatal("Inject wrote no traceparent")
+	}
+	if !strings.HasPrefix(v, "00-") || !strings.HasSuffix(v, "-01") || len(v) != 55 {
+		t.Fatalf("traceparent %q is not version-00/sampled/55 bytes", v)
+	}
+
+	// The "server": its own tracer, the remote position from the header.
+	serverRing := NewRingSink(8)
+	sctx := WithTracer(context.Background(), NewTracer(serverRing))
+	sctx, tc := Extract(sctx, h)
+	if tc.TraceID != client.Context().TraceID {
+		t.Fatalf("extracted trace %s, injected %s", tc.TraceID, client.Context().TraceID)
+	}
+	if tc.SpanID != client.Context().SpanID {
+		t.Fatalf("extracted parent %x, injected span %x", tc.SpanID, client.Context().SpanID)
+	}
+	_, server := StartSpan(sctx, "service.call")
+	server.End()
+	client.End()
+
+	srv := serverRing.Snapshot()
+	if len(srv) != 1 {
+		t.Fatalf("server recorded %d spans, want 1", len(srv))
+	}
+	if srv[0].Trace != client.Context().TraceID {
+		t.Errorf("server span trace %s, want client's %s", srv[0].Trace, client.Context().TraceID)
+	}
+	if srv[0].Parent != client.Context().SpanID {
+		t.Errorf("server span parent %x, want client span %x", srv[0].Parent, client.Context().SpanID)
+	}
+	cl := ring.Snapshot()
+	if len(cl) != 1 || cl[0].Trace != srv[0].Trace {
+		t.Error("client and server spans do not share one trace")
+	}
+}
+
+// TestExtractMalformedFallsBack: anything that is not a well-formed
+// traceparent is ignored — the context comes back unchanged and the zero
+// TraceContext tells the server to start a fresh trace.
+func TestExtractMalformedFallsBack(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if tc, ok := ParseTraceparent(valid); !ok || tc.TraceID != "0af7651916cd43dd8448eb211c80319c" || tc.SpanID != 0xb7ad6b7169203331 {
+		t.Fatalf("valid header rejected: %v %v", tc, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // missing flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x", // version 00 has no 5th field
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // reserved version
+		"0x-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // non-hex version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // all-zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // all-zero parent
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",   // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-011",   // short trace id
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // bad separator
+	} {
+		h := http.Header{}
+		if bad != "" {
+			h.Set(TraceparentHeader, bad)
+		}
+		base := context.Background()
+		ctx, tc := Extract(base, h)
+		if tc.TraceID != "" || tc.SpanID != 0 {
+			t.Errorf("Extract(%q) yielded trace context %+v, want zero", bad, tc)
+		}
+		if ctx != base {
+			t.Errorf("Extract(%q) changed the context", bad)
+		}
+	}
+	// Future versions may carry extra dash-separated fields.
+	future := "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extrastate"
+	if _, ok := ParseTraceparent(future); !ok {
+		t.Error("future-version header with extra field rejected")
+	}
+}
+
+// TestStartSpanMintsTraceID: a traced context without a trace position gets
+// a fresh valid trace ID, and children inherit it.
+func TestStartSpanMintsTraceID(t *testing.T) {
+	ring := NewRingSink(8)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	spans := ring.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	if len(spans[0].Trace) != 32 || !isHexLower(spans[0].Trace) {
+		t.Errorf("trace ID %q is not 32 lowercase hex chars", spans[0].Trace)
+	}
+	if spans[0].Trace != spans[1].Trace {
+		t.Error("parent and child spans have different trace IDs")
+	}
+	if !root.Context().Valid() {
+		t.Error("root span's trace context is not propagable")
+	}
+}
+
+// TestNewTraceIDUnique: fresh IDs are distinct and valid.
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || !isHexLower(id) || id == zeroTraceID {
+			t.Fatalf("NewTraceID() = %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+		if NewSpanID() == 0 {
+			t.Fatal("NewSpanID() = 0")
+		}
+	}
+}
+
+// TestFormatParseSymmetry: Format and Parse are inverses on valid contexts.
+func TestFormatParseSymmetry(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	got, ok := ParseTraceparent(FormatTraceparent(tc))
+	if !ok || got != tc {
+		t.Fatalf("round trip: %+v -> %+v (ok=%v)", tc, got, ok)
+	}
+}

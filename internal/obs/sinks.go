@@ -55,6 +55,7 @@ func (r *RingSink) Snapshot() []SpanRecord {
 
 // spanJSON is the JSONL wire form of a span record.
 type spanJSON struct {
+	Trace  string         `json:"trace,omitempty"`
 	ID     uint64         `json:"id"`
 	Parent uint64         `json:"parent,omitempty"`
 	Name   string         `json:"name"`
@@ -85,6 +86,7 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 // Record implements Sink.
 func (s *JSONLSink) Record(rec SpanRecord) {
 	j := spanJSON{
+		Trace:  rec.Trace,
 		ID:     rec.ID,
 		Parent: rec.Parent,
 		Name:   rec.Name,

@@ -1,8 +1,9 @@
 // Package obscli wires the observability layer into commands: the shared
-// -metrics-addr/-trace-out/-pprof/-summary/-hold flags, debug-server and
-// trace-sink lifecycle, and the per-run JSON summary. It exists so cmd/dse
-// and cmd/mtsim expose identical observability surfaces without duplicating
-// the plumbing; internal/obs itself stays dependency-free.
+// -metrics-addr/-trace-out/-access-log/-pprof/-summary/-hold flags,
+// debug-server, trace-sink and access-log lifecycle, and the per-run JSON
+// summary. It exists so the commands expose identical observability surfaces
+// without duplicating the plumbing; internal/obs itself stays
+// dependency-free.
 package obscli
 
 import (
@@ -18,11 +19,12 @@ import (
 
 // Flags holds the observability command-line options.
 type Flags struct {
-	MetricsAddr string
-	TraceOut    string
-	Pprof       bool
-	SummaryOut  string
-	Hold        time.Duration
+	MetricsAddr  string
+	TraceOut     string
+	AccessLogOut string
+	Pprof        bool
+	SummaryOut   string
+	Hold         time.Duration
 }
 
 // Register installs the observability flags on fs.
@@ -32,6 +34,8 @@ func Register(fs *flag.FlagSet) *Flags {
 		"serve /metrics and /debug/vars on this address (e.g. :8080 or :0; empty = off)")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"write spans as JSON lines to this file (empty = off)")
+	fs.StringVar(&f.AccessLogOut, "access-log", "",
+		"write one JSON line per served request to this file (empty = off)")
 	fs.BoolVar(&f.Pprof, "pprof", false,
 		"also serve net/http/pprof under /debug/pprof on the metrics address")
 	fs.StringVar(&f.SummaryOut, "summary", "",
@@ -43,11 +47,17 @@ func Register(fs *flag.FlagSet) *Flags {
 
 // Session is the running observability state for one command invocation.
 type Session struct {
-	tool   string
-	flags  *Flags
-	server *obs.Server
-	sink   *obs.JSONLSink
-	tracer *obs.Tracer
+	tool      string
+	flags     *Flags
+	server    *obs.Server
+	sink      *obs.JSONLSink
+	tracer    *obs.Tracer
+	accessLog *obs.AccessLog
+
+	// SummaryHook, when set, runs against the run summary before it is
+	// written, so commands can attach sections (service stats, SLO standings)
+	// the registry alone cannot provide.
+	SummaryHook func(*report.RunSummary)
 }
 
 // Start brings up whatever the flags enable. Returns a usable (inert)
@@ -74,8 +84,22 @@ func (f *Flags) Start(tool string) (*Session, error) {
 		s.sink = obs.NewJSONLSink(file)
 		s.tracer = obs.NewTracer(s.sink)
 	}
+	if f.AccessLogOut != "" {
+		file, err := os.Create(f.AccessLogOut)
+		if err != nil {
+			return nil, fmt.Errorf("opening access log: %w", err)
+		}
+		s.accessLog = obs.NewAccessLog(file)
+	}
 	return s, nil
 }
+
+// Tracer returns the session's tracer, or nil when -trace-out is off.
+func (s *Session) Tracer() *obs.Tracer { return s.tracer }
+
+// AccessLog returns the session's access-log sink, or nil when -access-log is
+// off. The session owns Close (in Finish); callers only Write.
+func (s *Session) AccessLog() *obs.AccessLog { return s.accessLog }
 
 // Context attaches the session's tracer (if any) to ctx, so StartSpan calls
 // downstream record spans.
@@ -95,6 +119,9 @@ func (s *Session) Finish(device string, params map[string]string) error {
 		sum.Device = device
 		sum.Params = params
 		sum.UnixNano = time.Now().UnixNano()
+		if s.SummaryHook != nil {
+			s.SummaryHook(sum)
+		}
 		if err := sum.WriteFile(s.flags.SummaryOut); err != nil {
 			firstErr = fmt.Errorf("writing run summary: %w", err)
 		} else {
@@ -108,6 +135,11 @@ func (s *Session) Finish(device string, params map[string]string) error {
 	if s.sink != nil {
 		if err := s.sink.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("closing trace file: %w", err)
+		}
+	}
+	if s.accessLog != nil {
+		if err := s.accessLog.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("closing access log: %w", err)
 		}
 	}
 	if s.server != nil {

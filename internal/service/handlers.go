@@ -32,7 +32,7 @@ func (s *Server) handlePRR(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveBatch(w, "prr", api.CanonicalKey("prr", &req), func() ([]byte, error) {
+	s.serveBatch(r.Context(), w, "prr", api.CanonicalKey("prr", &req), func() ([]byte, error) {
 		resp := api.PRRResponse{Device: dev.Name, Results: make([]api.PRRResult, len(req.PRMs))}
 		m := core.NewPRRModel(dev)
 		for i, prm := range req.PRMs {
@@ -66,7 +66,7 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveBatch(w, "bitstream", api.CanonicalKey("bitstream", &req), func() ([]byte, error) {
+	s.serveBatch(r.Context(), w, "bitstream", api.CanonicalKey("bitstream", &req), func() ([]byte, error) {
 		resp := api.BitstreamResponse{Device: dev.Name, Results: make([]api.BitstreamResult, len(req.Items))}
 		bit := core.NewBitstreamModel(dev.Params)
 		for i, item := range req.Items {
@@ -115,7 +115,8 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, req any, validate func(
 // serveBatch is the shared cache + singleflight path of the batch endpoints:
 // answer from the LRU when the canonical key hits, otherwise coalesce
 // identical in-flight computations and cache the winner's response.
-func (s *Server) serveBatch(w http.ResponseWriter, endpoint, key string, compute func() ([]byte, error)) {
+func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, endpoint, key string, compute func() ([]byte, error)) {
+	annotations(ctx).key = key
 	if resp, ok := s.cache.Get(key); ok {
 		s.met.cacheHits.Inc()
 		w.Header().Set("X-Cache", "hit")
@@ -190,11 +191,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if req.FrontOnly {
 		// Front-only explorations are pure request-to-front functions, so
 		// they share the batch endpoints' cache + singleflight machinery.
-		s.serveExploreFront(w, req, e, prms, opts)
+		s.serveExploreFront(r.Context(), w, req, e, prms, opts)
 		return
 	}
 
 	if !s.registerStream() {
+		annotations(r.Context()).shed = "draining"
 		httpErr(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
@@ -262,8 +264,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 // context rather than the first caller's request context — coalesced
 // followers and future cache hits outlive that caller, so a disconnect must
 // not cancel the shared computation; only a server drain does.
-func (s *Server) serveExploreFront(w http.ResponseWriter, req *api.ExploreRequest, e *dse.Explorer, prms []dse.PRM, opts dse.BBOptions) {
+func (s *Server) serveExploreFront(ctx context.Context, w http.ResponseWriter, req *api.ExploreRequest, e *dse.Explorer, prms []dse.PRM, opts dse.BBOptions) {
 	key := api.CanonicalKey("explore", req)
+	annotations(ctx).key = key
 	if resp, ok := s.cache.Get(key); ok {
 		s.met.cacheHits.Inc()
 		w.Header().Set("X-Cache", "hit")
@@ -301,6 +304,7 @@ func (s *Server) serveExploreFront(w http.ResponseWriter, req *api.ExploreReques
 	}
 	switch {
 	case err == errDraining:
+		annotations(ctx).shed = "draining"
 		httpErr(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	case err != nil:

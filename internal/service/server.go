@@ -39,11 +39,35 @@ type Config struct {
 	ExploreWorkers int
 	// Registry receives the serving metrics; nil means obs.Default().
 	Registry *obs.Registry
+	// Tracer, when set, records a span tree per request. Incoming W3C
+	// traceparent headers are honored either way: the trace ID is echoed as
+	// X-Request-ID and logged even when no spans are recorded.
+	Tracer *obs.Tracer
+	// AccessLog, when set, receives one JSONL line per request — including
+	// shed and drain-refused ones. The server flushes it on Shutdown/Close;
+	// the caller owns Close.
+	AccessLog *obs.AccessLog
+	// Objectives declares the per-endpoint SLOs the rolling tracker scores
+	// requests against at /debug/slo; nil means DefaultObjectives().
+	Objectives []obs.Objective
 
 	// now and evalHook are test seams: a fake clock for the rate limiter and
 	// a hook invoked before each cache-missed batch evaluation.
 	now      func() time.Time
 	evalHook func(endpoint string)
+}
+
+// DefaultObjectives is the serving SLO the catalog endpoints are scored
+// against when the config declares none: tight on the O(1) endpoints, loose
+// on explorations (dominated by engine time, not serving overhead).
+func DefaultObjectives() []obs.Objective {
+	return []obs.Objective{
+		{Endpoint: "healthz", P99: 50 * time.Millisecond},
+		{Endpoint: "devices", P99: 100 * time.Millisecond},
+		{Endpoint: "prr", P99: 500 * time.Millisecond, ErrorBudget: 0.01},
+		{Endpoint: "bitstream", P99: 500 * time.Millisecond, ErrorBudget: 0.01},
+		{Endpoint: "explore", P99: 30 * time.Second, ErrorBudget: 0.05},
+	}
 }
 
 // Defaults for the zero Config.
@@ -58,6 +82,7 @@ const (
 type Server struct {
 	cfg   Config
 	met   *serviceMetrics
+	slo   *obs.SLOTracker
 	mux   *http.ServeMux
 	cache *lruCache
 	// flight coalesces identical in-flight batch evaluations.
@@ -105,13 +130,21 @@ func New(cfg Config) *Server {
 	if est == nil {
 		est = icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
 	}
+	objectives := cfg.Objectives
+	if objectives == nil {
+		objectives = DefaultObjectives()
+	}
 	s := &Server{
 		cfg:       cfg,
 		met:       newServiceMetrics(cfg.Registry),
+		slo:       obs.NewSLOTracker(obs.DefaultSLOSlotDur, obs.DefaultSLOSlots, objectives),
 		cache:     newLRUCache(cfg.CacheEntries),
 		flight:    newFlightGroup(),
 		limiter:   newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.now),
 		estimator: est,
+	}
+	if cfg.now != nil {
+		s.slo.SetClock(cfg.now)
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 
@@ -131,6 +164,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Registry.WritePrometheus(w)
+		_ = s.slo.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, report.NewSLOSummary(s.slo))
 	})
 	s.mux = mux
 	return s
@@ -169,6 +206,7 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // their context within a few hundred tree nodes) and the server is closed
 // hard; the context's error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
+	defer func() { _ = s.cfg.AccessLog.Flush() }()
 	if s.http != nil {
 		err := s.http.Shutdown(ctx)
 		if err != nil {
@@ -234,6 +272,7 @@ func (s *Server) drainStreams(ctx context.Context) error {
 // Close stops the server immediately, cancelling in-flight explorations.
 func (s *Server) Close() error {
 	s.drainCancel()
+	defer func() { _ = s.cfg.AccessLog.Flush() }()
 	if s.http == nil {
 		return nil
 	}
@@ -245,32 +284,134 @@ func (s *Server) Close() error {
 // Stats rolls the serving metrics into the run-summary service section.
 func (s *Server) Stats() *report.ServiceSummary { return s.met.Summary() }
 
-// wrap applies admission control, accounting and tracing around a handler.
-// Liveness (/healthz) is never shed: a load balancer probing a saturated
-// instance must still get an answer.
+// SLO exposes the rolling SLO tracker (for run summaries and tests).
+func (s *Server) SLO() *obs.SLOTracker { return s.slo }
+
+// reqInfo is the annotation channel between the middleware and the handlers
+// it wraps: handlers record the canonical request key and drain refusals,
+// the deferred access-log write reads them.
+type reqInfo struct {
+	key  string
+	shed string
+}
+
+type reqInfoKey struct{}
+
+// annotations returns the request's reqInfo; a detached context yields a
+// discardable dummy so annotating is always safe.
+func annotations(ctx context.Context) *reqInfo {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// countingWriter captures the served status and body size for the access
+// log, delegating Flush so NDJSON streams keep their liveness behavior.
+type countingWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if c.code == 0 {
+		c.code = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.code == 0 {
+		c.code = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *countingWriter) status() int {
+	if c.code == 0 {
+		return http.StatusOK
+	}
+	return c.code
+}
+
+// wrap applies request tracing, admission control, accounting, SLO tracking
+// and access logging around a handler. The trace ID — extracted from a W3C
+// traceparent header when the caller sent one, minted otherwise — is echoed
+// as X-Request-ID on every response, including sheds and drain refusals, so
+// a rejected client can still quote a correlatable ID. Liveness (/healthz)
+// is never shed: a load balancer probing a saturated instance must still get
+// an answer.
 func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.Tracer != nil {
+			ctx = obs.WithTracer(ctx, s.cfg.Tracer)
+		}
+		ctx, tc := obs.Extract(ctx, r.Header)
+		if tc.TraceID == "" {
+			// No (valid) traceparent: start a fresh trace. SpanID stays 0 so
+			// the request's first span is a root.
+			tc = obs.TraceContext{TraceID: obs.NewTraceID()}
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+		ri := &reqInfo{}
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		r = r.WithContext(ctx)
+
+		rec := &countingWriter{ResponseWriter: w}
+		rec.Header().Set("X-Request-ID", tc.TraceID)
+		t0 := time.Now()
+		defer func() {
+			dur := time.Since(t0)
+			status := rec.status()
+			s.slo.Observe(endpoint, dur,
+				status >= http.StatusInternalServerError || status == http.StatusTooManyRequests)
+			s.cfg.AccessLog.Write(obs.AccessRecord{
+				Method:   r.Method,
+				Endpoint: endpoint,
+				Path:     r.URL.Path,
+				Status:   status,
+				Bytes:    rec.bytes,
+				DurNS:    dur.Nanoseconds(),
+				TraceID:  tc.TraceID,
+				Client:   clientID(r),
+				Key:      ri.key,
+				Cache:    rec.Header().Get("X-Cache"),
+				Shed:     ri.shed,
+			})
+		}()
+
 		if endpoint != "healthz" {
 			if ok, retry := s.limiter.Allow(clientID(r)); !ok {
 				s.met.shedRate.Inc()
-				shed(w, retry)
+				ri.shed = "rate"
+				shed(rec, retry)
 				return
 			}
 			cur := s.inflightN.Add(1)
 			defer s.inflightN.Add(-1)
 			if s.cfg.MaxInflight > 0 && cur > int64(s.cfg.MaxInflight) {
 				s.met.shedInflight.Inc()
-				shed(w, time.Second)
+				ri.shed = "inflight"
+				shed(rec, time.Second)
 				return
 			}
 			s.met.inflight.Add(1)
 			defer s.met.inflight.Add(-1)
 		}
 		s.met.requests[endpoint].Inc()
-		t0 := time.Now()
-		ctx, span := obs.StartSpan(r.Context(), "service."+endpoint)
+		ctx, span := obs.StartSpan(ctx, "service."+endpoint)
 		defer span.End()
-		h(w, r.WithContext(ctx))
+		h(rec, r.WithContext(ctx))
 		s.met.latency[endpoint].ObserveSince(t0)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/icap"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/service/api"
 )
 
@@ -345,6 +346,10 @@ func TestRateLimitSheds(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Errorf("Retry-After = %q, want 1 (empty bucket at 1 token/s)", ra)
 	}
+	// Even a shed response carries a correlatable trace ID.
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 32 {
+		t.Errorf("shed response X-Request-ID = %q, want a 32-hex trace ID", id)
+	}
 	if shed := s.met.shedRate.Value(); shed != 1 {
 		t.Errorf("shed(rate) = %d, want 1", shed)
 	}
@@ -389,6 +394,9 @@ func TestInflightShed(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("shed response has no Retry-After")
+	}
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 32 {
+		t.Errorf("shed response X-Request-ID = %q, want a 32-hex trace ID", id)
 	}
 	if shed := s.met.shedInflight.Value(); shed != 1 {
 		t.Errorf("shed(inflight) = %d, want 1", shed)
@@ -616,6 +624,217 @@ func TestShutdownCancelsStragglingStreams(t *testing.T) {
 	}
 	if s.met.exploreCancelled.Value() != 1 {
 		t.Errorf("cancelled streams = %d, want 1", s.met.exploreCancelled.Value())
+	}
+}
+
+// logBuf is a mutex-guarded buffer for access-log tests: the server's
+// deferred log write may outlive the client's view of the response, so reads
+// and the bufio flush must not race.
+type logBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuf) lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSpace(b.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// waitLines polls until the access log has accepted n lines: the middleware
+// logs in a deferred call that can run after the client sees the response.
+func waitLines(t *testing.T, l *obs.AccessLog, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for l.Lines() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("access log stuck at %d lines, want %d", l.Lines(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracePropagationAndAccessLog: a request carrying a W3C traceparent gets
+// its trace ID echoed as X-Request-ID, its service span recorded as a child
+// of the remote span in the same trace, and one access-log line carrying the
+// endpoint, canonical key, cache verdict and that trace ID.
+func TestTracePropagationAndAccessLog(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	var buf logBuf
+	al := obs.NewAccessLog(&buf)
+	_, ts := newTestServer(t, Config{Tracer: obs.NewTracer(ring), AccessLog: al})
+
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	const parentID = uint64(0xb7ad6b7169203331)
+	body := `{"device":"XC6VLX75T","prms":[{"req":{"luts":500,"ffs":400}}]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/prr", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(obs.TraceContext{TraceID: traceID, SpanID: parentID}))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-ID"); id != traceID {
+		t.Errorf("X-Request-ID = %q, want the propagated trace ID %q", id, traceID)
+	}
+
+	waitLines(t, al, 1)
+	lines := buf.lines()
+	if len(lines) != 1 {
+		t.Fatalf("access log holds %d lines, want 1", len(lines))
+	}
+	var rec obs.AccessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access line undecodable: %v: %q", err, lines[0])
+	}
+	if rec.Schema != obs.AccessLogSchema || rec.Endpoint != "prr" || rec.Method != http.MethodPost ||
+		rec.Status != http.StatusOK || rec.TraceID != traceID {
+		t.Errorf("access record %+v, want prr/POST/200 under trace %s", rec, traceID)
+	}
+	if rec.Key == "" || rec.Cache != "miss" || rec.Bytes <= 0 || rec.DurNS <= 0 {
+		t.Errorf("access record lacks key/cache/bytes/duration: %+v", rec)
+	}
+
+	spans := ring.Snapshot()
+	var svc *obs.SpanRecord
+	for i := range spans {
+		if spans[i].Name == "service.prr" {
+			svc = &spans[i]
+		}
+	}
+	if svc == nil {
+		t.Fatal("no service.prr span recorded")
+	}
+	if svc.Trace != traceID {
+		t.Errorf("span trace %q, want %q", svc.Trace, traceID)
+	}
+	if svc.Parent != parentID {
+		t.Errorf("span parent %x, want the remote span %x", svc.Parent, parentID)
+	}
+
+	// Without a traceparent the server mints a fresh trace and still echoes it.
+	resp2, _ := post(t, ts, "/v1/prr", body)
+	id := resp2.Header.Get("X-Request-ID")
+	if len(id) != 32 || id == traceID {
+		t.Errorf("minted X-Request-ID = %q, want a fresh 32-hex trace ID", id)
+	}
+	waitLines(t, al, 2)
+	var rec2 obs.AccessRecord
+	lines = buf.lines()
+	if err := json.Unmarshal([]byte(lines[1]), &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.TraceID != id || rec2.Cache != "hit" {
+		t.Errorf("second record trace=%q cache=%q, want %q/hit", rec2.TraceID, rec2.Cache, id)
+	}
+}
+
+// TestDrainRefusalLogged: once a drain has begun, a new explore request is
+// refused with 503, still carries X-Request-ID, and is access-logged with
+// shed="draining".
+func TestDrainRefusalLogged(t *testing.T) {
+	var buf logBuf
+	al := obs.NewAccessLog(&buf)
+	s, ts := newTestServer(t, Config{AccessLog: al})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("idle Shutdown: %v", err)
+	}
+	resp, _ := post(t, ts, "/v1/explore", `{"device":"XC6VLX75T","synthetic_n":3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("explore during drain: status %d, want 503", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 32 {
+		t.Errorf("drain refusal X-Request-ID = %q, want a 32-hex trace ID", id)
+	}
+	waitLines(t, al, 1)
+	var rec obs.AccessRecord
+	if err := json.Unmarshal([]byte(buf.lines()[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Shed != "draining" || rec.Status != http.StatusServiceUnavailable {
+		t.Errorf("drain refusal logged as %+v, want shed=draining status=503", rec)
+	}
+}
+
+// TestDebugSLO: /debug/slo serves the rolling standings — declared endpoints
+// appear even before traffic, served traffic lands in its endpoint's window,
+// and the payload validates against the summary schema.
+func TestDebugSLO(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"device":"XC6VLX75T","prms":[{"req":{"luts":500,"ffs":400}}]}`
+	post(t, ts, "/v1/prr", body)
+	post(t, ts, "/v1/prr", body)
+
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum report.SLOSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("/debug/slo payload invalid: %v", err)
+	}
+	if sum.WindowNS != int64(obs.DefaultSLOSlots)*int64(obs.DefaultSLOSlotDur) {
+		t.Errorf("window %d ns, want the default geometry", sum.WindowNS)
+	}
+	got := map[string]report.SLOEndpoint{}
+	for _, ep := range sum.Endpoints {
+		got[ep.Endpoint] = ep
+	}
+	prr, ok := got["prr"]
+	if !ok {
+		t.Fatalf("prr missing from %+v", sum.Endpoints)
+	}
+	if prr.Requests != 2 || !prr.Pass || prr.P99NS <= 0 {
+		t.Errorf("prr standing %+v, want 2 passing requests with a quantile", prr)
+	}
+	if prr.ObjectiveP99NS != int64(500*time.Millisecond) {
+		t.Errorf("prr objective %d ns, want the default 500ms", prr.ObjectiveP99NS)
+	}
+	// Declared but idle endpoints still advertise their objective.
+	if ep, ok := got["explore"]; !ok || ep.Requests != 0 || !ep.Pass {
+		t.Errorf("idle explore standing %+v, want declared and vacuously passing", got["explore"])
+	}
+
+	// The Prometheus exposition carries the same rolling series.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`slo_window_requests{endpoint="prr"} 2`,
+		`slo_pass{endpoint="prr"} 1`,
+		`slo_objective_p99_seconds{endpoint="explore"} 30`,
+	} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Errorf("/metrics lacks %q", want)
+		}
 	}
 }
 
