@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -90,6 +91,12 @@ func parse(r io.Reader) (BenchDoc, error) {
 			}
 			if fields[i+1] == "ns/op" {
 				b.NsPerOp = v
+				continue
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// A b.ReportMetric of a 0/0 ratio renders "NaN", which
+				// json.Marshal rejects outright. Drop the metric and keep the
+				// benchmark: a non-finite ratio carries no gateable signal.
 				continue
 			}
 			if b.Metrics == nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -75,6 +76,34 @@ func TestParseBenchmem(t *testing.T) {
 	}
 }
 
+// TestParseNonFinite: a 0/0 ReportMetric ratio renders "NaN" in the bench
+// line; json.Marshal rejects NaN and ±Inf, so the parser must drop such
+// metrics while keeping the benchmark (and its finite metrics) intact.
+func TestParseNonFinite(t *testing.T) {
+	const nanSample = `BenchmarkExploreParetoBBDup/n=12/k=3-8   1   55000000 ns/op   NaN memo-hit-rate   0.91 collapsed-frac   +Inf bogus-ratio
+`
+	doc, err := parse(strings.NewReader(nanSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if _, ok := b.Metrics["memo-hit-rate"]; ok {
+		t.Errorf("NaN metric survived the parse: %+v", b.Metrics)
+	}
+	if _, ok := b.Metrics["bogus-ratio"]; ok {
+		t.Errorf("Inf metric survived the parse: %+v", b.Metrics)
+	}
+	if b.Metrics["collapsed-frac"] != 0.91 {
+		t.Errorf("finite metric lost: %+v", b.Metrics)
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Errorf("sanitized document still fails to marshal: %v", err)
+	}
+}
+
 func TestCompareAllocs(t *testing.T) {
 	allocs := func(n float64) map[string]float64 { return map[string]float64{"allocs/op": n} }
 	old := BenchDoc{Schema: Schema, Benchmarks: []Bench{
@@ -84,9 +113,9 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "NoMetric", NsPerOp: 100},
 	}}
 	cur := BenchDoc{Schema: Schema, Benchmarks: []Bench{
-		{Name: "ZeroBase", NsPerOp: 100, Metrics: allocs(1)}, // any alloc on a zero base regresses
-		{Name: "Steady", NsPerOp: 100, Metrics: allocs(7)},   // within 1.30x
-		{Name: "Grew", NsPerOp: 100, Metrics: allocs(9)},     // 1.5x: regressed
+		{Name: "ZeroBase", NsPerOp: 100, Metrics: allocs(1)},  // any alloc on a zero base regresses
+		{Name: "Steady", NsPerOp: 100, Metrics: allocs(7)},    // within 1.30x
+		{Name: "Grew", NsPerOp: 100, Metrics: allocs(9)},      // 1.5x: regressed
 		{Name: "NoMetric", NsPerOp: 100, Metrics: allocs(50)}, // baseline has no metric: not gated
 	}}
 	var sb strings.Builder

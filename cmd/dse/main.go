@@ -19,10 +19,17 @@
 // distinct shapes, where the bb engine's symmetry collapse (-symmetry off
 // disables it) skips interchangeable partitions.
 //
+// The bb engine additionally memoizes group pricings across subtree workers
+// by (signature-class composition, placed-region multiset) — the orbit-level
+// collapse that makes duplicate-heavy walks interactive; -memo off disables
+// it for A/B measurement (the front is bit-identical either way).
+//
 // Observability: -metrics-addr serves Prometheus text at /metrics (plus
 // expvar, and pprof with -pprof), -trace-out writes nested spans as JSON
 // lines, -summary writes the machine-readable per-run metric summary, and
-// -hold keeps the metrics server up after the run for scraping.
+// -hold keeps the metrics server up after the run for scraping. -cpuprofile
+// and -memprofile write pprof profiles covering the exploration itself,
+// for feeding `go tool pprof` without a live server.
 package main
 
 import (
@@ -31,6 +38,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -53,10 +62,29 @@ func main() {
 	nSynthetic := flag.Int("n", 0, "explore n synthetic PRMs instead of the paper's three (stress mode)")
 	dupShapes := flag.Int("dup", 0, "with -n: use the duplicate-heavy workload with this many distinct shapes (symmetry stress mode)")
 	symmetry := flag.String("symmetry", "auto", "bb engine: interchangeable-PRM collapse: auto or off")
+	memo := flag.String("memo", "auto", "bb engine: composition-keyed group-pricing memo: auto or off")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the exploration) to this file")
 	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 	if *sequential {
 		*engine = "seq"
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	sess, err := obsFlags.Start("dse")
@@ -123,6 +151,13 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -symmetry %q (want auto or off)", *symmetry))
 		}
+		switch *memo {
+		case "auto":
+		case "off":
+			opts.Memo = dse.MemoOff
+		default:
+			fatal(fmt.Errorf("unknown -memo %q (want auto or off)", *memo))
+		}
 		front, bbStats, err = e.ExploreParetoBB(sess.Context(context.Background()), prms, opts)
 		if err != nil {
 			fatal(err)
@@ -175,6 +210,11 @@ func main() {
 				bbStats.Classes, bbStats.CollapsedSymmetry,
 				100*float64(bbStats.CollapsedSymmetry)/float64(bbStats.Partitions))
 		}
+		if lookups := bbStats.MemoHits + bbStats.MemoMisses; lookups > 0 {
+			fmt.Printf("  memo: %d hits, %d misses (%.1f%% hit rate), %d orbit entries\n",
+				bbStats.MemoHits, bbStats.MemoMisses,
+				100*float64(bbStats.MemoHits)/float64(lookups), bbStats.MemoEntries)
+		}
 	}
 
 	var flowPerPoint time.Duration
@@ -196,6 +236,20 @@ func main() {
 	if hits, misses := e.CacheStats(); hits+misses > 0 {
 		fmt.Printf("group cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if err := sess.Finish(dev.Name, map[string]string{

@@ -31,6 +31,10 @@ type BBOptions struct {
 	// The default, SymmetryAuto, canonicalizes whenever two PRMs share a
 	// requirement signature; SymmetryOff explores the full space.
 	Symmetry SymmetryMode
+	// Memo selects the composition-keyed group-pricing memo (see MemoMode).
+	// The default, MemoAuto, memoizes whenever two PRMs share a requirement
+	// signature; MemoOff prices every tree edge with the cost models.
+	Memo MemoMode
 }
 
 // BBStats reports what the branch-and-bound run did. Partitions always
@@ -67,6 +71,15 @@ type BBStats struct {
 	// MaxResident is the peak number of design points held by the engine at
 	// any instant — O(front), where the flat engines hold O(Bell(n)).
 	MaxResident int64
+	// MemoHits / MemoMisses count group-pricing memo lookups (0 with MemoOff
+	// or when every signature is distinct). Every tree edge does exactly one
+	// lookup, so MemoHits+MemoMisses equals GroupPricings on memoized runs —
+	// the memo changes where prices come from, never how many are needed.
+	MemoHits   int64
+	MemoMisses int64
+	// MemoEntries is the number of distinct (composition, avoid-multiset)
+	// evaluations stored — the orbit-level count the fiber walk collapsed to.
+	MemoEntries int64
 }
 
 // bbJob is one subtree: a length-SplitDepth RGS prefix plus the enumeration
@@ -98,6 +111,9 @@ type bbRun struct {
 	sym     bool
 	classOf []int
 	classes int
+	// memo, when non-nil, shares priced (composition, avoid-multiset) group
+	// evaluations across every subtree worker of this run (see memo.go).
+	memo *groupMemo
 
 	ctx     context.Context
 	stop    atomic.Bool
@@ -157,8 +173,33 @@ type bbState struct {
 	seq   uint64
 	nodes int
 
+	// Dominance-threshold cache: dominanceThreshold depends only on the front
+	// contents (version) and the node's (reconfig, minRU) bounds, which repeat
+	// across huge stretches of the walk, so the last computed threshold is
+	// kept here and reused across nodes until any input changes. Prune
+	// decisions stay bit-identical to calling DominatedBound per edge.
+	domT     int
+	domVer   uint64
+	domRec   time.Duration
+	domRU    float64
+	domReady bool
+
+	// memBack is the n×n backing matrix for members: group g's slice grows
+	// in row g, so opening and re-opening groups never allocates.
+	memBack []int
+	// saveEvalsBuf/savePlacedBuf are the depth-indexed save/restore buffers
+	// for rec's join path: depth i snapshots into row i, so backtracking
+	// never allocates either. Row width is n (a prefix has at most n groups).
+	saveEvalsBuf  []groupEval
+	savePlacedBuf []floorplan.Region
+	// msc holds the memo key encoder's scratch buffers; l1 is the owning
+	// worker's private view of the shared memo (see memo.go).
+	msc memoScratch
+	l1  *memoL1
+
 	// local counters, flushed into the run at job end
 	evaluated, prunedFit, prunedDom, collapsed, pricings int64
+	memoHits, memoMisses, memoEntries                    int64
 }
 
 // reprice re-derives the priced-group stack from group `from` on, stopping
@@ -179,8 +220,7 @@ func (s *bbState) reprice(from int) {
 	}
 	s.firstBad = -1
 	for g := from; g < k; g++ {
-		ev := s.run.e.priceGroup(s.run.prms, s.members[g], s.placed[:g], s.run.bit)
-		s.pricings++
+		ev := s.priceEdge(g)
 		s.evals[g] = ev
 		if !ev.feasible {
 			s.firstBad = g
@@ -188,6 +228,45 @@ func (s *bbState) reprice(from int) {
 		}
 		s.placed[g] = ev.region
 	}
+}
+
+// repriceSave is reprice for the join path: it snapshots each group's prior
+// evaluation into the caller's save rows (at off) before overwriting it and
+// returns how many groups were touched, so backtracking restores exactly the
+// entries that changed instead of the whole suffix. Join never changes the
+// group count, so no stack padding is needed (reprice handles the open and
+// prefix-rebuild paths, which can).
+func (s *bbState) repriceSave(from, off int) int {
+	k := len(s.members)
+	if s.firstBad >= 0 && s.firstBad < from {
+		return 0
+	}
+	prevFB := s.firstBad
+	s.firstBad = -1
+	touched := 0
+	for g := from; g < k; g++ {
+		s.saveEvalsBuf[off+touched] = s.evals[g]
+		s.savePlacedBuf[off+touched] = s.placed[g]
+		touched++
+		ev := s.priceEdge(g)
+		s.evals[g] = ev
+		if !ev.feasible {
+			s.firstBad = g
+			return touched
+		}
+		if g == from && g < k-1 && prevFB < 0 && ev.region == s.placed[g] {
+			// Suffix skip: only group `from` changed membership (a join), and
+			// its re-priced window landed exactly where the parent's pricing
+			// put it. The stack held a fully feasible pricing (prevFB < 0), so
+			// every later group sees the same avoid multiset it was priced
+			// against — those evaluations are still exact, and repricing would
+			// return identical values (including identical regions), keeping
+			// the whole stack consistent.
+			return touched
+		}
+		s.placed[g] = ev.region
+	}
+	return touched
 }
 
 // skip charges a pruned subtree: count its leaves and keep the enumeration
@@ -211,7 +290,7 @@ func (s *bbState) leaf() bool {
 	s.evaluated++
 	seq := s.seq
 	s.seq++
-	dp := DesignPoint{Groups: copyGroups(s.members), Feasible: true, MinRU: 100}
+	dp := DesignPoint{Feasible: true, MinRU: 100}
 	priced := len(s.members)
 	if s.firstBad >= 0 {
 		priced = s.firstBad
@@ -233,7 +312,13 @@ func (s *bbState) leaf() bool {
 		dp.WorstReconfig = r.e.Estimator.Estimate(dp.MaxBitstreamBytes)
 	}
 	if r.pareto {
-		if dp.Feasible {
+		// The group copy is deferred until a point survives the dominance
+		// check: infeasible leaves and dominated points never need their
+		// Groups, and the per-leaf copy dominated the allocation profile at
+		// n=16-scale walks. Dominated() is exactly Add()'s drop test, and
+		// dominance reads only the objectives, so the front is unchanged.
+		if dp.Feasible && !s.front.Dominated(&dp) {
+			dp.Groups = copyGroups(s.members)
 			before := s.front.Len()
 			s.front.Add(dp, seq)
 			if d := int64(s.front.Len() - before); d != 0 {
@@ -242,6 +327,7 @@ func (s *bbState) leaf() bool {
 		}
 		return true
 	}
+	dp.Groups = copyGroups(s.members)
 	r.visitMu.Lock()
 	ok := r.visit(dp)
 	r.visitMu.Unlock()
@@ -293,6 +379,24 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 			s.seq += uint64(skipped)
 		}
 	}
+	// The bytes and RU bounds depend only on the element, not on which group
+	// it joins, so they are hoisted out of the child loop — and the dominance
+	// bound collapses to one cached tiles threshold per front version (see
+	// dominanceThreshold), recomputed only when a leaf below actually changed
+	// the front. The prune decisions are identical to calling DominatedBound
+	// on every edge.
+	cbLB := bytesLB
+	if eb.minBytes > cbLB {
+		cbLB = eb.minBytes
+	}
+	cRU := minRUub
+	if eb.maxRU < cRU {
+		cRU = eb.maxRU
+	}
+	var recLB time.Duration
+	if r.domPrune && s.front != nil {
+		recLB = r.e.Estimator.Estimate(cbLB)
+	}
 	for g := gMin; g <= u; g++ {
 		childUsed := u
 		if g == u {
@@ -326,18 +430,16 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 		if g < u {
 			ctLB = tilesLB - s.tilesLB[g] + groupTiles
 		}
-		cbLB := bytesLB
-		if eb.minBytes > cbLB {
-			cbLB = eb.minBytes
-		}
-		cRU := minRUub
-		if eb.maxRU < cRU {
-			cRU = eb.maxRU
-		}
-		if r.domPrune && s.front != nil && s.front.Len() > 0 &&
-			s.front.DominatedBound(ctLB, r.e.Estimator.Estimate(cbLB), cRU) {
-			s.skip(leaves, true, i)
-			continue
+		if r.domPrune && s.front != nil && s.front.Len() > 0 {
+			if !s.domReady || s.domVer != s.front.version || s.domRec != recLB || s.domRU != cRU {
+				s.domT = s.front.dominanceThreshold(recLB, cRU)
+				s.domVer, s.domRec, s.domRU = s.front.version, recLB, cRU
+				s.domReady = true
+			}
+			if ctLB >= s.domT {
+				s.skip(leaves, true, i)
+				continue
+			}
 		}
 
 		s.rgs[i] = g
@@ -364,20 +466,27 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 		if g < u {
 			savedMemLen := len(s.members[g])
 			savedNeed, savedTiles := s.needLB[g], s.tilesLB[g]
-			savedEvals := append([]groupEval(nil), s.evals[g:]...)
-			savedPlaced := append([]floorplan.Region(nil), s.placed[g:]...)
 			savedFB := s.firstBad
 			s.members[g] = append(s.members[g], i)
 			s.needLB[g], s.tilesLB[g] = need, groupTiles
-			s.reprice(g)
+			// repriceSave snapshots exactly the stack entries it overwrites
+			// into this depth's rows of the save buffers (each rec frame owns
+			// row i exclusively), so backtracking restores only what changed —
+			// usually one group, thanks to the suffix skip.
+			off := i * r.n
+			touched := s.repriceSave(g, off)
 			ok = s.rec(i+1, ctLB, cbLB, cRU)
 			s.members[g] = s.members[g][:savedMemLen]
 			s.needLB[g], s.tilesLB[g] = savedNeed, savedTiles
-			copy(s.evals[g:], savedEvals)
-			copy(s.placed[g:], savedPlaced)
+			copy(s.evals[g:g+touched], s.saveEvalsBuf[off:off+touched])
+			copy(s.placed[g:g+touched], s.savePlacedBuf[off:off+touched])
 			s.firstBad = savedFB
 		} else {
-			s.members = append(s.members, []int{i})
+			// Open group u in its own row of the members matrix: the row is
+			// reused every time label u re-opens at this or a later element.
+			n := r.n
+			row := s.memBack[u*n : u*n : u*n+n]
+			s.members = append(s.members, append(row, i))
 			s.needLB = append(s.needLB, need)
 			s.tilesLB = append(s.tilesLB, groupTiles)
 			s.reprice(u)
@@ -408,8 +517,20 @@ func (s *bbState) rec(i int, tilesLB, bytesLB int, minRUub float64) bool {
 // runJob prices one subtree job: rebuild the prefix state, apply the same
 // bounds a sequential DFS would have applied above the split depth, then
 // recurse over the remaining positions.
-func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront) {
-	s := &bbState{run: r, rgs: make([]int, r.n), firstBad: -1, seq: j.base}
+func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront, l1 *memoL1) {
+	n := r.n
+	s := &bbState{run: r, rgs: make([]int, n), firstBad: -1, seq: j.base, l1: l1}
+	// All DFS state is preallocated at n×n scale so the walk itself never
+	// allocates: the members matrix, the priced-group stacks, the bound
+	// stacks, and the per-depth save/restore rows (see rec).
+	s.memBack = make([]int, n*n)
+	s.members = make([][]int, 0, n)
+	s.evals = make([]groupEval, 0, n)
+	s.placed = make([]floorplan.Region, 0, n)
+	s.needLB = make([]floorplan.Need, 0, n)
+	s.tilesLB = make([]int, 0, n)
+	s.saveEvalsBuf = make([]groupEval, n*n)
+	s.savePlacedBuf = make([]floorplan.Region, n*n)
 	if r.pareto {
 		s.front = &ParetoFront{}
 		fronts[j.idx] = s.front
@@ -420,11 +541,16 @@ func (r *bbRun) runJob(j bbJob, fronts []*ParetoFront) {
 		r.prunedDom.Add(s.prunedDom)
 		r.collapsed.Add(s.collapsed)
 		r.pricings.Add(s.pricings)
+		if r.memo != nil {
+			r.memo.stats.bulk(j.idx, s.memoHits, s.memoMisses, s.memoEntries)
+		}
 	}()
 
 	k := len(j.prefix)
 	copy(s.rgs, j.prefix)
-	s.members = make([][]int, j.used)
+	for g := 0; g < j.used; g++ {
+		s.members = append(s.members, s.memBack[g*n:g*n:g*n+n])
+	}
 	for i := 0; i < k; i++ {
 		g := j.prefix[i]
 		s.members[g] = append(s.members[g], i)
@@ -548,6 +674,12 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 
 	ct := classifyPRMs(prms)
 	sym := opts.Symmetry == SymmetryAuto && ct.hasDuplicates()
+	// The memo pays off exactly when compositions can recur, i.e. when some
+	// signature class holds ≥2 PRMs — the same condition as the symmetry
+	// collapse, but controlled independently (the memo also accelerates
+	// SymmetryOff walks over duplicate-heavy workloads).
+	memoOn := opts.Memo == MemoAuto && ct.hasDuplicates() &&
+		memoSupported(ct.classes(), e.Device.Fabric.Rows, len(e.Device.Fabric.Columns))
 	metSymClasses.Add(int64(ct.classes()))
 
 	run := &bbRun{
@@ -566,6 +698,9 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		classes:  ct.classes(),
 		ctx:      ctx,
 		visit:    visit,
+	}
+	if memoOn {
+		run.memo = newGroupMemo()
 	}
 
 	var jobs []bbJob
@@ -609,12 +744,18 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 			// must not be touched from here).
 			_, wspan := obs.StartSpan(ctx, "dse.bb.worker")
 			defer wspan.End()
+			// The L1 memo view lives for the worker's whole job stream, so
+			// entries learned in one subtree stay warm for the next.
+			var l1 *memoL1
+			if run.memo != nil {
+				l1 = newMemoL1()
+			}
 			done := 0
 			for ji := range jobCh {
 				if ctx.Err() != nil || run.stop.Load() {
 					continue
 				}
-				run.runJob(jobs[ji], fronts)
+				run.runJob(jobs[ji], fronts, l1)
 				done++
 			}
 			wspan.SetAttr("subtree_jobs", done)
@@ -650,6 +791,9 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		FrontSize:         global.Len(),
 		MaxResident:       run.maxResident.Load(),
 	}
+	if run.memo != nil {
+		stats.MemoHits, stats.MemoMisses, stats.MemoEntries = run.memo.stats.snapshot()
+	}
 	var points []DesignPoint
 	if pareto {
 		points = global.Points()
@@ -671,6 +815,9 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		metSymCollapsePct.Set(100 * stats.CollapsedSymmetry / stats.Partitions)
 	}
 	metBBGroupPricings.Add(stats.GroupPricings)
+	metMemoHits.Add(stats.MemoHits)
+	metMemoMisses.Add(stats.MemoMisses)
+	metMemoEntries.Add(stats.MemoEntries)
 	if pareto {
 		metBBFrontSize.Set(int64(stats.FrontSize))
 		metBBResidentPeak.Set(stats.MaxResident)
@@ -680,6 +827,8 @@ func (e *Explorer) exploreBB(ctx context.Context, prms []PRM, opts BBOptions, pa
 		SetAttr("pruned_fit", stats.PrunedFit).
 		SetAttr("pruned_dominated", stats.PrunedDominated).
 		SetAttr("collapsed_symmetry", stats.CollapsedSymmetry).
+		SetAttr("memo_hits", stats.MemoHits).
+		SetAttr("memo_misses", stats.MemoMisses).
 		SetAttr("elapsed_ns", elapsed.Nanoseconds())
 	return points, stats, nil
 }

@@ -4,22 +4,9 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/floorplan"
 )
-
-// regionLess orders regions for the canonical avoid-set key encoding.
-func regionLess(a, c floorplan.Region) bool {
-	if a.Row != c.Row {
-		return a.Row < c.Row
-	}
-	if a.Col != c.Col {
-		return a.Col < c.Col
-	}
-	if a.H != c.H {
-		return a.H < c.H
-	}
-	return a.W < c.W
-}
 
 // groupEval is the cached outcome of pricing one PRM group against an
 // avoid-set: everything a design point needs from core.PRRModel.
@@ -44,39 +31,18 @@ type groupEval struct {
 // the set of blocked tiles, so permutations of the same placed regions share
 // one cache entry. The key stays a []byte so cache hits — the overwhelming
 // majority of lookups — never allocate a string: map reads via m[string(key)]
-// are compiler-optimized to skip the conversion. buf is an optional scratch
-// slice the key is built into (callers reuse one buffer across a partition's
-// groups).
-func groupKey(buf []byte, g []int, classOf []int, avoid []floorplan.Region) []byte {
+// are compiler-optimized to skip the conversion. buf and regScratch are
+// caller-owned scratch slices (reused across a partition's groups, so warm
+// key builds allocate nothing); the grown regScratch is returned alongside
+// the key.
+func groupKey(buf []byte, g []int, classOf []int, avoid []floorplan.Region, regScratch []floorplan.Region) ([]byte, []floorplan.Region) {
 	b := buf[:0]
 	for _, idx := range g {
 		b = strconv.AppendInt(b, int64(classOf[idx]), 10)
 		b = append(b, ',')
 	}
 	b = append(b, '|')
-	if len(avoid) > 0 {
-		// Insertion sort into a copy: avoid sets hold one region per
-		// already-priced group, so they are tiny and the reflection cost of
-		// sort.Slice would dominate the key build.
-		sorted := make([]floorplan.Region, len(avoid))
-		copy(sorted, avoid)
-		for i := 1; i < len(sorted); i++ {
-			for j := i; j > 0 && regionLess(sorted[j], sorted[j-1]); j-- {
-				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-			}
-		}
-		for _, r := range sorted {
-			b = strconv.AppendInt(b, int64(r.Row), 10)
-			b = append(b, '.')
-			b = strconv.AppendInt(b, int64(r.Col), 10)
-			b = append(b, '.')
-			b = strconv.AppendInt(b, int64(r.H), 10)
-			b = append(b, '.')
-			b = strconv.AppendInt(b, int64(r.W), 10)
-			b = append(b, ';')
-		}
-	}
-	return b
+	return core.AppendAvoidKey(b, avoid, regScratch)
 }
 
 // cacheShardCount spreads the group cache over independently locked shards
@@ -104,18 +70,10 @@ func newGroupCache() *groupCache {
 
 // shardIndex picks the shard by FNV-1a over the key. The index is exposed
 // (rather than the shard pointer) so callers can stripe their own accounting
-// the same way — see explorerStats.
+// the same way — see explorerStats. The hash is shared with the BB engine's
+// group-pricing memo (fnvShardIndex in memo.go).
 func (c *groupCache) shardIndex(key []byte) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return int(h % cacheShardCount)
+	return fnvShardIndex(key)
 }
 
 func (c *groupCache) get(shard int, key []byte) (groupEval, bool) {

@@ -86,10 +86,11 @@ func (e *Explorer) evaluate(prms []PRM, groups [][]int, cache *groupCache, class
 
 	placed := make([]floorplan.Region, 0, len(groups))
 	var keyBuf []byte
+	var regScratch []floorplan.Region
 	for _, g := range groups {
 		var ev groupEval
 		if cache != nil {
-			keyBuf = groupKey(keyBuf, g, classOf, placed)
+			keyBuf, regScratch = groupKey(keyBuf, g, classOf, placed, regScratch)
 			key := keyBuf
 			shard := cache.shardIndex(key)
 			var ok bool
@@ -224,7 +225,7 @@ func decodeGroups(rgs []int) [][]int {
 	backing := make([]int, len(rgs))
 	off := 0
 	for g, sz := range sizes {
-		groups[g] = backing[off:off:off+sz]
+		groups[g] = backing[off : off : off+sz]
 		off += sz
 	}
 	for idx, g := range rgs {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/floorplan"
 	"repro/internal/icap"
 )
 
@@ -88,15 +90,17 @@ func BenchmarkExploreParetoBB(b *testing.B) {
 	}
 }
 
-// BenchmarkExploreParetoBBDup is the symmetry collapse on duplicate-heavy
-// workloads: n modules over k distinct requirement signatures in contiguous
-// blocks (see DuplicatePRMs). n=16 (Bell ≈ 1.0e10) is far beyond the flat
-// engines and reachable only because the engine walks fiber representatives;
+// BenchmarkExploreParetoBBDup is the symmetry collapse plus the orbit-level
+// group-pricing memo on duplicate-heavy workloads: n modules over k distinct
+// requirement signatures in contiguous blocks (see DuplicatePRMs). n=16
+// (Bell ≈ 1.0e10) is far beyond the flat engines and reachable only because
+// the engine walks fiber representatives and the memo collapses their group
+// pricings to one per orbit-level (composition, avoid-multiset) pair:
 // collapsed-frac reports the fraction of the partition space skipped as
-// symmetric images. n=20/k=5 is deliberately absent: it still has over 2e8
-// fiber representatives (a single-core run was killed after 35 CPU-minutes
-// without finishing), so pricing it exactly needs the orbit-level memo or
-// cluster scatter the ROADMAP names — not a benchmark iteration.
+// symmetric images, memo-hit-rate the fraction of tree edges answered from
+// the memo. n=20/k=5 (232M orbit-level compositions) completes exactly in
+// minutes with the memo but is still too long for a benchmark iteration; CI
+// demonstrates it in a dedicated step instead.
 func BenchmarkExploreParetoBBDup(b *testing.B) {
 	for _, c := range []struct{ n, k int }{{12, 3}, {16, 4}} {
 		b.Run(fmt.Sprintf("n=%d/k=%d", c.n, c.k), func(b *testing.B) {
@@ -121,7 +125,51 @@ func BenchmarkExploreParetoBBDup(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(stats.CollapsedSymmetry)/float64(stats.Partitions), "collapsed-frac")
 			b.ReportMetric(float64(stats.Evaluated), "evaluated")
+			// Guard the ratio: a memo-off or all-distinct run has zero
+			// lookups, and 0/0 would emit NaN into the benchmark line.
+			if lookups := stats.MemoHits + stats.MemoMisses; lookups > 0 {
+				b.ReportMetric(float64(stats.MemoHits)/float64(lookups), "memo-hit-rate")
+			}
 		})
+	}
+}
+
+// BenchmarkMemoHit isolates the memo's hit path — canonical key build plus
+// L1 map read — the operation an n=20-scale walk performs hundreds of
+// millions of times. The allocs/op it reports must stay 0 (gated in CI).
+func BenchmarkMemoHit(b *testing.B) {
+	dev, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &Explorer{Device: dev, Estimator: icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}}
+	prms := DuplicatePRMs(6, 2)
+	ct := classifyPRMs(prms)
+	r := &bbRun{
+		e:       e,
+		prms:    prms,
+		n:       len(prms),
+		bit:     core.NewBitstreamModel(e.Device.Params),
+		classOf: ct.classOf,
+		memo:    newGroupMemo(),
+	}
+	s := &bbState{run: r, l1: newMemoL1()}
+	s.members = [][]int{{0, 1}, {2, 3}}
+	s.placed = make([]floorplan.Region, 2)
+	ev := s.priceEdge(0)
+	if !ev.feasible {
+		b.Fatalf("warmup pricing infeasible: %s", ev.errMsg)
+	}
+	s.placed[0] = ev.region
+	s.priceEdge(1) // store the entry, grow the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.priceEdge(1)
+	}
+	b.StopTimer()
+	if s.memoHits == 0 {
+		b.Fatal("benchmark loop never hit the memo")
 	}
 }
 

@@ -62,6 +62,18 @@ var (
 		obs.CountBuckets, obs.L("bound", "dominated"))
 )
 
+// Group-pricing memo metrics (see memo.go): how much of the fiber walk's
+// pricing work collapsed to orbit-level lookups, mirroring the flat engine's
+// cache counters.
+var (
+	metMemoHits = obs.Default().Counter("dse_group_memo_hits_total",
+		"group-pricing memo lookups answered without touching the cost models")
+	metMemoMisses = obs.Default().Counter("dse_group_memo_misses_total",
+		"group-pricing memo lookups that priced the group with the cost models")
+	metMemoEntries = obs.Default().Counter("dse_group_memo_entries_total",
+		"distinct (composition, avoid-multiset) evaluations stored in group-pricing memos")
+)
+
 // Symmetry-collapse metrics: how many PRM equivalence classes the
 // canonicalizer found and how much of the partition space the multiset
 // enumeration removed as interchangeable-fiber duplicates.

@@ -25,6 +25,11 @@ type frontPoint struct {
 // Pareto()'s stable sort.
 type ParetoFront struct {
 	pts []frontPoint
+	// version counts mutations (successful Adds). The branch-and-bound
+	// engine caches dominanceThreshold per (node, version) and recomputes
+	// only when the front actually changed, so its pruning decisions stay
+	// bit-identical to calling DominatedBound on every tree edge.
+	version uint64
 }
 
 // dominates reports whether a strictly-Pareto-dominates b on the three
@@ -49,6 +54,20 @@ func frontLess(a, b *frontPoint) bool {
 	return a.seq < b.seq
 }
 
+// Dominated reports whether an existing front point strictly dominates dp —
+// exactly the test that makes Add drop a point. Callers use it to skip
+// expensive point construction (the branch-and-bound engine defers its group
+// copy) before offering dp; dominance reads only the three objectives, so a
+// partially-built point with correct objectives answers identically.
+func (f *ParetoFront) Dominated(dp *DesignPoint) bool {
+	for i := range f.pts {
+		if dominates(&f.pts[i].dp, dp) {
+			return true
+		}
+	}
+	return false
+}
+
 // Add offers one feasible design point to the front. It returns false when
 // an existing front point dominates dp (dp is dropped); otherwise dp joins
 // the front and every point dp dominates is evicted. Infeasible points must
@@ -71,6 +90,7 @@ func (f *ParetoFront) Add(dp DesignPoint, seq uint64) bool {
 	f.pts = append(f.pts, frontPoint{})
 	copy(f.pts[at+1:], f.pts[at:])
 	f.pts[at] = np
+	f.version++
 	return true
 }
 
@@ -94,12 +114,51 @@ func (f *ParetoFront) Merge(o *ParetoFront) {
 func (f *ParetoFront) DominatedBound(tilesLB int, reconfigLB time.Duration, minRUub float64) bool {
 	for i := range f.pts {
 		q := &f.pts[i].dp
-		if q.TotalTiles <= tilesLB && q.WorstReconfig <= reconfigLB && q.MinRU >= minRUub &&
+		if q.TotalTiles > tilesLB {
+			// The front is sorted by TotalTiles ascending (frontLess), and a
+			// dominating point needs TotalTiles <= tilesLB, so nothing after
+			// this one can qualify. The engine calls this on every tree edge;
+			// the early exit answers most "not dominated" probes in one
+			// comparison.
+			return false
+		}
+		if q.WorstReconfig <= reconfigLB && q.MinRU >= minRUub &&
 			(q.TotalTiles < tilesLB || q.WorstReconfig < reconfigLB || q.MinRU > minRUub) {
 			return true
 		}
 	}
 	return false
+}
+
+// dominanceThreshold folds DominatedBound's scan, for fixed (reconfigLB,
+// minRUub), into a single tiles threshold T: DominatedBound(t, reconfigLB,
+// minRUub) is true iff t >= T. For each front point with q.WorstReconfig <=
+// reconfigLB and q.MinRU >= minRUub, a box with tilesLB >= q.TotalTiles is
+// dominated when one of those axes is strict, and tilesLB > q.TotalTiles
+// when both are ties (the tiles axis must then supply the strictness) —
+// so T is the minimum of q.TotalTiles (+1 on double ties) over qualifying
+// points, and maxInt when none qualify. The engine computes T once per tree
+// node per front version and compares each child's tiles bound against it.
+func (f *ParetoFront) dominanceThreshold(reconfigLB time.Duration, minRUub float64) int {
+	const maxInt = int(^uint(0) >> 1)
+	t := maxInt
+	for i := range f.pts {
+		q := &f.pts[i].dp
+		if q.WorstReconfig > reconfigLB || q.MinRU < minRUub {
+			continue
+		}
+		qt := q.TotalTiles
+		if q.WorstReconfig == reconfigLB && q.MinRU == minRUub {
+			if qt == maxInt {
+				continue
+			}
+			qt++
+		}
+		if qt < t {
+			t = qt
+		}
+	}
+	return t
 }
 
 // Len returns the current front size.

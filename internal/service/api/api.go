@@ -202,6 +202,11 @@ type ExploreOptions struct {
 	// front is always identical to the flat exploration's), "off" forces the
 	// full partition walk.
 	Symmetry string `json:"symmetry,omitempty"`
+	// Memo selects the composition-keyed group-pricing memo: "" or "auto"
+	// memoizes whenever two PRMs share a requirement signature, "off" prices
+	// every tree edge with the cost models. The front is identical either way;
+	// only the work to compute it changes.
+	Memo string `json:"memo,omitempty"`
 }
 
 // ExploreRequest is the POST /v1/explore body. Exactly one of PRMs and
@@ -232,6 +237,9 @@ func (r *ExploreRequest) Validate() error {
 	}
 	if s := r.Options.Symmetry; s != "" && s != "auto" && s != "off" {
 		return fmt.Errorf("api: unknown symmetry mode %q (want auto or off)", s)
+	}
+	if m := r.Options.Memo; m != "" && m != "auto" && m != "off" {
+		return fmt.Errorf("api: unknown memo mode %q (want auto or off)", m)
 	}
 	return nil
 }
@@ -315,6 +323,12 @@ type ExploreStats struct {
 	// evaluated representatives (zero with symmetry off or all-distinct PRMs).
 	Classes         int   `json:"classes,omitempty"`
 	OrbitsCollapsed int64 `json:"orbits_collapsed,omitempty"`
+	// MemoHits / MemoMisses count group-pricing memo lookups; MemoEntries is
+	// the number of distinct orbit-level evaluations stored (all zero with the
+	// memo off or all-distinct PRMs).
+	MemoHits    int64 `json:"memo_hits,omitempty"`
+	MemoMisses  int64 `json:"memo_misses,omitempty"`
+	MemoEntries int64 `json:"memo_entries,omitempty"`
 }
 
 // ExploreDone is the stream's terminal event.

@@ -94,6 +94,7 @@ func TestExploreRequestValidate(t *testing.T) {
 		"both workloads":   {Device: "d", PRMs: []PRM{{}}, SyntheticN: 4},
 		"too many PRMs":    {Device: "d", SyntheticN: MaxExplorePRMs + 1},
 		"bad symmetry":     {Device: "d", SyntheticN: 4, Options: ExploreOptions{Symmetry: "maybe"}},
+		"bad memo":         {Device: "d", SyntheticN: 4, Options: ExploreOptions{Memo: "maybe"}},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
@@ -103,6 +104,10 @@ func TestExploreRequestValidate(t *testing.T) {
 		req := ExploreRequest{Device: "d", SyntheticN: 4, Options: ExploreOptions{Symmetry: mode}}
 		if err := req.Validate(); err != nil {
 			t.Errorf("symmetry %q rejected: %v", mode, err)
+		}
+		req = ExploreRequest{Device: "d", SyntheticN: 4, Options: ExploreOptions{Memo: mode}}
+		if err := req.Validate(); err != nil {
+			t.Errorf("memo %q rejected: %v", mode, err)
 		}
 	}
 }

@@ -187,6 +187,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if req.Options.Symmetry == "off" {
 		opts.Symmetry = dse.SymmetryOff
 	}
+	if req.Options.Memo == "off" {
+		opts.Memo = dse.MemoOff
+	}
 
 	if req.FrontOnly {
 		// Front-only explorations are pure request-to-front functions, so
@@ -332,6 +335,9 @@ func wireDone(prms []dse.PRM, front []dse.DesignPoint, stats dse.BBStats) *api.E
 			FrontSize:       stats.FrontSize,
 			Classes:         stats.Classes,
 			OrbitsCollapsed: stats.CollapsedSymmetry,
+			MemoHits:        stats.MemoHits,
+			MemoMisses:      stats.MemoMisses,
+			MemoEntries:     stats.MemoEntries,
 		},
 	}
 	for i, dp := range front {
