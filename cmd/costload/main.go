@@ -9,6 +9,7 @@
 //	costload -addr ... -probe-cancel                  # explore-stream disconnect probe
 //	costload -addr ... -probe-coalesce                # identical-burst singleflight probe
 //	costload -addr ... -probe-dup                     # permuted duplicate-workload explore-cache probe
+//	costload -addr ... -probe-simulate                # mix /v1/simulate NDJSON streams into the load
 //	costload -addr ... -json load.json                # machine-readable summary (CI artifact)
 //	costload -addr ... -slo-p99 250ms                 # SLO gate: exit 1 when client-observed p99 exceeds it
 //	costload -addr ... -trace-out spans.jsonl         # record client-side spans (one trace per request)
@@ -21,6 +22,13 @@
 // -probe-cancel opens an NDJSON exploration stream, disconnects after the
 // first point, and measures how long the server takes to observe the
 // cancellation (service_explore_cancelled_total in /metrics).
+//
+// -probe-simulate folds full /v1/simulate streams into the closed loop:
+// every eighth request per client runs a seeded discrete-event simulation
+// whose seed differs per request, so each stream exercises the engine rather
+// than the response cache. Stream latencies feed the same rolling tracker as
+// the point endpoints, so the "costload-slo:" verdict lines — and the
+// -slo-p99 gate — cover the streaming path too.
 //
 // Every request carries a W3C traceparent header; the server echoes the
 // trace ID as X-Request-ID and logs it, so a costload trace file and a costd
@@ -51,8 +59,10 @@ import (
 )
 
 type result struct {
-	latencies []time.Duration
-	errors    int
+	latencies  []time.Duration
+	errors     int
+	simStreams int
+	simJobs    int
 }
 
 // loadSummary is the machine-readable run report (-json).
@@ -81,6 +91,10 @@ type loadSummary struct {
 	// (with -probe-dup) answered from the response cache: the canonical
 	// request key recognizes reordered interchangeable PRMs.
 	DupProbe int64 `json:"dup_probe_cache_hits,omitempty"`
+	// SimStreams / SimJobs count the /v1/simulate streams mixed into the load
+	// (with -probe-simulate) and the simulated jobs they completed.
+	SimStreams int `json:"simulate_streams,omitempty"`
+	SimJobs    int `json:"simulate_jobs,omitempty"`
 	// SLO is the client-observed rolling standing per workload endpoint,
 	// scored against -slo-p99 when set.
 	SLO *report.SLOSummary `json:"slo,omitempty"`
@@ -96,6 +110,7 @@ func main() {
 	probeCancel := flag.Bool("probe-cancel", false, "after the load, probe explore-stream disconnect latency")
 	probeCoalesce := flag.Bool("probe-coalesce", false, "after the load, probe singleflight coalescing with an identical-request burst")
 	probeDup := flag.Bool("probe-dup", false, "after the load, probe the explore cache with permutations of a duplicate-heavy workload")
+	probeSim := flag.Bool("probe-simulate", false, "mix /v1/simulate streams into the load (every 8th request per client, distinct seeds)")
 	jsonOut := flag.String("json", "", "write the machine-readable load summary to this file")
 	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 1) when a workload endpoint's client-observed p99 exceeds this (0 = report only)")
 	obsFlags := obscli.Register(flag.CommandLine)
@@ -114,8 +129,12 @@ func main() {
 
 	// The tracker's window must cover the whole run: slots scale with the
 	// load duration so nothing ages out before the verdict.
+	endpoints := []string{"prr", "bitstream"}
+	if *probeSim {
+		endpoints = append(endpoints, "simulate")
+	}
 	var objectives []obs.Objective
-	for _, ep := range []string{"prr", "bitstream"} {
+	for _, ep := range endpoints {
 		objectives = append(objectives, obs.Objective{Endpoint: ep, P99: *sloP99})
 	}
 	slo := obs.NewSLOTracker(*duration, 6, objectives)
@@ -135,12 +154,20 @@ func main() {
 			for i := 0; loadCtx.Err() == nil; i++ {
 				var err error
 				ep := pick(*workload, i)
+				if *probeSim && i%8 == 7 {
+					ep = "simulate"
+				}
 				t0 := time.Now()
+				var simDone *api.SimDone
 				switch ep {
 				case "prr":
 					_, err = cl.PRR(loadCtx, prrPool[(w+i)%len(prrPool)])
 				case "bitstream":
 					_, err = cl.Bitstream(loadCtx, bitPool[(w+i)%len(bitPool)])
+				case "simulate":
+					// A fresh seed per request: simulate streams bypass the
+					// response cache, so every one runs the event engine.
+					simDone, err = cl.Simulate(loadCtx, simRequest(*deviceName, uint64(w)*1_000_003+uint64(i)), nil)
 				}
 				if loadCtx.Err() != nil {
 					return // deadline mid-request: don't count it
@@ -149,6 +176,10 @@ func main() {
 				if err != nil {
 					res.errors++
 					continue
+				}
+				if simDone != nil {
+					res.simStreams++
+					res.simJobs += simDone.Metrics.Completed
 				}
 				res.latencies = append(res.latencies, time.Since(t0))
 			}
@@ -159,10 +190,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	errors := 0
+	errors, simStreams, simJobs := 0, 0, 0
 	for _, r := range results {
 		all = append(all, r.latencies...)
 		errors += r.errors
+		simStreams += r.simStreams
+		simJobs += r.simJobs
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
@@ -182,8 +215,14 @@ func main() {
 		sum.LatencyNS.Max = all[len(all)-1].Nanoseconds()
 	}
 
+	sum.SimStreams = simStreams
+	sum.SimJobs = simJobs
+
 	fmt.Printf("costload: %d clients, %s workload, %v\n", *clients, *workload, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %d requests (%d errors), %.0f req/s\n", sum.Requests, errors, sum.ThroughputRPS)
+	if *probeSim {
+		fmt.Printf("  %d simulate streams mixed in (%d simulated jobs completed)\n", simStreams, simJobs)
+	}
 	if len(all) > 0 {
 		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(all, 50).Round(time.Microsecond), pct(all, 90).Round(time.Microsecond),
@@ -295,6 +334,27 @@ func buildPools(dev string, distinct int) ([]*api.PRRRequest, []*api.BitstreamRe
 		}
 	}
 	return prr, bit
+}
+
+// simRequest builds the streaming simulation the -probe-simulate requests
+// run: three synthetic PRMs on a shared PRR under the reconfiguration-aware
+// policy, a few hundred bursty jobs, and a per-request seed so no two streams
+// replay the same workload. Small enough to finish in milliseconds, real
+// enough to hold a connection open across many NDJSON lines.
+func simRequest(dev string, seed uint64) *api.SimulateRequest {
+	return &api.SimulateRequest{
+		Device:        dev,
+		SyntheticN:    3,
+		Policy:        "reconfig",
+		SnapshotEvery: 50,
+		Mix: api.SimMix{
+			Jobs:       200,
+			Seed:       seed + 1,
+			Arrival:    "bursty",
+			MeanGapUS:  50,
+			MeanExecUS: 300,
+		},
+	}
 }
 
 // pct picks the p-th percentile from sorted latencies.

@@ -1,16 +1,21 @@
-// Command mtsim simulates hardware multitasking on a PR FPGA: the paper's
-// three PRMs time-multiplexing PRRs, against the full-reconfiguration and
-// static baselines, under a chosen scheduler and workload.
+// Command mtsim simulates preemptive hardware multitasking on a PR FPGA: the
+// paper's three PRMs (optionally duplicated) time-multiplexing shared PRRs
+// under a pluggable scheduler, every reconfiguration and context switch
+// priced by the paper's cost models over one shared ICAP.
 //
 // Usage:
 //
-//	mtsim -device XC5VLX110T -jobs 300 -workload roundrobin -slots 0
-//	mtsim -device XC6VLX75T -workload bursty -slots 2 -sched reuse
+//	mtsim -device XC6VLX75T -policy reconfig -jobs 500 -seed 7
+//	mtsim -coexplore -dup 4 -policies fcfs,reconfig -jobs 400 -json out.json
+//
+// Co-exploration scores every organization on the branch-and-bound engine's
+// exact Pareto front against the job mix under each policy and prints
+// greppable "coexplore-rank:" lines ranked by p99 waiting time. -json writes
+// the machine-readable repro/simrun/v1 report.
 //
 // Observability: -metrics-addr serves Prometheus text at /metrics (plus
-// expvar, and pprof with -pprof), -trace-out writes one span per simulated
-// system as JSON lines, -summary writes the machine-readable per-run metric
-// summary, and -hold keeps the metrics server up after the run.
+// expvar, and pprof with -pprof), -trace-out writes spans as JSON lines, and
+// -summary writes the per-run metric summary with the sim section attached.
 package main
 
 import (
@@ -19,25 +24,34 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/icap"
-	"repro/internal/multitask"
 	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/report"
 	"repro/internal/rtl"
+	"repro/internal/sim"
 )
 
 func main() {
-	deviceName := flag.String("device", "XC5VLX110T", "target device")
-	jobs := flag.Int("jobs", 300, "number of jobs")
-	workload := flag.String("workload", "roundrobin", "workload: roundrobin, bursty, random")
-	slots := flag.Int("slots", 0, "shared PRR slots (0 = dedicated PRR per PRM)")
-	sched := flag.String("sched", "firstfree", "scheduler: firstfree, reuse, rr")
-	execUS := flag.Int("exec", 500, "per-job execution time (microseconds)")
-	gapUS := flag.Int("gap", 100, "inter-arrival gap (microseconds)")
+	deviceName := flag.String("device", "XC6VLX75T", "target device")
+	jobs := flag.Int("jobs", 300, "number of jobs in the mix")
+	seed := flag.Uint64("seed", 1, "workload seed (same seed+flags = bit-identical run)")
+	workload := flag.String("workload", "bursty", "arrival process: uniform, bursty, simultaneous")
+	gapUS := flag.Int("gap", 100, "mean inter-arrival gap (microseconds)")
+	execUS := flag.Int("exec", 500, "mean per-job execution time (microseconds)")
+	burst := flag.Int("burst", 0, "bursty-process batch size (0 = default)")
+	prioLevels := flag.Int("priolevels", 3, "priority levels drawn per job (<=1 = flat)")
+	slots := flag.Int("slots", 2, "shared PRR slot count (single-platform mode)")
+	policy := flag.String("policy", "fcfs", "scheduler for a single run: fcfs, priority, reconfig")
+	policies := flag.String("policies", "", "comma-separated schedulers for -coexplore (default all)")
+	coexplore := flag.Bool("coexplore", false, "score every Pareto-front organization against the mix")
+	dup := flag.Int("dup", 1, "duplicate the paper PRM set this many times")
+	snapEvery := flag.Int("snapshot-every", 0, "print a progress snapshot every N completions (0 = off)")
+	jsonOut := flag.String("json", "", "write the repro/simrun/v1 report to this file")
 	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -51,87 +65,218 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var specs []multitask.PRMSpec
-	var names []string
-	for _, prm := range rtl.PaperPRMs() {
-		row, ok := core.PaperTableVRow(prm, *deviceName)
-		if !ok {
-			fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+	if *dup < 1 {
+		fatal(fmt.Errorf("-dup must be at least 1"))
+	}
+	var specs []sim.Spec
+	for d := 0; d < *dup; d++ {
+		for _, prm := range rtl.PaperPRMs() {
+			row, ok := core.PaperTableVRow(prm, *deviceName)
+			if !ok {
+				fatal(fmt.Errorf("no paper requirements for %s on %s", prm, *deviceName))
+			}
+			name := prm
+			if *dup > 1 {
+				name = fmt.Sprintf("%s#%d", prm, d)
+			}
+			specs = append(specs, sim.Spec{Name: name, Req: row.Req})
 		}
-		specs = append(specs, multitask.PRMSpec{
-			Name: prm, Req: row.Req, Exec: time.Duration(*execUS) * time.Microsecond,
-		})
-		names = append(names, prm)
 	}
 
-	gap := time.Duration(*gapUS) * time.Microsecond
-	var jl []multitask.Job
-	switch *workload {
-	case "roundrobin":
-		jl = multitask.RoundRobinJobs(names, *jobs, gap)
-	case "bursty":
-		jl = multitask.BurstyJobs(names, *jobs, 10, gap)
-	case "random":
-		jl = multitask.RandomJobs(names, *jobs, gap, 2015)
-	default:
-		fatal(fmt.Errorf("unknown workload %q", *workload))
+	mix := sim.Mix{
+		Jobs:           *jobs,
+		Seed:           *seed,
+		Arrival:        sim.Arrival(*workload),
+		MeanGap:        time.Duration(*gapUS) * time.Microsecond,
+		MeanExec:       time.Duration(*execUS) * time.Microsecond,
+		Burst:          *burst,
+		PriorityLevels: *prioLevels,
 	}
 
-	var policy multitask.Scheduler
-	switch *sched {
-	case "firstfree":
-		policy = multitask.FirstFree{}
-	case "reuse":
-		policy = multitask.ReuseAffinity{}
-	case "rr":
-		policy = &multitask.RoundRobin{}
-	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	rep := &report.SimRun{
+		Schema: report.SimRunSchema,
+		Device: dev.Name,
+		Seed:   *seed,
+		Params: map[string]string{
+			"jobs":     strconv.Itoa(*jobs),
+			"workload": *workload,
+			"dup":      strconv.Itoa(*dup),
+			"policy":   *policy,
+		},
+	}
+	if *coexplore {
+		rep.Params["coexplore"] = "true"
+		runCoExplore(ctx, dev, specs, mix, *policies, *snapEvery, rep)
+	} else {
+		runSingle(ctx, dev, specs, mix, *policy, *slots, *snapEvery, rep)
 	}
 
-	est := icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
-	pr, err := multitask.BuildPRSystem(dev, specs, *slots, est, policy)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Validate(); err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	sess.SummaryHook = func(sum *report.RunSummary) {
+		if len(rep.Runs) > 0 {
+			sum.Sim = &rep.Runs[0]
+		}
+	}
+	if err := sess.Finish(dev.Name, rep.Params); err != nil {
+		fatal(err)
+	}
+}
+
+// runSingle simulates the mix on one shared platform under one policy.
+func runSingle(ctx context.Context, dev *device.Device, specs []sim.Spec, mix sim.Mix,
+	policy string, slots, snapEvery int, rep *report.SimRun) {
+
+	pol, err := sim.PolicyByName(policy)
 	if err != nil {
 		fatal(err)
 	}
-	runSystem := func(name string, sys *multitask.System) (multitask.Result, error) {
-		_, span := obs.StartSpan(ctx, "mtsim."+name)
-		res, err := sys.Run(jl)
-		span.SetAttr("jobs", res.Jobs).SetAttr("reconfigs", res.Reconfigs).
-			SetAttr("makespan_ns", res.Makespan.Nanoseconds()).End()
-		return res, err
-	}
-
-	prRes, err := runSystem("pr", pr)
+	plat, err := sim.BuildShared(dev, specs, slots)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("PR system (%d slots, %s):\n  %v\n", len(pr.Slots), policy.Name(), prRes)
-
-	full := multitask.BuildFullReconfigSystem(dev, specs, est)
-	fullRes, err := runSystem("full_reconfig", full)
+	jobs, err := mix.Generate(len(specs))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("full-reconfiguration baseline:\n  %v\n", fullRes)
-
-	if static, err := multitask.BuildStaticSystem(dev, specs, est); err != nil {
-		fmt.Printf("static baseline: infeasible (%v)\n", err)
-	} else if statRes, err := runSystem("static", static); err == nil {
-		fmt.Printf("static baseline:\n  %v\n", statRes)
-	}
-
-	speedup := fullRes.Makespan.Seconds() / prRes.Makespan.Seconds()
-	fmt.Printf("\nPR vs full reconfiguration: %.2fx makespan improvement\n", speedup)
-
-	if err := sess.Finish(dev.Name, map[string]string{
-		"jobs":     strconv.Itoa(*jobs),
-		"workload": *workload,
-		"slots":    strconv.Itoa(*slots),
-		"sched":    policy.Name(),
-	}); err != nil {
+	_, span := obs.StartSpan(ctx, "mtsim.run")
+	res, err := sim.Run(ctx, sim.Config{Platform: plat, Policy: pol, SnapshotEvery: snapEvery},
+		jobs, printSnapshot(snapEvery))
+	span.SetAttr("jobs", res.Jobs).SetAttr("reconfigs", res.Reconfigs).
+		SetAttr("makespan_ns", res.MakespanNS).End()
+	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("policy %s on %d slots: %s\n", res.Policy, slots, describe(res))
+	for _, sl := range res.PerSlot {
+		fmt.Printf("  %-6s busy %v, %d reconfigs, ICAP %v\n", sl.Name,
+			time.Duration(sl.BusyNS).Round(time.Microsecond), sl.Reconfigs,
+			time.Duration(sl.ICAPNS).Round(time.Microsecond))
+	}
+	rep.Runs = append(rep.Runs, toSummary(res, -1, nil, nil))
+}
+
+// runCoExplore scores the exact Pareto front against the mix under every
+// requested policy and prints the per-policy p99 ranking.
+func runCoExplore(ctx context.Context, dev *device.Device, specs []sim.Spec, mix sim.Mix,
+	policyList string, snapEvery int, rep *report.SimRun) {
+
+	cfg := sim.CoExploreConfig{Mix: mix, SnapshotEvery: snapEvery}
+	if policyList != "" {
+		for _, name := range strings.Split(policyList, ",") {
+			p, err := sim.PolicyByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Policies = append(cfg.Policies, p)
+		}
+	}
+	_, span := obs.StartSpan(ctx, "mtsim.coexplore")
+	scores, front, stats, err := sim.CoExplore(ctx, dev, specs, cfg, nil, nil)
+	span.SetAttr("front", len(front)).SetAttr("scores", len(scores)).
+		SetAttr("partitions", stats.Partitions).End()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("co-exploration: %d PRMs, front of %d organizations, %d partitions considered\n",
+		len(specs), len(front), stats.Partitions)
+
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	rank := 0
+	for i, sc := range scores {
+		if i == 0 || scores[i-1].Result.Policy != sc.Result.Policy {
+			rank = 0
+		}
+		rank++
+		fmt.Printf("coexplore-rank: policy=%s rank=%d org=%d p99_wait_ns=%d mean_wait_ns=%d reconfigs=%d icap_busy=%.3f groups=%s\n",
+			sc.Result.Policy, rank, sc.Org, sc.Result.P99WaitNS, sc.Result.MeanWaitNS,
+			sc.Result.Reconfigs, sc.Result.ICAPBusy, groupsLabel(names, sc.Groups))
+		rep.Runs = append(rep.Runs, toSummary(sc.Result, sc.Org, names, sc.Groups))
+	}
+}
+
+// printSnapshot returns a progress visitor when a cadence is set.
+func printSnapshot(snapEvery int) func(sim.Snapshot) bool {
+	if snapEvery <= 0 {
+		return nil
+	}
+	return func(s sim.Snapshot) bool {
+		fmt.Printf("t=%v completed=%d ready=%d running=%d reconfigs=%d icap_busy=%.3f\n",
+			time.Duration(s.NowNS).Round(time.Microsecond), s.Completed, s.Ready,
+			s.Running, s.Reconfigs, s.ICAPBusy)
+		return true
+	}
+}
+
+func describe(r sim.Result) string {
+	return fmt.Sprintf("%d/%d jobs in %v, mean wait %v, p99 wait %v, %d reconfigs (%d preemptions), ICAP busy %.1f%%, util %.1f%%",
+		r.Completed, r.Jobs, time.Duration(r.MakespanNS).Round(time.Microsecond),
+		time.Duration(r.MeanWaitNS).Round(time.Microsecond),
+		time.Duration(r.P99WaitNS).Round(time.Microsecond),
+		r.Reconfigs, r.Preemptions, r.ICAPBusy*100, r.Utilization*100)
+}
+
+// toSummary maps an engine result onto the report schema. org < 0 marks a
+// single-platform run (no organization identity).
+func toSummary(r sim.Result, org int, names []string, groups [][]int) report.SimSummary {
+	s := report.SimSummary{
+		Policy:         r.Policy,
+		Jobs:           int64(r.Jobs),
+		Completed:      int64(r.Completed),
+		MakespanNS:     r.MakespanNS,
+		MeanWaitNS:     r.MeanWaitNS,
+		P99WaitNS:      r.P99WaitNS,
+		MeanResponseNS: r.MeanResponseNS,
+		Reconfigs:      r.Reconfigs,
+		Preemptions:    r.Preemptions,
+		ICAPTransfers:  r.ICAPTransfers,
+		ICAPBusy:       r.ICAPBusy,
+		Utilization:    r.Utilization,
+	}
+	if org >= 0 {
+		s.Org = org
+		for _, members := range groups {
+			g := make([]string, len(members))
+			for i, idx := range members {
+				g[i] = names[idx]
+			}
+			s.Groups = append(s.Groups, g)
+		}
+	}
+	return s
+}
+
+func groupsLabel(names []string, groups [][]int) string {
+	var b strings.Builder
+	for g, members := range groups {
+		if g > 0 {
+			b.WriteByte('|')
+		}
+		for i, idx := range members {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(names[idx])
+		}
+	}
+	return b.String()
 }
 
 func fatal(err error) {

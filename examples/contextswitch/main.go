@@ -5,10 +5,12 @@
 // captures the FIR's flip-flop state through the ICAP (GCAPTURE + frame
 // readback), loads the SDRAM controller, and later resumes the FIR from a
 // GRESTORE bitstream. The cost of each step comes from the paper's bitstream
-// size model plus the generator's save/restore framing.
+// size model plus the generator's save/restore framing, priced through the
+// sim package's discrete-event engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,7 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/icap"
-	"repro/internal/multitask"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -26,54 +28,56 @@ func main() {
 	}
 	firRow, _ := core.PaperTableVRow("FIR", dev.Name)
 	sdramRow, _ := core.PaperTableVRow("SDRAM", dev.Name)
-	specs := []multitask.PRMSpec{
-		{Name: "FIR", Req: firRow.Req, Exec: 5 * time.Millisecond},
-		{Name: "SDRAM", Req: sdramRow.Req, Exec: 200 * time.Microsecond},
+	specs := []sim.Spec{
+		{Name: "FIR", Req: firRow.Req},
+		{Name: "SDRAM", Req: sdramRow.Req},
 	}
-	model := icap.ContextSwitchModel{
-		Transfer:        icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM},
-		CaptureOverhead: 2 * time.Microsecond,
-	}
-	sys, err := multitask.BuildPreemptiveSystem(dev, specs, 1, model)
+	est := icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	plat, err := sim.BuildShared(dev, specs, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for name, prm := range sys.PRMs {
-		fmt.Printf("%-6s load %6d B (%v), save %6d B (%v), restore %6d B (%v)\n",
-			name,
-			prm.LoadBytes, model.Transfer.Estimate(prm.LoadBytes).Round(time.Microsecond),
-			prm.SaveBytes, model.SaveTime(prm.SaveBytes).Round(time.Microsecond),
-			prm.RestoreBytes, model.RestoreTime(prm.RestoreBytes).Round(time.Microsecond))
-	}
+	prr := plat.PRRs[0]
+	fmt.Printf("shared PRR: load %6d B (%v), save %6d B (%v), restore %6d B (%v)\n",
+		prr.LoadBytes, est.Estimate(prr.LoadBytes).Round(time.Microsecond),
+		prr.SaveBytes, est.Estimate(prr.SaveBytes).Round(time.Microsecond),
+		prr.RestoreBytes, est.Estimate(prr.RestoreBytes).Round(time.Microsecond))
 
-	var jobs []multitask.PJob
+	// Long FIR jobs with an urgent SDRAM transaction landing mid-burst.
+	var jobs []sim.Job
 	for i := 0; i < 10; i++ {
 		base := time.Duration(i) * 5 * time.Millisecond
 		jobs = append(jobs,
-			multitask.PJob{PRM: "FIR", Arrival: base},
-			multitask.PJob{PRM: "SDRAM", Arrival: base + time.Millisecond, Priority: 9})
+			sim.Job{ID: 2 * i, PRM: 0, Arrival: base, Exec: 5 * time.Millisecond},
+			sim.Job{ID: 2*i + 1, PRM: 1, Arrival: base + time.Millisecond,
+				Exec: 200 * time.Microsecond, Priority: 9})
 	}
 
-	pre, err := sys.Run(jobs)
-	if err != nil {
-		log.Fatal(err)
+	run := func(pol sim.Policy, js []sim.Job) sim.Result {
+		res, err := sim.Run(context.Background(),
+			sim.Config{Platform: plat, Policy: pol, Estimator: est}, js, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
-	fmt.Printf("\npreemptive:     %d jobs, %d preemptions, urgent mean response %v\n",
-		pre.Jobs, pre.Preemptions, pre.MeanHighPriorityResponse().Round(time.Microsecond))
 
-	flat := make([]multitask.PJob, len(jobs))
+	pre := run(&sim.PreemptPriority{}, jobs)
+	fmt.Printf("\npreemptive:     %d jobs, %d preemptions, mean response %v\n",
+		pre.Completed, pre.Preemptions,
+		time.Duration(pre.MeanResponseNS).Round(time.Microsecond))
+
+	flat := make([]sim.Job, len(jobs))
 	copy(flat, jobs)
 	for i := range flat {
 		flat[i].Priority = 0
 	}
-	run, err := sys.Run(flat)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("non-preemptive: %d jobs, %d preemptions, overall mean response %v\n",
-		run.Jobs, run.Preemptions, run.MeanResponse().Round(time.Microsecond))
-	fmt.Printf("\npreemption buys the urgent task a %.0fx faster response, paying %v per context switch\n",
-		float64(run.MeanResponse())/float64(pre.MeanHighPriorityResponse()),
-		(model.SaveTime(sys.PRMs["FIR"].SaveBytes) +
-			model.RestoreTime(sys.PRMs["FIR"].RestoreBytes)).Round(time.Microsecond))
+	fcfs := run(&sim.FCFSBestFit{}, flat)
+	fmt.Printf("non-preemptive: %d jobs, %d preemptions, mean response %v\n",
+		fcfs.Completed, fcfs.Preemptions,
+		time.Duration(fcfs.MeanResponseNS).Round(time.Microsecond))
+
+	fmt.Printf("\neach context switch pays %v (capture + save + restore) on top of the preemptor's load\n",
+		(sim.DefaultCaptureOverhead + est.Estimate(prr.SaveBytes) +
+			est.Estimate(prr.RestoreBytes)).Round(time.Microsecond))
 }

@@ -290,3 +290,59 @@ func (c *Client) Explore(ctx context.Context, req *api.ExploreRequest, visit fun
 	}
 	return nil, fmt.Errorf("client: explore stream ended without a done event (cancelled?)")
 }
+
+// Simulate opens the NDJSON simulation stream, calling visit for every
+// Snapshot and Score event (visit may be nil with SummaryOnly requests;
+// returning false abandons the stream, which cancels the server-side
+// engine). It returns the final Done event. A stream that ends without one —
+// server shutdown mid-run, or the connection dropping — returns an error.
+func (c *Client) Simulate(ctx context.Context, req *api.SimulateRequest, visit func(api.SimEvent) bool) (*api.SimDone, error) {
+	ctx, span := startOp(ctx, "client.simulate")
+	defer span.End()
+	span.SetAttr("co_explore", req.CoExplore)
+	span.SetAttr("jobs", req.Mix.Jobs)
+	if req.SyntheticN > 0 {
+		span.SetAttr("synthetic_n", req.SyntheticN)
+	} else {
+		span.SetAttr("prms", len(req.PRMs))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, span, http.MethodPost, "/v1/simulate", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	events := 0
+	defer func() { span.SetAttr("events", events) }()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // co-exploration Done lines can be wide
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev api.SimEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decoding stream line: %w", err)
+		}
+		switch {
+		case ev.Error != "":
+			return nil, fmt.Errorf("client: simulate failed: %s", ev.Error)
+		case ev.Done != nil:
+			return ev.Done, nil
+		default:
+			events++
+			if visit != nil && !visit(ev) {
+				return nil, fmt.Errorf("client: simulate abandoned by visitor")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: simulate stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: simulate stream ended without a done event (cancelled?)")
+}

@@ -318,3 +318,73 @@ func TestClientExploreAbandon(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestClientSimulateStream: the typed simulate call delivers snapshots and
+// the terminal Done summary for a single-platform run.
+func TestClientSimulateStream(t *testing.T) {
+	_, c := newServicePair(t, service.Config{})
+	snapshots := 0
+	done, err := c.Simulate(context.Background(), &api.SimulateRequest{
+		Device: "XC6VLX75T", SyntheticN: 3, Policy: "priority",
+		Mix:           api.SimMix{Jobs: 300, Seed: 5, Arrival: "bursty", MeanExecUS: 200, MeanGapUS: 50, PriorityLevels: 3},
+		SnapshotEvery: 50,
+	}, func(ev api.SimEvent) bool {
+		if ev.Snapshot != nil {
+			snapshots++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if snapshots == 0 {
+		t.Error("no snapshots visited")
+	}
+	if done.Metrics == nil || done.Metrics.Completed != 300 || done.Metrics.Policy != "priority" {
+		t.Fatalf("done metrics %+v, want 300 completed under priority", done.Metrics)
+	}
+	if len(done.PerSlot) != 2 {
+		t.Errorf("per_slot has %d entries, want 2", len(done.PerSlot))
+	}
+}
+
+// TestClientSimulateCoExplore: a co-exploration over the client returns the
+// ranked scores, and a visitor abandoning the stream cancels the server run.
+func TestClientSimulateCoExplore(t *testing.T) {
+	s, c := newServicePair(t, service.Config{})
+	req := &api.SimulateRequest{
+		Device: "XC6VLX75T", SyntheticN: 4, CoExplore: true,
+		Policies: []string{"fcfs", "reconfig"},
+		Mix:      api.SimMix{Jobs: 120, Seed: 2, MeanExecUS: 150, MeanGapUS: 40},
+	}
+	done, err := c.Simulate(context.Background(), req, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if done.FrontSize == 0 || len(done.Scores) != 2*done.FrontSize {
+		t.Fatalf("done has %d scores over a front of %d", len(done.Scores), done.FrontSize)
+	}
+	for i := 1; i < len(done.Scores); i++ {
+		prev, cur := done.Scores[i-1].Metrics, done.Scores[i].Metrics
+		if prev.Policy == cur.Policy && prev.P99WaitNS > cur.P99WaitNS {
+			t.Errorf("scores %d and %d break the p99 ranking", i-1, i)
+		}
+	}
+
+	c.MaxRetries = 0
+	_, err = c.Simulate(context.Background(), &api.SimulateRequest{
+		Device: "XC6VLX75T", SyntheticN: 3,
+		Mix:           api.SimMix{Jobs: 1_000_000, Seed: 3, MeanExecUS: 400, MeanGapUS: 300},
+		SnapshotEvery: 100,
+	}, func(api.SimEvent) bool { return false })
+	if err == nil {
+		t.Fatal("abandoned stream reported success")
+	}
+	deadline := time.Now().Add(time.Second)
+	for s.Stats().SimCancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never accounted the abandoned sim stream")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

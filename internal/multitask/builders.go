@@ -105,37 +105,6 @@ func BuildFullReconfigSystem(dev *device.Device, specs []PRMSpec, est icap.Estim
 	return sys
 }
 
-// BuildStaticSystem is the all-resident baseline: every PRM has a permanent
-// dedicated slot and no reconfiguration ever happens. It errors when the
-// specs' combined resources exceed the device (the case where PR is the only
-// option).
-func BuildStaticSystem(dev *device.Device, specs []PRMSpec, est icap.Estimator) (*System, error) {
-	var clbs, dsps, brams int
-	p := dev.Params
-	for _, sp := range specs {
-		clbs += (sp.Req.LUTFFPairs + p.LUTPerCLB - 1) / p.LUTPerCLB
-		dsps += sp.Req.DSPs
-		brams += sp.Req.BRAMs
-	}
-	devCLB, devDSP, devBRAM := dev.Fabric.Resources(p)
-	if clbs > devCLB || dsps > devDSP || brams > devBRAM {
-		return nil, fmt.Errorf("multitask: static design needs %d CLB / %d DSP / %d BRAM, device %s has %d/%d/%d",
-			clbs, dsps, brams, dev.Name, devCLB, devDSP, devBRAM)
-	}
-	sys := &System{
-		PRMs:   map[string]PRM{},
-		Compat: map[string][]int{},
-		ICAP:   icap.NewController(est),
-		Sched:  FirstFree{},
-	}
-	for i, sp := range specs {
-		sys.Slots = append(sys.Slots, &Slot{Name: "static_" + sp.Name, Preload: sp.Name})
-		sys.PRMs[sp.Name] = PRM{Name: sp.Name, BitstreamBytes: 0, Exec: sp.Exec}
-		sys.Compat[sp.Name] = []int{i}
-	}
-	return sys, nil
-}
-
 // Workload generators -------------------------------------------------------
 
 // RoundRobinJobs emits n jobs cycling through the PRMs with a fixed
@@ -144,16 +113,6 @@ func RoundRobinJobs(prms []string, n int, gap time.Duration) []Job {
 	jobs := make([]Job, n)
 	for i := range jobs {
 		jobs[i] = Job{PRM: prms[i%len(prms)], Arrival: time.Duration(i) * gap}
-	}
-	return jobs
-}
-
-// BurstyJobs emits bursts of length burst per PRM before switching — the
-// reuse-friendly case.
-func BurstyJobs(prms []string, n, burst int, gap time.Duration) []Job {
-	jobs := make([]Job, n)
-	for i := range jobs {
-		jobs[i] = Job{PRM: prms[(i/burst)%len(prms)], Arrival: time.Duration(i) * gap}
 	}
 	return jobs
 }

@@ -4,8 +4,10 @@
 // transfer over the shared ICAP, and PRR sizing decisions propagate through
 // bitstream size into reconfiguration time and end-to-end performance.
 //
-// The simulator compares the PR system against the two §I baselines — full
-// reconfiguration of the entire device per task switch, and a static
-// all-resident design — and demonstrates the paper's warning that oversized
-// PRRs can make a PR system slower than a non-PR one.
+// The one-shot simulator here compares the PR system against the §I
+// full-reconfiguration baseline and demonstrates the paper's warning that
+// oversized PRRs can make a PR system slower than a non-PR one. The
+// discrete-event engine with preemption, context save/restore and pluggable
+// schedulers lives in the sim package; this package keeps the analytic
+// closed-form comparisons the oversize sweep builds on.
 package multitask

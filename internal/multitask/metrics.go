@@ -16,9 +16,7 @@ var (
 	metJobs = obs.Default().Counter("mtsim_jobs_total",
 		"jobs completed across simulations")
 	metReconfigs = obs.Default().Counter("mtsim_reconfigs_total",
-		"reconfiguration events (plain loads, context saves and restores)")
-	metPreemptions = obs.Default().Counter("mtsim_preemptions_total",
-		"hardware task preemptions")
+		"reconfiguration events (plain bitstream loads)")
 	metReconfigTime = obs.Default().Histogram("mtsim_reconfig_seconds",
 		"simulated ICAP transfer time per reconfiguration event",
 		obs.LatencyBuckets)

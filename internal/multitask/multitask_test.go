@@ -123,35 +123,6 @@ func TestSharedPRRChurn(t *testing.T) {
 	}
 }
 
-// TestStaticBaseline: the all-resident design never reconfigures, and
-// refuses workload sets that exceed the device.
-func TestStaticBaseline(t *testing.T) {
-	dev, specs := paperSpecs(t, "XC5VLX110T")
-	static, err := BuildStaticSystem(dev, specs, defaultEstimator())
-	if err != nil {
-		t.Fatal(err)
-	}
-	jobs := RoundRobinJobs([]string{"FIR", "MIPS", "SDRAM"}, 30, time.Millisecond)
-	res, err := static.Run(jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Reconfigs != 0 {
-		t.Errorf("static system reconfigured %d times", res.Reconfigs)
-	}
-
-	// Six MIPS cores exceed the LX110T's single DSP column? No — DSPs fit;
-	// blow the budget with many FIR instances (32 DSPs each, device has 64).
-	var many []PRMSpec
-	for i := 0; i < 3; i++ {
-		row, _ := core.PaperTableVRow("FIR", "XC5VLX110T")
-		many = append(many, PRMSpec{Name: string(rune('a' + i)), Req: row.Req, Exec: time.Millisecond})
-	}
-	if _, err := BuildStaticSystem(dev, many, defaultEstimator()); err == nil {
-		t.Error("static design with 96 DSPs accepted on a 64-DSP device")
-	}
-}
-
 // TestOversizeSweep reproduces the §I pathology: as PRRs grow, PR throughput
 // degrades monotonically and eventually loses to full reconfiguration.
 func TestOversizeSweep(t *testing.T) {
@@ -181,30 +152,6 @@ func TestOversizeSweep(t *testing.T) {
 		t.Error("no crossover found: oversizing never hurt enough, pathology not reproduced")
 	} else {
 		t.Logf("PR loses to full reconfiguration at oversize factor %d", cross)
-	}
-}
-
-// TestBurstyVsRoundRobin: bursty workloads reconfigure less on a shared PRR.
-func TestBurstyVsRoundRobin(t *testing.T) {
-	dev, specs := paperSpecs(t, "XC6VLX75T")
-	names := []string{"FIR", "MIPS", "SDRAM"}
-	sys, err := BuildPRSystem(dev, specs, 1, defaultEstimator(), FirstFree{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rr, err := sys.Run(RoundRobinJobs(names, 30, time.Millisecond))
-	if err != nil {
-		t.Fatal(err)
-	}
-	bursty, err := sys.Run(BurstyJobs(names, 30, 10, time.Millisecond))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if bursty.Reconfigs >= rr.Reconfigs {
-		t.Errorf("bursty reconfigs %d should be below round-robin %d", bursty.Reconfigs, rr.Reconfigs)
-	}
-	if bursty.Reconfigs != 3 {
-		t.Errorf("bursty reconfigs = %d, want 3 (one per burst)", bursty.Reconfigs)
 	}
 }
 
@@ -250,7 +197,7 @@ func TestRunErrors(t *testing.T) {
 
 // TestSchedulerNames keeps the policy labels stable for reports.
 func TestSchedulerNames(t *testing.T) {
-	for _, s := range []Scheduler{FirstFree{}, ReuseAffinity{}, &RoundRobin{}} {
+	for _, s := range []Scheduler{FirstFree{}, ReuseAffinity{}} {
 		if s.Name() == "" {
 			t.Error("scheduler with empty name")
 		}

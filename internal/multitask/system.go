@@ -89,20 +89,6 @@ func (ReuseAffinity) Pick(job Job, slots []*Slot, candidates []int) int {
 	return FirstFree{}.Pick(job, slots, candidates)
 }
 
-// RoundRobin cycles through compatible slots regardless of state (a
-// pathological policy that maximizes reconfigurations; useful as a bound).
-type RoundRobin struct{ next int }
-
-// Name implements Scheduler.
-func (*RoundRobin) Name() string { return "round-robin" }
-
-// Pick implements Scheduler.
-func (r *RoundRobin) Pick(_ Job, _ []*Slot, candidates []int) int {
-	i := r.next % len(candidates)
-	r.next++
-	return i
-}
-
 // System is a PR multitasking platform: PRR slots, the PRM catalog, the
 // compatibility map (which slots can host which PRM), one shared ICAP and a
 // scheduling policy.

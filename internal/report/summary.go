@@ -33,6 +33,9 @@ type RunSummary struct {
 	// SLO is the rolling-window SLO standing at summary time; nil when the
 	// run tracked no objectives. Additive within repro/run-summary/v1.
 	SLO *SLOSummary `json:"slo,omitempty"`
+	// Sim summarizes a multitasking simulation (mtsim); nil for other
+	// tools. Additive within repro/run-summary/v1.
+	Sim *SimSummary `json:"sim,omitempty"`
 	// Metrics is every registry series, sorted by name then labels.
 	Metrics []SummaryMetric `json:"metrics"`
 }
@@ -57,6 +60,10 @@ type ServiceSummary struct {
 	// opened and the subset aborted by client disconnect or shutdown.
 	ExploreStreams   int64 `json:"explore_streams"`
 	ExploreCancelled int64 `json:"explore_cancelled"`
+	// SimStreams / SimCancelled are the same pair for simulation streams.
+	// Additive: summaries from older runs simply omit them.
+	SimStreams   int64 `json:"sim_streams,omitempty"`
+	SimCancelled int64 `json:"sim_cancelled,omitempty"`
 }
 
 // Validate checks the rollup's internal consistency.
@@ -69,6 +76,7 @@ func (s *ServiceSummary) Validate() error {
 		{"cache_hits", s.CacheHits}, {"cache_misses", s.CacheMisses},
 		{"cache_evictions", s.CacheEvictions}, {"shed", s.Shed},
 		{"explore_streams", s.ExploreStreams}, {"explore_cancelled", s.ExploreCancelled},
+		{"sim_streams", s.SimStreams}, {"sim_cancelled", s.SimCancelled},
 	} {
 		if v.val < 0 {
 			return fmt.Errorf("report: service %s = %d is negative", v.name, v.val)
@@ -77,6 +85,10 @@ func (s *ServiceSummary) Validate() error {
 	if s.ExploreCancelled > s.ExploreStreams {
 		return fmt.Errorf("report: service cancelled %d streams but only %d opened",
 			s.ExploreCancelled, s.ExploreStreams)
+	}
+	if s.SimCancelled > s.SimStreams {
+		return fmt.Errorf("report: service cancelled %d sim streams but only %d opened",
+			s.SimCancelled, s.SimStreams)
 	}
 	return nil
 }
@@ -270,6 +282,11 @@ func ReadRunSummary(r io.Reader) (*RunSummary, error) {
 	}
 	if s.SLO != nil {
 		if err := s.SLO.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if s.Sim != nil {
+		if err := s.Sim.Validate(); err != nil {
 			return nil, err
 		}
 	}

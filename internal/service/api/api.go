@@ -346,6 +346,215 @@ type ExploreEvent struct {
 	Error string       `json:"error,omitempty"`
 }
 
+// Simulation limits: a simulate request is bounded in jobs, slots, policies
+// and emitted snapshot lines before any engine runs. MaxSimPRMs bounds the
+// one-PRR shared platform; co-exploration reuses MaxExplorePRMs because it
+// walks the same Bell(n) space.
+const (
+	MaxSimJobs      = 1_000_000
+	MaxSimSlots     = 16
+	MaxSimPRMs      = 64
+	MaxSimPolicies  = 4
+	MaxSimSnapshots = 10_000
+)
+
+// simPolicies are the scheduler policies /v1/simulate accepts.
+var simPolicies = map[string]bool{"fcfs": true, "priority": true, "reconfig": true}
+
+// SimMix is the wire form of the seeded workload generator: all durations in
+// integer microseconds so the job mix — and therefore the whole simulation —
+// is reproducible bit-for-bit from the request.
+type SimMix struct {
+	Jobs int    `json:"jobs"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Arrival is the arrival process: "uniform" (default), "bursty" or
+	// "simultaneous".
+	Arrival    string `json:"arrival,omitempty"`
+	MeanGapUS  int64  `json:"mean_gap_us,omitempty"`
+	MeanExecUS int64  `json:"mean_exec_us,omitempty"`
+	Burst      int    `json:"burst,omitempty"`
+	// Weights biases the PRM-class draw; positional, one per PRM.
+	Weights        []int `json:"weights,omitempty"`
+	PriorityLevels int   `json:"priority_levels,omitempty"`
+}
+
+// SimulateRequest is the POST /v1/simulate body. Exactly one of PRMs and
+// SyntheticN picks the module set. Without CoExplore the modules share one
+// merged PRR replicated Slots times and a single Policy runs; with CoExplore
+// the branch-and-bound explorer's exact Pareto front is scored per
+// organization under every requested policy. The response is an NDJSON
+// stream of SimEvent lines ending with a Done event.
+//
+// Simulate requests are deliberately not canonicalized for caching: Mix
+// weights are positional, so PRM order is semantic.
+type SimulateRequest struct {
+	Device     string `json:"device"`
+	PRMs       []PRM  `json:"prms,omitempty"`
+	SyntheticN int    `json:"synthetic_n,omitempty"`
+	// Slots is the shared-PRR replica count (default 2; ignored with
+	// CoExplore, where each front organization fixes its own slots).
+	Slots int `json:"slots,omitempty"`
+	// Policy picks the scheduler for a single run (default "fcfs").
+	Policy string `json:"policy,omitempty"`
+	// Policies picks the schedulers a co-exploration scores (default all).
+	Policies  []string `json:"policies,omitempty"`
+	CoExplore bool     `json:"co_explore,omitempty"`
+	Mix       SimMix   `json:"mix"`
+	// SnapshotEvery emits a progress snapshot every that many completions
+	// (0 picks a cadence of ~20 snapshots per run).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// SummaryOnly suppresses snapshots: the response is the single Done
+	// line, cached under the request's canonical key.
+	SummaryOnly bool `json:"summary_only,omitempty"`
+	// Options tunes the branch-and-bound engine (CoExplore only).
+	Options ExploreOptions `json:"options,omitempty"`
+}
+
+// Validate bounds the simulation before any engine runs.
+func (r *SimulateRequest) Validate() error {
+	if r.Device == "" {
+		return fmt.Errorf("api: simulate request needs a device")
+	}
+	if (len(r.PRMs) == 0) == (r.SyntheticN == 0) {
+		return fmt.Errorf("api: simulate request needs exactly one of prms and synthetic_n")
+	}
+	n := max(len(r.PRMs), r.SyntheticN)
+	limit := MaxSimPRMs
+	if r.CoExplore {
+		limit = MaxExplorePRMs
+	}
+	if n > limit {
+		return fmt.Errorf("api: simulate over %d PRMs exceeds the %d-PRM limit", n, limit)
+	}
+	if r.Slots < 0 || r.Slots > MaxSimSlots {
+		return fmt.Errorf("api: %d slots exceeds the %d-slot limit", r.Slots, MaxSimSlots)
+	}
+	if r.Policy != "" && !simPolicies[r.Policy] {
+		return fmt.Errorf("api: unknown policy %q (want fcfs, priority or reconfig)", r.Policy)
+	}
+	if len(r.Policies) > 0 && !r.CoExplore {
+		return fmt.Errorf("api: policies list is co-exploration only; use policy")
+	}
+	if len(r.Policies) > MaxSimPolicies {
+		return fmt.Errorf("api: %d policies exceeds the %d-policy limit", len(r.Policies), MaxSimPolicies)
+	}
+	seen := map[string]bool{}
+	for _, p := range r.Policies {
+		if !simPolicies[p] {
+			return fmt.Errorf("api: unknown policy %q (want fcfs, priority or reconfig)", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("api: duplicate policy %q", p)
+		}
+		seen[p] = true
+	}
+	m := &r.Mix
+	if m.Jobs <= 0 {
+		return fmt.Errorf("api: simulate mix needs a positive job count")
+	}
+	if m.Jobs > MaxSimJobs {
+		return fmt.Errorf("api: mix of %d jobs exceeds the %d-job limit", m.Jobs, MaxSimJobs)
+	}
+	switch m.Arrival {
+	case "", "uniform", "bursty", "simultaneous":
+	default:
+		return fmt.Errorf("api: unknown arrival process %q (want uniform, bursty or simultaneous)", m.Arrival)
+	}
+	if m.MeanGapUS < 0 || m.MeanExecUS < 0 || m.Burst < 0 || m.PriorityLevels < 0 {
+		return fmt.Errorf("api: simulate mix fields must be non-negative")
+	}
+	if len(m.Weights) != 0 && len(m.Weights) != n {
+		return fmt.Errorf("api: %d mix weights for %d PRMs", len(m.Weights), n)
+	}
+	if r.SnapshotEvery < 0 {
+		return fmt.Errorf("api: negative snapshot_every")
+	}
+	if r.SnapshotEvery > 0 && m.Jobs/r.SnapshotEvery > MaxSimSnapshots {
+		return fmt.Errorf("api: snapshot cadence emits over %d lines; raise snapshot_every", MaxSimSnapshots)
+	}
+	if s := r.Options.Symmetry; s != "" && s != "auto" && s != "off" {
+		return fmt.Errorf("api: unknown symmetry mode %q (want auto or off)", s)
+	}
+	if m := r.Options.Memo; m != "" && m != "auto" && m != "off" {
+		return fmt.Errorf("api: unknown memo mode %q (want auto or off)", m)
+	}
+	return nil
+}
+
+// SimMetrics is the schedule-aware summary of one simulation run.
+type SimMetrics struct {
+	Policy         string  `json:"policy"`
+	Jobs           int     `json:"jobs"`
+	Completed      int     `json:"completed"`
+	MakespanNS     int64   `json:"makespan_ns"`
+	MeanWaitNS     int64   `json:"mean_wait_ns"`
+	P99WaitNS      int64   `json:"p99_wait_ns"`
+	MaxWaitNS      int64   `json:"max_wait_ns"`
+	MeanResponseNS int64   `json:"mean_response_ns"`
+	Reconfigs      int64   `json:"reconfigs"`
+	Preemptions    int64   `json:"preemptions"`
+	ICAPTransfers  int64   `json:"icap_transfers"`
+	ICAPBusy       float64 `json:"icap_busy"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// SimSnapshot is one progress sample on the wire. Org and Policy label
+// which co-exploration run the sample belongs to (absent in single mode).
+type SimSnapshot struct {
+	Org         int     `json:"org,omitempty"`
+	Policy      string  `json:"policy,omitempty"`
+	Seq         int     `json:"seq"`
+	NowNS       int64   `json:"now_ns"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Ready       int     `json:"ready"`
+	Running     int     `json:"running"`
+	Reconfigs   int64   `json:"reconfigs"`
+	Preemptions int64   `json:"preemptions"`
+	ICAPBusy    float64 `json:"icap_busy"`
+	MeanWaitNS  int64   `json:"mean_wait_ns"`
+}
+
+// SimSlot is one slot's share of a single-mode run.
+type SimSlot struct {
+	Name      string `json:"name"`
+	BusyNS    int64  `json:"busy_ns"`
+	Reconfigs int    `json:"reconfigs"`
+	ICAPNS    int64  `json:"icap_ns"`
+}
+
+// SimScore is one (organization, policy) result of a co-exploration.
+type SimScore struct {
+	// Org indexes the exact Pareto front in enumeration order.
+	Org     int        `json:"org"`
+	Groups  [][]string `json:"groups"`
+	Metrics SimMetrics `json:"metrics"`
+}
+
+// SimDone is the stream's terminal event: a single-mode run reports Metrics
+// and PerSlot; a co-exploration reports Scores ranked by (policy, p99
+// waiting time) plus the explorer's stats.
+type SimDone struct {
+	Metrics   *SimMetrics   `json:"metrics,omitempty"`
+	PerSlot   []SimSlot     `json:"per_slot,omitempty"`
+	Scores    []SimScore    `json:"scores,omitempty"`
+	FrontSize int           `json:"front_size,omitempty"`
+	Stats     *ExploreStats `json:"stats,omitempty"`
+	// OrgsTruncated is set when the front was larger than the number of
+	// organizations the server scores.
+	OrgsTruncated bool `json:"orgs_truncated,omitempty"`
+}
+
+// SimEvent is one NDJSON line of the /v1/simulate stream: exactly one field
+// is set. Snapshot events stream progress; Score events stream finished
+// co-exploration runs; the final line is either Done or Error.
+type SimEvent struct {
+	Snapshot *SimSnapshot `json:"snapshot,omitempty"`
+	Score    *SimScore    `json:"score,omitempty"`
+	Done     *SimDone     `json:"done,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

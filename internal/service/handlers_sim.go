@@ -1,0 +1,360 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/service/api"
+	"repro/internal/sim"
+)
+
+// handleSimulate streams a multitasking simulation as NDJSON: progress
+// Snapshot events, Score events per finished co-exploration run, then a
+// Done event with the schedule-aware summary. The simulation is a pure
+// function of the request (virtual clock, seeded mix), so summary-only
+// responses share the batch endpoints' cache + singleflight; streams follow
+// the request context — a disconnect cancels the engine within ~1k events —
+// and participate in graceful drain.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req api.SimulateRequest
+	dev, ok := decodeBatch(w, r, &req, func() (string, error) { return req.Device, req.Validate() })
+	if !ok {
+		return
+	}
+	specs, names := simSpecs(&req)
+	mix, err := simMix(&req, len(specs))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if req.SummaryOnly {
+		s.serveSimSummary(r.Context(), w, &req, dev, specs, names, mix)
+		return
+	}
+
+	if !s.registerStream() {
+		annotations(r.Context()).shed = "draining"
+		httpErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	defer s.unregisterStream()
+	s.met.simStreams.Inc()
+	annotations(r.Context()).key = api.CanonicalKey("simulate", &req)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	// A forced shutdown cuts this stream loose mid-run.
+	stopDrain := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrain()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Snapshots are sparse (bounded by MaxSimSnapshots), so every event
+	// line flushes: clients see liveness for the stream's whole life.
+	emit := func(ev api.SimEvent) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if err := enc.Encode(ev); err != nil {
+			cancel() // client gone; stop the engine
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	done, err := s.runSimulate(ctx, dev, &req, specs, names, mix, emit)
+	if err != nil || ctx.Err() != nil {
+		s.met.simCancelled.Inc()
+		if err != nil && ctx.Err() == nil {
+			// An engine error (not a disconnect) still has a live client:
+			// report it as the stream's terminal event.
+			_ = enc.Encode(api.SimEvent{Error: err.Error()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		// On disconnect the truncated stream (no Done line) is the signal.
+		return
+	}
+	_ = enc.Encode(api.SimEvent{Done: done})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// serveSimSummary answers a summary-only simulation through the response
+// cache and singleflight. Like front-only explorations, the engine runs
+// under the drain context: coalesced followers and future cache hits
+// outlive the first caller, so only a server drain cancels the computation.
+func (s *Server) serveSimSummary(ctx context.Context, w http.ResponseWriter, req *api.SimulateRequest,
+	dev *device.Device, specs []sim.Spec, names []string, mix sim.Mix) {
+
+	key := api.CanonicalKey("simulate", req)
+	annotations(ctx).key = key
+	if resp, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Inc()
+		w.Header().Set("X-Cache", "hit")
+		writeNDJSON(w, resp)
+		return
+	}
+	s.met.cacheMisses.Inc()
+	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		if !s.registerStream() {
+			return nil, errDraining
+		}
+		defer s.unregisterStream()
+		s.met.simStreams.Inc()
+		if s.cfg.evalHook != nil {
+			s.cfg.evalHook("simulate")
+		}
+		done, err := s.runSimulate(s.drainCtx, dev, req, specs, names, mix, nil)
+		if err != nil {
+			s.met.simCancelled.Inc()
+			return nil, err
+		}
+		out, err := json.Marshal(api.SimEvent{Done: done})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, '\n')
+		if ev := s.cache.Put(key, out); ev > 0 {
+			s.met.cacheEvictions.Add(int64(ev))
+		}
+		s.met.cacheEntries.Set(int64(s.cache.Len()))
+		return out, nil
+	})
+	if shared {
+		s.met.coalesced.Inc()
+	}
+	switch {
+	case err == errDraining:
+		annotations(ctx).shed = "draining"
+		httpErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		httpErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	writeNDJSON(w, resp)
+}
+
+// runSimulate executes the request — a single shared-platform run or a full
+// co-exploration — streaming events through emit (nil suppresses streaming)
+// and returning the terminal Done event.
+func (s *Server) runSimulate(ctx context.Context, dev *device.Device, req *api.SimulateRequest,
+	specs []sim.Spec, names []string, mix sim.Mix, emit func(api.SimEvent) bool) (*api.SimDone, error) {
+
+	snapEvery := req.SnapshotEvery
+	if snapEvery == 0 {
+		// ~20 snapshots per run by default.
+		if snapEvery = mix.Jobs / 20; snapEvery == 0 {
+			snapEvery = 1
+		}
+	}
+	if emit == nil {
+		snapEvery = 0
+	}
+
+	if req.CoExplore {
+		cfg := sim.CoExploreConfig{
+			Mix:           mix,
+			Estimator:     s.estimator,
+			SnapshotEvery: snapEvery,
+			BB:            s.bbOptions(req.Options),
+		}
+		for _, name := range req.Policies {
+			p, err := sim.PolicyByName(name)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Policies = append(cfg.Policies, p)
+		}
+		var snap func(org int, policy string, sn sim.Snapshot) bool
+		var score func(sim.OrgScore) bool
+		if emit != nil {
+			snap = func(org int, policy string, sn sim.Snapshot) bool {
+				return emit(api.SimEvent{Snapshot: wireSnapshot(org, policy, sn)})
+			}
+			score = func(sc sim.OrgScore) bool {
+				return emit(api.SimEvent{Score: wireScore(names, sc)})
+			}
+		}
+		scores, front, stats, err := sim.CoExplore(ctx, dev, specs, cfg, snap, score)
+		if err != nil {
+			return nil, err
+		}
+		done := &api.SimDone{
+			Scores:        make([]api.SimScore, len(scores)),
+			FrontSize:     len(front),
+			OrgsTruncated: len(front) > sim.DefaultMaxOrgs,
+		}
+		for i, sc := range scores {
+			done.Scores[i] = *wireScore(names, sc)
+		}
+		st := wireStats(stats)
+		st.FrontSize = len(front)
+		done.Stats = &st
+		return done, nil
+	}
+
+	slots := req.Slots
+	if slots == 0 {
+		slots = 2
+	}
+	plat, err := sim.BuildShared(dev, specs, slots)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := sim.PolicyByName(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := mix.Generate(len(specs))
+	if err != nil {
+		return nil, err
+	}
+	var visit func(sim.Snapshot) bool
+	if emit != nil {
+		visit = func(sn sim.Snapshot) bool {
+			return emit(api.SimEvent{Snapshot: wireSnapshot(0, pol.Name(), sn)})
+		}
+	}
+	res, err := sim.Run(ctx, sim.Config{
+		Platform: plat, Policy: pol, Estimator: s.estimator, SnapshotEvery: snapEvery,
+	}, jobs, visit)
+	if err != nil {
+		return nil, err
+	}
+	done := &api.SimDone{Metrics: wireMetrics(res), PerSlot: make([]api.SimSlot, len(res.PerSlot))}
+	for i, sl := range res.PerSlot {
+		done.PerSlot[i] = api.SimSlot{Name: sl.Name, BusyNS: sl.BusyNS, Reconfigs: sl.Reconfigs, ICAPNS: sl.ICAPNS}
+	}
+	return done, nil
+}
+
+// bbOptions maps wire explore options onto engine options, mirroring
+// handleExplore's mapping so co-explorations and explorations price the
+// design space identically.
+func (s *Server) bbOptions(o api.ExploreOptions) dse.BBOptions {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = s.cfg.ExploreWorkers
+	}
+	opts := dse.BBOptions{
+		Workers:         workers,
+		DominancePrune:  !o.DisableDominancePrune,
+		DisableFitPrune: o.DisableFitPrune,
+	}
+	if o.Symmetry == "off" {
+		opts.Symmetry = dse.SymmetryOff
+	}
+	if o.Memo == "off" {
+		opts.Memo = dse.MemoOff
+	}
+	return opts
+}
+
+// simSpecs resolves the request's module set (explicit PRMs or the
+// deterministic synthetic workload) and the PRM names group lists use.
+func simSpecs(req *api.SimulateRequest) ([]sim.Spec, []string) {
+	var specs []sim.Spec
+	if req.SyntheticN > 0 {
+		for _, p := range dse.SyntheticPRMs(req.SyntheticN) {
+			specs = append(specs, sim.Spec{Name: p.Name, Req: p.Req})
+		}
+	} else {
+		for i, p := range req.PRMs {
+			name := p.Name
+			if name == "" {
+				name = fmt.Sprintf("M%d", i)
+			}
+			specs = append(specs, sim.Spec{Name: name, Req: p.Req.Core()})
+		}
+	}
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	return specs, names
+}
+
+// simMix maps the wire mix onto the generator's form.
+func simMix(req *api.SimulateRequest, nPRMs int) (sim.Mix, error) {
+	m := sim.Mix{
+		Jobs:           req.Mix.Jobs,
+		Seed:           req.Mix.Seed,
+		Arrival:        sim.Arrival(req.Mix.Arrival),
+		MeanGap:        time.Duration(req.Mix.MeanGapUS) * time.Microsecond,
+		MeanExec:       time.Duration(req.Mix.MeanExecUS) * time.Microsecond,
+		Burst:          req.Mix.Burst,
+		Weights:        req.Mix.Weights,
+		PriorityLevels: req.Mix.PriorityLevels,
+	}
+	// Surface generator-level complaints (weight arity and sign) as 400s
+	// before any stream starts.
+	if _, err := (sim.Mix{Jobs: 0, Seed: m.Seed, Arrival: m.Arrival, MeanGap: m.MeanGap,
+		MeanExec: m.MeanExec, Burst: m.Burst, Weights: m.Weights,
+		PriorityLevels: m.PriorityLevels}).Generate(nPRMs); err != nil {
+		return sim.Mix{}, err
+	}
+	return m, nil
+}
+
+func wireSnapshot(org int, policy string, sn sim.Snapshot) *api.SimSnapshot {
+	return &api.SimSnapshot{
+		Org: org, Policy: policy,
+		Seq: sn.Seq, NowNS: sn.NowNS, Submitted: sn.Submitted, Completed: sn.Completed,
+		Ready: sn.Ready, Running: sn.Running, Reconfigs: sn.Reconfigs,
+		Preemptions: sn.Preemptions, ICAPBusy: sn.ICAPBusy, MeanWaitNS: sn.MeanWaitNS,
+	}
+}
+
+func wireMetrics(res sim.Result) *api.SimMetrics {
+	return &api.SimMetrics{
+		Policy: res.Policy, Jobs: res.Jobs, Completed: res.Completed,
+		MakespanNS: res.MakespanNS, MeanWaitNS: res.MeanWaitNS, P99WaitNS: res.P99WaitNS,
+		MaxWaitNS: res.MaxWaitNS, MeanResponseNS: res.MeanResponseNS,
+		Reconfigs: res.Reconfigs, Preemptions: res.Preemptions,
+		ICAPTransfers: res.ICAPTransfers, ICAPBusy: res.ICAPBusy, Utilization: res.Utilization,
+	}
+}
+
+func wireScore(names []string, sc sim.OrgScore) *api.SimScore {
+	out := &api.SimScore{Org: sc.Org, Groups: make([][]string, len(sc.Groups)), Metrics: *wireMetrics(sc.Result)}
+	for g, members := range sc.Groups {
+		gn := make([]string, len(members))
+		for i, idx := range members {
+			gn[i] = names[idx]
+		}
+		out.Groups[g] = gn
+	}
+	return out
+}
+
+// wireStats mirrors handleExplore's stats mapping for co-exploration Done
+// events.
+func wireStats(stats dse.BBStats) api.ExploreStats {
+	return api.ExploreStats{
+		Partitions:      stats.Partitions,
+		Evaluated:       stats.Evaluated,
+		PrunedFit:       stats.PrunedFit,
+		PrunedDominated: stats.PrunedDominated,
+		GroupPricings:   stats.GroupPricings,
+		Classes:         stats.Classes,
+		OrbitsCollapsed: stats.CollapsedSymmetry,
+		MemoHits:        stats.MemoHits,
+		MemoMisses:      stats.MemoMisses,
+		MemoEntries:     stats.MemoEntries,
+	}
+}

@@ -25,10 +25,13 @@ type serviceMetrics struct {
 	exploreStreams   *obs.Counter
 	exploreCancelled *obs.Counter
 	explorePoints    *obs.Counter
+
+	simStreams   *obs.Counter
+	simCancelled *obs.Counter
 }
 
 // endpoints the per-endpoint series are pre-registered for.
-var endpointNames = []string{"devices", "prr", "bitstream", "explore", "healthz"}
+var endpointNames = []string{"devices", "prr", "bitstream", "explore", "simulate", "healthz"}
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m := &serviceMetrics{
@@ -58,6 +61,11 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"exploration streams aborted by client disconnect or shutdown"),
 		explorePoints: reg.Counter("service_explore_points_total",
 			"design points delivered over exploration streams"),
+
+		simStreams: reg.Counter("service_sim_streams_total",
+			"NDJSON simulation streams opened"),
+		simCancelled: reg.Counter("service_sim_cancelled_total",
+			"simulation streams aborted by client disconnect or shutdown"),
 	}
 	for _, ep := range endpointNames {
 		m.requests[ep] = reg.Counter("service_requests_total",
@@ -78,6 +86,8 @@ func (m *serviceMetrics) Summary() *report.ServiceSummary {
 		Shed:             m.shedRate.Value() + m.shedInflight.Value(),
 		ExploreStreams:   m.exploreStreams.Value(),
 		ExploreCancelled: m.exploreCancelled.Value(),
+		SimStreams:       m.simStreams.Value(),
+		SimCancelled:     m.simCancelled.Value(),
 	}
 	for _, c := range m.requests {
 		s.Requests += c.Value()

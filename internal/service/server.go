@@ -67,6 +67,7 @@ func DefaultObjectives() []obs.Objective {
 		{Endpoint: "prr", P99: 500 * time.Millisecond, ErrorBudget: 0.01},
 		{Endpoint: "bitstream", P99: 500 * time.Millisecond, ErrorBudget: 0.01},
 		{Endpoint: "explore", P99: 30 * time.Second, ErrorBudget: 0.05},
+		{Endpoint: "simulate", P99: 30 * time.Second, ErrorBudget: 0.05},
 	}
 }
 
@@ -161,6 +162,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/prr", s.wrap("prr", s.handlePRR))
 	mux.HandleFunc("POST /v1/bitstream", s.wrap("bitstream", s.handleBitstream))
 	mux.HandleFunc("POST /v1/explore", s.wrap("explore", s.handleExplore))
+	mux.HandleFunc("POST /v1/simulate", s.wrap("simulate", s.handleSimulate))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Registry.WritePrometheus(w)

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/icap"
+)
+
+// DefaultMaxOrgs caps how many Pareto-front organizations one co-exploration
+// scores when CoExploreConfig.MaxOrgs is zero.
+const DefaultMaxOrgs = 32
+
+// CoExploreConfig drives one explorer+scheduler co-exploration.
+type CoExploreConfig struct {
+	// Policies are scored in order; empty defaults to all built-ins.
+	Policies []Policy
+	// Mix is the job mix every organization is scored against. The job
+	// list is generated once and shared, so rankings compare like with
+	// like.
+	Mix Mix
+	// Estimator prices ICAP transfers for both the explorer and the runs.
+	Estimator icap.Estimator
+	// CaptureOverhead is passed through to each run's Config.
+	CaptureOverhead time.Duration
+	// SnapshotEvery is passed through to each run's Config.
+	SnapshotEvery int
+	// BB configures the branch-and-bound exploration of the design space.
+	BB dse.BBOptions
+	// MaxOrgs caps the number of front organizations scored (zero means
+	// DefaultMaxOrgs); the front itself is always complete.
+	MaxOrgs int
+}
+
+// OrgScore is one (organization, policy) run of a co-exploration.
+type OrgScore struct {
+	// Org indexes the Pareto front returned alongside the scores.
+	Org    int
+	Groups [][]int
+	Policy string
+	Result Result
+}
+
+// CoExplore runs the branch-and-bound explorer to the exact Pareto front,
+// realizes each front organization as a Platform, and scores it against one
+// seeded job mix under each policy. Scores come back ranked by (policy, p99
+// waiting time, front order). snap (may be nil) streams progress snapshots
+// labelled with the organization and policy being simulated; score (may be
+// nil) fires after each finished run. Either callback returning false stops
+// the co-exploration early with the scores accumulated so far.
+func CoExplore(ctx context.Context, dev *device.Device, specs []Spec, cfg CoExploreConfig,
+	snap func(org int, policy string, s Snapshot) bool,
+	score func(OrgScore) bool) ([]OrgScore, []dse.DesignPoint, dse.BBStats, error) {
+
+	if len(specs) == 0 {
+		return nil, nil, dse.BBStats{}, fmt.Errorf("sim: co-exploration needs PRM specs")
+	}
+	est := cfg.Estimator
+	if est == nil {
+		est = icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		for _, name := range PolicyNames() {
+			p, _ := PolicyByName(name)
+			policies = append(policies, p)
+		}
+	}
+
+	prms := make([]dse.PRM, len(specs))
+	for i, sp := range specs {
+		prms[i] = dse.PRM{Name: sp.Name, Req: sp.Req}
+	}
+	e := &dse.Explorer{Device: dev, Estimator: est}
+	front, stats, err := e.ExploreParetoBB(ctx, prms, cfg.BB)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	jobs, err := cfg.Mix.Generate(len(specs))
+	if err != nil {
+		return nil, front, stats, err
+	}
+
+	maxOrgs := cfg.MaxOrgs
+	if maxOrgs <= 0 {
+		maxOrgs = DefaultMaxOrgs
+	}
+	var scores []OrgScore
+	stopped := false
+	for oi, dp := range front {
+		if oi >= maxOrgs {
+			break
+		}
+		if !dp.Feasible {
+			continue // defensive: the front only carries feasible points
+		}
+		plat, err := BuildGroups(dev, specs, dp.Groups)
+		if err != nil {
+			return scores, front, stats, fmt.Errorf("sim: realizing front organization %d: %w", oi, err)
+		}
+		for _, pol := range policies {
+			run := Config{
+				Platform:        plat,
+				Policy:          pol,
+				Estimator:       est,
+				CaptureOverhead: cfg.CaptureOverhead,
+				SnapshotEvery:   cfg.SnapshotEvery,
+			}
+			var visit func(Snapshot) bool
+			if snap != nil {
+				o, name := oi, pol.Name()
+				visit = func(s Snapshot) bool {
+					if !snap(o, name, s) {
+						stopped = true
+						return false
+					}
+					return true
+				}
+			}
+			res, err := Run(ctx, run, jobs, visit)
+			if err != nil {
+				return scores, front, stats, err
+			}
+			sc := OrgScore{Org: oi, Groups: dp.Groups, Policy: pol.Name(), Result: res}
+			scores = append(scores, sc)
+			if stopped {
+				RankByP99(scores)
+				return scores, front, stats, nil
+			}
+			if score != nil && !score(sc) {
+				RankByP99(scores)
+				return scores, front, stats, nil
+			}
+		}
+	}
+	RankByP99(scores)
+	return scores, front, stats, nil
+}
+
+// RankByP99 orders scores by (policy, p99 waiting time, front order), the
+// presentation order of a co-exploration: within each policy block the best
+// organization for the job mix comes first.
+func RankByP99(scores []OrgScore) {
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Result.P99WaitNS != b.Result.P99WaitNS {
+			return a.Result.P99WaitNS < b.Result.P99WaitNS
+		}
+		return a.Org < b.Org
+	})
+}

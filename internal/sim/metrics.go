@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"repro/internal/obs"
+)
+
+// Simulation observability: run/job/reconfiguration counters and simulated
+// duration histograms across every run in the process. Durations observed
+// here are *virtual* time — what the cost models predict the hardware would
+// spend — so the histograms describe the modeled platform, not the
+// simulator's own speed.
+var (
+	metRuns = obs.Default().Counter("sim_runs_total",
+		"discrete-event simulation runs completed")
+	metJobs = obs.Default().Counter("sim_jobs_total",
+		"jobs completed across simulation runs")
+	metReconfigs = obs.Default().Counter("sim_reconfigs_total",
+		"reconfiguration events (loads, context saves and restores)")
+	metPreemptions = obs.Default().Counter("sim_preemptions_total",
+		"hardware task preemptions")
+	metSnapshots = obs.Default().Counter("sim_snapshots_total",
+		"progress snapshots emitted by simulation runs")
+	metReconfigTime = obs.Default().Histogram("sim_reconfig_seconds",
+		"simulated ICAP occupancy per transfer",
+		obs.LatencyBuckets)
+	metWaitTime = obs.Default().Histogram("sim_wait_seconds",
+		"simulated per-job waiting time (completion - arrival - service)",
+		obs.LatencyBuckets)
+)

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReadyView is one queued job as the policy sees it.
+type ReadyView struct {
+	Job       int
+	PRM       int
+	Priority  int
+	Arrival   time.Duration
+	Remaining time.Duration
+	// Restore is true when starting the job replays a saved context
+	// (restore transfer) instead of a cold load.
+	Restore bool
+}
+
+// SlotView is one slot as the policy sees it.
+type SlotView struct {
+	State SlotState
+	// Loaded is the resident PRM index, -1 when scrubbed or mid-transfer.
+	Loaded int
+	// Priority and Remaining describe the running job (SlotRunning only).
+	Priority  int
+	Remaining time.Duration
+}
+
+// View is the read-only scheduling state handed to a Policy. Ready is in
+// queue order (arrival order, preempted jobs re-queued at the tail);
+// policies wanting strict arrival order must use the Arrival field.
+type View struct {
+	Now   time.Duration
+	Ready []ReadyView
+	Slots []SlotView
+	en    *engine
+}
+
+// Compat returns the slots that can host the PRM class.
+func (v *View) Compat(prm int) []int { return v.en.cfg.Platform.PRMs[prm].Compat }
+
+// Tiles returns the slot's PRR size (its area cost).
+func (v *View) Tiles(slot int) int { return v.en.cfg.Platform.PRRs[slot].Tiles }
+
+// LoadTime is the ICAP occupancy of a cold module load into the slot.
+func (v *View) LoadTime(slot int) time.Duration { return v.en.loadDur[slot] }
+
+// SaveTime is the ICAP occupancy of a context save out of the slot.
+func (v *View) SaveTime(slot int) time.Duration { return v.en.saveDur[slot] }
+
+// RestoreTime is the ICAP occupancy of a context restore into the slot.
+func (v *View) RestoreTime(slot int) time.Duration { return v.en.restoreDur[slot] }
+
+// CaptureOverhead is the fixed settle time charged before a context save.
+func (v *View) CaptureOverhead() time.Duration { return v.en.cfg.CaptureOverhead }
+
+// Action is one scheduling decision: start Ready[Ready] on Slot, preempting
+// the running task when Preempt is set. The engine validates every action;
+// an invalid one ends the dispatch round.
+type Action struct {
+	Ready   int
+	Slot    int
+	Preempt bool
+}
+
+// Policy decides which ready job starts next. Decide is called repeatedly
+// after every event until it returns false (pass) or proposes an invalid
+// action. Policies must be deterministic pure functions of the View.
+type Policy interface {
+	Name() string
+	Decide(v *View) (Action, bool)
+}
+
+func (en *engine) view(now time.Duration) *View {
+	en.viewReady = en.viewReady[:0]
+	for _, rj := range en.ready {
+		j := en.jobs[rj.job]
+		en.viewReady = append(en.viewReady, ReadyView{
+			Job: j.ID, PRM: j.PRM, Priority: j.Priority, Arrival: j.Arrival,
+			Remaining: rj.remaining, Restore: rj.restore,
+		})
+	}
+	en.viewSlots = en.viewSlots[:0]
+	for i := range en.slots {
+		sl := &en.slots[i]
+		sv := SlotView{State: sl.state, Loaded: sl.loaded}
+		if sl.state == SlotRunning {
+			sv.Priority = en.jobs[sl.cur.job].Priority
+			sv.Remaining = sl.cur.remaining - (now - sl.started)
+			if sv.Remaining < 0 {
+				sv.Remaining = 0
+			}
+		}
+		en.viewSlots = append(en.viewSlots, sv)
+	}
+	return &View{Now: now, Ready: en.viewReady, Slots: en.viewSlots, en: en}
+}
+
+// FCFSBestFit serves the earliest-arrived waiting job only (head-of-line
+// blocking is the policy's documented cost) and starts it on the smallest
+// idle compatible PRR, preferring a warm slot among equal sizes. It never
+// preempts.
+type FCFSBestFit struct{}
+
+// Name implements Policy.
+func (FCFSBestFit) Name() string { return "fcfs" }
+
+// Decide implements Policy.
+func (FCFSBestFit) Decide(v *View) (Action, bool) {
+	head := -1
+	for i, r := range v.Ready {
+		if head < 0 || r.Arrival < v.Ready[head].Arrival ||
+			(r.Arrival == v.Ready[head].Arrival && r.Job < v.Ready[head].Job) {
+			head = i
+		}
+	}
+	if head < 0 {
+		return Action{}, false
+	}
+	r := v.Ready[head]
+	best, bestTiles, bestWarm := -1, 0, false
+	for _, s := range v.Compat(r.PRM) {
+		if v.Slots[s].State != SlotIdle {
+			continue
+		}
+		warm := v.Slots[s].Loaded == r.PRM && !r.Restore
+		tiles := v.Tiles(s)
+		if best < 0 || tiles < bestTiles || (tiles == bestTiles && warm && !bestWarm) {
+			best, bestTiles, bestWarm = s, tiles, warm
+		}
+	}
+	if best < 0 {
+		return Action{}, false
+	}
+	return Action{Ready: head, Slot: best}, true
+}
+
+// PreemptPriority serves the highest-priority waiting job first (FIFO
+// within a level) and evicts a strictly lower-priority running task when no
+// compatible slot is idle — task-based preemptive scheduling in the spirit
+// of Rodriguez-Canal et al. 2023, with the engine charging the context
+// save/restore transfers every eviction implies.
+type PreemptPriority struct{}
+
+// Name implements Policy.
+func (PreemptPriority) Name() string { return "priority" }
+
+// Decide implements Policy.
+func (PreemptPriority) Decide(v *View) (Action, bool) {
+	for _, ri := range priorityOrder(v.Ready) {
+		r := v.Ready[ri]
+		// Idle slot first: warm, then smallest, then lowest index.
+		best, bestTiles, bestWarm := -1, 0, false
+		for _, s := range v.Compat(r.PRM) {
+			if v.Slots[s].State != SlotIdle {
+				continue
+			}
+			warm := v.Slots[s].Loaded == r.PRM && !r.Restore
+			tiles := v.Tiles(s)
+			if best < 0 || (warm && !bestWarm) || (warm == bestWarm && tiles < bestTiles) {
+				best, bestTiles, bestWarm = s, tiles, warm
+			}
+		}
+		if best >= 0 {
+			return Action{Ready: ri, Slot: best}, true
+		}
+		// Otherwise evict the weakest strictly lower-priority victim.
+		victim, victimPrio := -1, 0
+		for _, s := range v.Compat(r.PRM) {
+			sv := v.Slots[s]
+			if sv.State != SlotRunning || sv.Priority >= r.Priority {
+				continue
+			}
+			if victim < 0 || sv.Priority < victimPrio {
+				victim, victimPrio = s, sv.Priority
+			}
+		}
+		if victim >= 0 {
+			return Action{Ready: ri, Slot: victim, Preempt: true}, true
+		}
+	}
+	return Action{}, false
+}
+
+// ReconfigAware is priority scheduling with the bitstream bill attached:
+// candidate slots are scored by the reconfiguration time starting the job
+// there would occupy on the ICAP (zero for a warm idle slot; load or
+// restore for a cold one; capture + save + load for an eviction), the
+// cheapest slot wins, and a victim is only evicted when the incoming job's
+// remaining work exceeds the reconfiguration it triggers.
+type ReconfigAware struct{}
+
+// Name implements Policy.
+func (ReconfigAware) Name() string { return "reconfig" }
+
+// Decide implements Policy.
+func (ReconfigAware) Decide(v *View) (Action, bool) {
+	for _, ri := range priorityOrder(v.Ready) {
+		r := v.Ready[ri]
+		startCost := func(s int) time.Duration {
+			if r.Restore {
+				return v.RestoreTime(s)
+			}
+			return v.LoadTime(s)
+		}
+		best, bestCost, bestPre := -1, time.Duration(0), false
+		for _, s := range v.Compat(r.PRM) {
+			sv := v.Slots[s]
+			var cost time.Duration
+			pre := false
+			switch {
+			case sv.State == SlotIdle && sv.Loaded == r.PRM && !r.Restore:
+				cost = 0
+			case sv.State == SlotIdle:
+				cost = startCost(s)
+			case sv.State == SlotRunning && sv.Priority < r.Priority:
+				cost = v.CaptureOverhead() + v.SaveTime(s) + startCost(s)
+				pre = true
+				if r.Remaining <= cost {
+					continue // the eviction costs more than the job is worth
+				}
+			default:
+				continue
+			}
+			if best < 0 || cost < bestCost || (cost == bestCost && bestPre && !pre) {
+				best, bestCost, bestPre = s, cost, pre
+			}
+		}
+		if best >= 0 {
+			return Action{Ready: ri, Slot: best, Preempt: bestPre}, true
+		}
+	}
+	return Action{}, false
+}
+
+// priorityOrder returns ready indexes sorted by (priority desc, arrival
+// asc, job asc) without mutating the view.
+func priorityOrder(ready []ReadyView) []int {
+	order := make([]int, len(ready))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: ready queues are short and mostly ordered.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ready[order[j-1]], ready[order[j]]
+			if a.Priority > b.Priority ||
+				(a.Priority == b.Priority && (a.Arrival < b.Arrival ||
+					(a.Arrival == b.Arrival && a.Job < b.Job))) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	return order
+}
+
+// PolicyNames lists the built-in policies in presentation order.
+func PolicyNames() []string { return []string{"fcfs", "priority", "reconfig"} }
+
+// PolicyByName resolves a built-in policy; the empty name means fcfs.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "fcfs":
+		return FCFSBestFit{}, nil
+	case "priority":
+		return PreemptPriority{}, nil
+	case "reconfig":
+		return ReconfigAware{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q (want fcfs, priority or reconfig)", name)
+}

@@ -1,0 +1,591 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/icap"
+)
+
+// DefaultCaptureOverhead is the fixed GCAPTURE settle time charged before a
+// context-save transfer when Config.CaptureOverhead is zero. It matches the
+// order of magnitude used by the context-switch examples.
+const DefaultCaptureOverhead = 2 * time.Microsecond
+
+// SlotState is a PRR slot's run-time state in the event loop.
+type SlotState int
+
+const (
+	// SlotIdle means the slot holds no task; its last-loaded PRM may still
+	// be resident (a warm slot).
+	SlotIdle SlotState = iota
+	// SlotLoading means an ICAP transfer toward this slot is in flight (a
+	// load, or a restore replaying saved frames). A loading slot is never
+	// schedulable and never preemptible: the transfer must complete.
+	SlotLoading
+	// SlotRunning means a task is executing in the slot.
+	SlotRunning
+)
+
+// PRR is one reconfigurable slot of a Platform with its transfer volumes,
+// all derived from the paper's cost models (Eqs. (18)-(23) via the
+// configured icap.Estimator).
+type PRR struct {
+	Name  string
+	Tiles int
+	// LoadBytes is the partial-bitstream volume of a cold module load.
+	LoadBytes int
+	// SaveBytes is the context-save readback volume (GCAPTURE + frame
+	// readback framing from package bitstream).
+	SaveBytes int
+	// RestoreBytes is the state-carrying restore bitstream (load volume
+	// plus the GRESTORE trailer).
+	RestoreBytes int
+}
+
+// PRM is one hardware task class. Compat lists the slots whose PRR can host
+// it (indexes into Platform.PRRs).
+type PRM struct {
+	Name   string
+	Compat []int
+}
+
+// Platform is the simulated device: a set of placed PRRs sharing one ICAP,
+// and the PRM classes that run on them.
+type Platform struct {
+	PRRs []PRR
+	PRMs []PRM
+}
+
+// Job is one task instance to schedule.
+type Job struct {
+	ID       int
+	PRM      int
+	Arrival  time.Duration
+	Exec     time.Duration
+	Priority int
+}
+
+// Config drives one simulation run.
+type Config struct {
+	Platform Platform
+	Policy   Policy
+	// Estimator converts transfer byte volumes into ICAP occupancy time.
+	// Nil defaults to the 32-bit ICAP fed from DDR SDRAM.
+	Estimator icap.Estimator
+	// CaptureOverhead is the fixed settle time before a context save; zero
+	// defaults to DefaultCaptureOverhead.
+	CaptureOverhead time.Duration
+	// SnapshotEvery emits a progress Snapshot every that many completions
+	// (plus one final snapshot). Zero emits only the final snapshot.
+	SnapshotEvery int
+}
+
+// Snapshot is one progress sample of a running simulation. With a fixed
+// seed and config the emitted snapshot sequence is bit-identical across
+// runs — the determinism contract that makes streamed runs cacheable.
+type Snapshot struct {
+	Seq         int     `json:"seq"`
+	NowNS       int64   `json:"now_ns"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Ready       int     `json:"ready"`
+	Running     int     `json:"running"`
+	Reconfigs   int64   `json:"reconfigs"`
+	Preemptions int64   `json:"preemptions"`
+	ICAPBusy    float64 `json:"icap_busy"`
+	MeanWaitNS  int64   `json:"mean_wait_ns"`
+}
+
+// SlotStats is one slot's share of a Result.
+type SlotStats struct {
+	Name      string `json:"name"`
+	BusyNS    int64  `json:"busy_ns"`
+	Reconfigs int    `json:"reconfigs"`
+	ICAPNS    int64  `json:"icap_ns"`
+}
+
+// Result summarizes one finished (or cancelled) run. Durations are exported
+// in nanoseconds so the JSON form is integer-exact; the two ratios are
+// deterministic divisions of integer totals.
+type Result struct {
+	Policy         string      `json:"policy"`
+	Jobs           int         `json:"jobs"`
+	Completed      int         `json:"completed"`
+	MakespanNS     int64       `json:"makespan_ns"`
+	MeanWaitNS     int64       `json:"mean_wait_ns"`
+	P99WaitNS      int64       `json:"p99_wait_ns"`
+	MaxWaitNS      int64       `json:"max_wait_ns"`
+	MeanResponseNS int64       `json:"mean_response_ns"`
+	Reconfigs      int64       `json:"reconfigs"`
+	Preemptions    int64       `json:"preemptions"`
+	ICAPTransfers  int64       `json:"icap_transfers"`
+	ICAPBusyNS     int64       `json:"icap_busy_ns"`
+	ICAPBusy       float64     `json:"icap_busy"`
+	Utilization    float64     `json:"utilization"`
+	PerSlot        []SlotStats `json:"per_slot,omitempty"`
+}
+
+// event kinds. Arrival events carry the job index; loaded/done events carry
+// the slot whose transfer or execution finished.
+const (
+	evArrival = iota
+	evLoaded
+	evDone
+)
+
+type event struct {
+	at   time.Duration
+	seq  int
+	kind int
+	job  int
+	slot int
+}
+
+// eventHeap orders by (at, seq): virtual time first, insertion order as the
+// deterministic tie-break.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// readyJob is a queued task instance: remaining execution time and whether
+// starting it replays a saved context instead of a cold load.
+type readyJob struct {
+	job       int
+	remaining time.Duration
+	restore   bool
+}
+
+type slotRT struct {
+	state     SlotState
+	loaded    int // PRM resident in the fabric; -1 when scrubbed or mid-transfer
+	cur       readyJob
+	started   time.Duration // current exec burst start (valid in SlotRunning)
+	endSeq    int           // seq of the live completion event
+	busy      time.Duration
+	reconfigs int
+	icap      time.Duration
+}
+
+type engine struct {
+	cfg  Config
+	jobs []Job
+
+	h     eventHeap
+	seq   int
+	ready []readyJob
+	slots []slotRT
+
+	// per-slot transfer durations, precomputed from the estimator
+	loadDur    []time.Duration
+	saveDur    []time.Duration
+	restoreDur []time.Duration
+
+	// the shared ICAP as a FIFO resource: requests are issued in event
+	// order, so a single free-at watermark is exactly FIFO service.
+	icapFreeAt time.Duration
+	icapBusy   time.Duration
+	transfers  int64
+
+	now         time.Duration
+	submitted   int
+	completed   int
+	reconfigs   int64
+	preemptions int64
+	makespan    time.Duration
+	waits       []time.Duration
+	waitSum     time.Duration
+	respSum     time.Duration
+	snapSeq     int
+	events      int
+	stopped     bool
+
+	viewReady []ReadyView
+	viewSlots []SlotView
+}
+
+// Run executes one simulation to completion under the virtual clock. visit
+// (may be nil) receives progress snapshots; returning false stops the run
+// early with the partial Result. ctx cancellation is honored between
+// events, so a disconnected client stops a long run promptly.
+func Run(ctx context.Context, cfg Config, jobs []Job, visit func(Snapshot) bool) (Result, error) {
+	if cfg.Policy == nil {
+		return Result{}, fmt.Errorf("sim: nil policy")
+	}
+	if len(cfg.Platform.PRRs) == 0 {
+		return Result{}, fmt.Errorf("sim: platform has no PRRs")
+	}
+	for _, prm := range cfg.Platform.PRMs {
+		if len(prm.Compat) == 0 {
+			return Result{}, fmt.Errorf("sim: PRM %q fits no PRR", prm.Name)
+		}
+		for _, s := range prm.Compat {
+			if s < 0 || s >= len(cfg.Platform.PRRs) {
+				return Result{}, fmt.Errorf("sim: PRM %q compat slot %d out of range", prm.Name, s)
+			}
+		}
+	}
+	for _, j := range jobs {
+		if j.PRM < 0 || j.PRM >= len(cfg.Platform.PRMs) {
+			return Result{}, fmt.Errorf("sim: job %d references unknown PRM %d", j.ID, j.PRM)
+		}
+		if j.Exec <= 0 {
+			return Result{}, fmt.Errorf("sim: job %d has non-positive exec time", j.ID)
+		}
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = icap.SizeModel{Port: icap.ICAP32, Media: icap.MediaDDRSDRAM}
+	}
+	if cfg.CaptureOverhead <= 0 {
+		cfg.CaptureOverhead = DefaultCaptureOverhead
+	}
+
+	en := &engine{cfg: cfg, jobs: jobs}
+	n := len(cfg.Platform.PRRs)
+	en.slots = make([]slotRT, n)
+	en.loadDur = make([]time.Duration, n)
+	en.saveDur = make([]time.Duration, n)
+	en.restoreDur = make([]time.Duration, n)
+	for i, prr := range cfg.Platform.PRRs {
+		en.slots[i].loaded = -1
+		en.loadDur[i] = cfg.Estimator.Estimate(prr.LoadBytes)
+		en.saveDur[i] = cfg.Estimator.Estimate(prr.SaveBytes)
+		en.restoreDur[i] = cfg.Estimator.Estimate(prr.RestoreBytes)
+	}
+
+	// Arrivals enter the heap in (Arrival, input order): the seq tie-break
+	// preserves input order for simultaneous arrivals.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Arrival < jobs[order[b]].Arrival
+	})
+	for _, ji := range order {
+		en.push(event{at: jobs[ji].Arrival, kind: evArrival, job: ji})
+	}
+	heap.Init(&en.h)
+
+	err := en.loop(ctx, visit)
+	res := en.result()
+	if err != nil {
+		return res, err
+	}
+	// Distinguish "visitor stopped the run" (not an error) from "the heap
+	// drained with jobs left behind" (a policy bug).
+	if en.completed != len(jobs) && !en.stopped {
+		return res, fmt.Errorf("sim: policy %s stranded %d jobs", cfg.Policy.Name(), len(jobs)-en.completed)
+	}
+	return res, nil
+}
+
+func (en *engine) push(e event) int {
+	e.seq = en.seq
+	en.seq++
+	heap.Push(&en.h, e)
+	return e.seq
+}
+
+func (en *engine) loop(ctx context.Context, visit func(Snapshot) bool) error {
+	for en.h.Len() > 0 {
+		en.events++
+		if en.events&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := heap.Pop(&en.h).(event)
+		en.now = e.at
+		switch e.kind {
+		case evArrival:
+			en.submitted++
+			en.ready = append(en.ready, readyJob{job: e.job, remaining: en.jobs[e.job].Exec})
+		case evLoaded:
+			sl := &en.slots[e.slot]
+			sl.loaded = en.jobs[sl.cur.job].PRM
+			en.beginExec(e.at, e.slot, sl.cur)
+		case evDone:
+			sl := &en.slots[e.slot]
+			if sl.state != SlotRunning || sl.endSeq != e.seq {
+				continue // cancelled by a preemption
+			}
+			en.complete(e.at, e.slot)
+			if en.cfg.SnapshotEvery > 0 && en.completed%en.cfg.SnapshotEvery == 0 && en.completed < len(en.jobs) {
+				if !en.emit(visit) {
+					en.stopped = true
+					return nil
+				}
+			}
+		}
+		en.dispatch(e.at)
+	}
+	en.emit(visit) // final snapshot; stream end follows regardless
+	return nil
+}
+
+func (en *engine) emit(visit func(Snapshot) bool) bool {
+	if visit == nil {
+		return true
+	}
+	running := 0
+	for i := range en.slots {
+		if en.slots[i].state == SlotRunning {
+			running++
+		}
+	}
+	var meanWait int64
+	if en.completed > 0 {
+		meanWait = int64(en.waitSum) / int64(en.completed)
+	}
+	var busy float64
+	if en.now > 0 {
+		b := en.icapBusy
+		if b > en.now {
+			b = en.now // transfers already booked past the clock
+		}
+		busy = float64(b) / float64(en.now)
+	}
+	s := Snapshot{
+		Seq:         en.snapSeq,
+		NowNS:       int64(en.now),
+		Submitted:   en.submitted,
+		Completed:   en.completed,
+		Ready:       len(en.ready),
+		Running:     running,
+		Reconfigs:   en.reconfigs,
+		Preemptions: en.preemptions,
+		ICAPBusy:    busy,
+		MeanWaitNS:  meanWait,
+	}
+	en.snapSeq++
+	metSnapshots.Inc()
+	return visit(s)
+}
+
+// xfer books one transfer on the shared ICAP FIFO: it starts when both the
+// requester is ready and the port is free, in request order.
+func (en *engine) xfer(at time.Duration, dur time.Duration, slot int) (start, done time.Duration) {
+	start = at
+	if en.icapFreeAt > start {
+		start = en.icapFreeAt
+	}
+	done = start + dur
+	en.icapFreeAt = done
+	en.icapBusy += dur
+	en.transfers++
+	en.slots[slot].icap += dur
+	metReconfigTime.Observe(dur.Seconds())
+	return start, done
+}
+
+func (en *engine) removeReady(i int) readyJob {
+	rj := en.ready[i]
+	copy(en.ready[i:], en.ready[i+1:])
+	en.ready = en.ready[:len(en.ready)-1]
+	return rj
+}
+
+// dispatch runs the policy until it passes or proposes an invalid action.
+func (en *engine) dispatch(now time.Duration) {
+	for len(en.ready) > 0 {
+		v := en.view(now)
+		act, ok := en.cfg.Policy.Decide(v)
+		if !ok {
+			return
+		}
+		if !en.apply(now, act) {
+			return
+		}
+	}
+}
+
+// apply validates and executes one policy action. Invalid actions (bad
+// indexes, incompatible slot, loading slot, non-strict priority preemption)
+// return false and end the dispatch round instead of corrupting state.
+func (en *engine) apply(now time.Duration, act Action) bool {
+	if act.Ready < 0 || act.Ready >= len(en.ready) || act.Slot < 0 || act.Slot >= len(en.slots) {
+		return false
+	}
+	rj := en.ready[act.Ready]
+	prm := &en.cfg.Platform.PRMs[en.jobs[rj.job].PRM]
+	ok := false
+	for _, s := range prm.Compat {
+		if s == act.Slot {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	sl := &en.slots[act.Slot]
+	switch {
+	case sl.state == SlotIdle && !act.Preempt:
+		en.removeReady(act.Ready)
+		en.startOn(now, act.Slot, rj)
+		return true
+	case sl.state == SlotRunning && act.Preempt:
+		if en.jobs[rj.job].Priority <= en.jobs[sl.cur.job].Priority {
+			return false
+		}
+		en.removeReady(act.Ready)
+		en.preempt(now, act.Slot, rj)
+		return true
+	}
+	// A SlotLoading target is always invalid: an in-flight ICAP transfer
+	// queues work behind it, it is never aborted.
+	return false
+}
+
+// startOn occupies an idle slot: immediately when the module is already
+// resident, otherwise after a load (or restore) transfer through the ICAP.
+func (en *engine) startOn(now time.Duration, si int, rj readyJob) {
+	sl := &en.slots[si]
+	prm := en.jobs[rj.job].PRM
+	if sl.loaded == prm && !rj.restore {
+		sl.cur = rj
+		en.beginExec(now, si, rj)
+		return
+	}
+	dur := en.loadDur[si]
+	if rj.restore {
+		dur = en.restoreDur[si]
+	}
+	_, done := en.xfer(now, dur, si)
+	sl.state = SlotLoading
+	sl.cur = rj
+	sl.loaded = -1
+	sl.reconfigs++
+	en.reconfigs++
+	en.push(event{at: done, kind: evLoaded, slot: si})
+}
+
+func (en *engine) beginExec(now time.Duration, si int, rj readyJob) {
+	sl := &en.slots[si]
+	sl.state = SlotRunning
+	sl.cur = rj
+	sl.started = now
+	sl.endSeq = en.push(event{at: now + rj.remaining, kind: evDone, slot: si})
+}
+
+// preempt evicts the running task: after the capture settle its context is
+// saved out through the ICAP, then the preemptor's load queues behind the
+// save on the same FIFO. The victim re-enters the ready queue with its
+// remaining time and a restore flag.
+func (en *engine) preempt(now time.Duration, si int, rj readyJob) {
+	sl := &en.slots[si]
+	victim := sl.cur
+	executed := now - sl.started
+	if executed < 0 {
+		executed = 0
+	}
+	rem := victim.remaining - executed
+	if rem < 0 {
+		rem = 0
+	}
+	sl.busy += executed
+	en.preemptions++
+	metPreemptions.Inc()
+	en.xfer(now+en.cfg.CaptureOverhead, en.saveDur[si], si)
+	en.ready = append(en.ready, readyJob{job: victim.job, remaining: rem, restore: true})
+	// The victim's completion event dies by seq mismatch; the slot loads
+	// the preemptor next.
+	sl.loaded = -1
+	dur := en.loadDur[si]
+	if rj.restore {
+		dur = en.restoreDur[si]
+	}
+	_, done := en.xfer(now, dur, si)
+	sl.state = SlotLoading
+	sl.cur = rj
+	sl.reconfigs++
+	en.reconfigs++
+	en.push(event{at: done, kind: evLoaded, slot: si})
+}
+
+func (en *engine) complete(at time.Duration, si int) {
+	sl := &en.slots[si]
+	job := en.jobs[sl.cur.job]
+	sl.busy += at - sl.started
+	wait := at - job.Arrival - job.Exec
+	if wait < 0 {
+		wait = 0
+	}
+	en.waits = append(en.waits, wait)
+	en.waitSum += wait
+	en.respSum += at - job.Arrival
+	en.completed++
+	metWaitTime.Observe(wait.Seconds())
+	if at > en.makespan {
+		en.makespan = at
+	}
+	sl.state = SlotIdle
+}
+
+func (en *engine) result() Result {
+	res := Result{
+		Policy:        en.cfg.Policy.Name(),
+		Jobs:          len(en.jobs),
+		Completed:     en.completed,
+		MakespanNS:    int64(en.makespan),
+		Reconfigs:     en.reconfigs,
+		Preemptions:   en.preemptions,
+		ICAPTransfers: en.transfers,
+		ICAPBusyNS:    int64(en.icapBusy),
+	}
+	if en.completed > 0 {
+		res.MeanWaitNS = int64(en.waitSum) / int64(en.completed)
+		res.MeanResponseNS = int64(en.respSum) / int64(en.completed)
+		waits := append([]time.Duration(nil), en.waits...)
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		idx := len(waits) * 99 / 100
+		if idx >= len(waits) {
+			idx = len(waits) - 1
+		}
+		res.P99WaitNS = int64(waits[idx])
+		res.MaxWaitNS = int64(waits[len(waits)-1])
+	}
+	if en.makespan > 0 {
+		b := en.icapBusy
+		if b > en.makespan {
+			b = en.makespan // only reachable on cancellation, with transfers booked past the last completion
+		}
+		res.ICAPBusy = float64(b) / float64(en.makespan)
+		var busy time.Duration
+		for i := range en.slots {
+			busy += en.slots[i].busy
+		}
+		res.Utilization = float64(busy) / (float64(en.makespan) * float64(len(en.slots)))
+	}
+	res.PerSlot = make([]SlotStats, len(en.slots))
+	for i := range en.slots {
+		res.PerSlot[i] = SlotStats{
+			Name:      en.cfg.Platform.PRRs[i].Name,
+			BusyNS:    int64(en.slots[i].busy),
+			Reconfigs: en.slots[i].reconfigs,
+			ICAPNS:    int64(en.slots[i].icap),
+		}
+	}
+	metRuns.Inc()
+	metJobs.Add(int64(en.completed))
+	metReconfigs.Add(en.reconfigs)
+	return res
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arrival selects a Mix's arrival process.
+type Arrival string
+
+const (
+	// ArrivalUniform spaces jobs by a gap drawn uniformly in [0, 2*MeanGap].
+	ArrivalUniform Arrival = "uniform"
+	// ArrivalBursty packs Burst jobs at a quarter of the mean gap, then
+	// pauses four mean gaps before the next burst.
+	ArrivalBursty Arrival = "bursty"
+	// ArrivalSimultaneous releases every job at time zero.
+	ArrivalSimultaneous Arrival = "simultaneous"
+)
+
+// Mix is a reproducible job-mix specification. The same Mix always
+// generates the same job list: the generator is an integer-only xorshift64
+// stream, so there is no floating-point or platform variance.
+type Mix struct {
+	Jobs int
+	// Seed selects the pseudo-random stream; zero means 1.
+	Seed uint64
+	// Arrival is the arrival process; empty means ArrivalUniform.
+	Arrival Arrival
+	// MeanGap is the mean inter-arrival time.
+	MeanGap time.Duration
+	// MeanExec is the mean service time; zero defaults to 500µs.
+	MeanExec time.Duration
+	// Burst is the bursty-process batch size; zero defaults to 8.
+	Burst int
+	// Weights biases the PRM-class draw (one weight per class; nil means
+	// uniform).
+	Weights []int
+	// PriorityLevels > 1 draws each job's priority uniformly from
+	// [0, PriorityLevels); otherwise every job has priority 0.
+	PriorityLevels int
+}
+
+// Generate produces the job list for a platform with nPRMs PRM classes.
+func (m Mix) Generate(nPRMs int) ([]Job, error) {
+	if nPRMs <= 0 {
+		return nil, fmt.Errorf("sim: mix needs at least one PRM class")
+	}
+	if m.Jobs < 0 {
+		return nil, fmt.Errorf("sim: negative job count %d", m.Jobs)
+	}
+	if m.MeanGap < 0 || m.MeanExec < 0 {
+		return nil, fmt.Errorf("sim: negative mix durations")
+	}
+	switch m.Arrival {
+	case "", ArrivalUniform, ArrivalBursty, ArrivalSimultaneous:
+	default:
+		return nil, fmt.Errorf("sim: unknown arrival process %q", m.Arrival)
+	}
+	weights := m.Weights
+	if len(weights) == 0 {
+		weights = make([]int, nPRMs)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != nPRMs {
+		return nil, fmt.Errorf("sim: %d weights for %d PRM classes", len(weights), nPRMs)
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sim: negative weight for PRM class %d", i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sim: all PRM-class weights are zero")
+	}
+
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	meanExec := m.MeanExec
+	if meanExec == 0 {
+		meanExec = 500 * time.Microsecond
+	}
+	burst := m.Burst
+	if burst <= 0 {
+		burst = 8
+	}
+
+	jobs := make([]Job, m.Jobs)
+	var t time.Duration
+	for i := range jobs {
+		pick := int(next() % uint64(total))
+		prm := 0
+		for pick >= weights[prm] {
+			pick -= weights[prm]
+			prm++
+		}
+		exec := meanExec * time.Duration(4+next()%13) / 8
+		if exec <= 0 {
+			exec = 1
+		}
+		prio := 0
+		if m.PriorityLevels > 1 {
+			prio = int(next() % uint64(m.PriorityLevels))
+		}
+		jobs[i] = Job{ID: i, PRM: prm, Arrival: t, Exec: exec, Priority: prio}
+		switch m.Arrival {
+		case ArrivalSimultaneous:
+			// every arrival at t=0
+		case ArrivalBursty:
+			if (i+1)%burst == 0 {
+				t += 4 * m.MeanGap
+			} else {
+				t += m.MeanGap / 4
+			}
+		default:
+			t += m.MeanGap * time.Duration(next()%2001) / 1000
+		}
+	}
+	return jobs, nil
+}
