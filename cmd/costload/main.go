@@ -63,6 +63,7 @@ type result struct {
 	errors     int
 	simStreams int
 	simJobs    int
+	simFirst   []time.Duration
 }
 
 // loadSummary is the machine-readable run report (-json).
@@ -95,6 +96,10 @@ type loadSummary struct {
 	// (with -probe-simulate) and the simulated jobs they completed.
 	SimStreams int `json:"simulate_streams,omitempty"`
 	SimJobs    int `json:"simulate_jobs,omitempty"`
+	// SimFirstEventP50NS is the median time from request to the first
+	// streamed event: how quickly results start flowing, as opposed to the
+	// stream's total latency above.
+	SimFirstEventP50NS int64 `json:"simulate_first_event_p50_ns,omitempty"`
 	// SLO is the client-observed rolling standing per workload endpoint,
 	// scored against -slo-p99 when set.
 	SLO *report.SLOSummary `json:"slo,omitempty"`
@@ -167,7 +172,17 @@ func main() {
 				case "simulate":
 					// A fresh seed per request: simulate streams bypass the
 					// response cache, so every one runs the event engine.
-					simDone, err = cl.Simulate(loadCtx, simRequest(*deviceName, uint64(w)*1_000_003+uint64(i)), nil)
+					var first time.Duration
+					simDone, err = cl.Simulate(loadCtx, simRequest(*deviceName, uint64(w)*1_000_003+uint64(i)),
+						func(api.SimEvent) bool {
+							if first == 0 {
+								first = time.Since(t0)
+							}
+							return true
+						})
+					if err == nil && first > 0 {
+						res.simFirst = append(res.simFirst, first)
+					}
 				}
 				if loadCtx.Err() != nil {
 					return // deadline mid-request: don't count it
@@ -189,15 +204,17 @@ func main() {
 	cancel()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
+	var all, simFirst []time.Duration
 	errors, simStreams, simJobs := 0, 0, 0
 	for _, r := range results {
 		all = append(all, r.latencies...)
 		errors += r.errors
 		simStreams += r.simStreams
 		simJobs += r.simJobs
+		simFirst = append(simFirst, r.simFirst...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(simFirst, func(i, j int) bool { return simFirst[i] < simFirst[j] })
 
 	sum := loadSummary{
 		Schema:      "repro/loadgen/v1",
@@ -217,11 +234,13 @@ func main() {
 
 	sum.SimStreams = simStreams
 	sum.SimJobs = simJobs
+	sum.SimFirstEventP50NS = pct(simFirst, 50).Nanoseconds()
 
 	fmt.Printf("costload: %d clients, %s workload, %v\n", *clients, *workload, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %d requests (%d errors), %.0f req/s\n", sum.Requests, errors, sum.ThroughputRPS)
 	if *probeSim {
-		fmt.Printf("  %d simulate streams mixed in (%d simulated jobs completed)\n", simStreams, simJobs)
+		fmt.Printf("  %d simulate streams mixed in (%d simulated jobs completed, first event p50 %v)\n",
+			simStreams, simJobs, pct(simFirst, 50).Round(time.Microsecond))
 	}
 	if len(all) > 0 {
 		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",

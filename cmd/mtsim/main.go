@@ -9,9 +9,11 @@
 //	mtsim -coexplore -dup 4 -policies fcfs,reconfig -jobs 400 -json out.json
 //
 // Co-exploration scores every organization on the branch-and-bound engine's
-// exact Pareto front against the job mix under each policy and prints
-// greppable "coexplore-rank:" lines ranked by p99 waiting time. -json writes
-// the machine-readable repro/simrun/v1 report.
+// exact Pareto front against the job mix under each policy — replays fan
+// out over -workers goroutines (0 = all cores) with a ranking that is
+// byte-identical at any worker count — and prints greppable
+// "coexplore-rank:" lines ranked by p99 waiting time. -json writes the
+// machine-readable repro/simrun/v1 report.
 //
 // Observability: -metrics-addr serves Prometheus text at /metrics (plus
 // expvar, and pprof with -pprof), -trace-out writes spans as JSON lines, and
@@ -49,6 +51,7 @@ func main() {
 	policy := flag.String("policy", "fcfs", "scheduler for a single run: fcfs, priority, reconfig")
 	policies := flag.String("policies", "", "comma-separated schedulers for -coexplore (default all)")
 	coexplore := flag.Bool("coexplore", false, "score every Pareto-front organization against the mix")
+	workers := flag.Int("workers", 0, "co-exploration replay goroutines (0 = all cores, 1 = sequential; ranking is identical either way)")
 	dup := flag.Int("dup", 1, "duplicate the paper PRM set this many times")
 	snapEvery := flag.Int("snapshot-every", 0, "print a progress snapshot every N completions (0 = off)")
 	jsonOut := flag.String("json", "", "write the repro/simrun/v1 report to this file")
@@ -106,7 +109,8 @@ func main() {
 	}
 	if *coexplore {
 		rep.Params["coexplore"] = "true"
-		runCoExplore(ctx, dev, specs, mix, *policies, *snapEvery, rep)
+		rep.Params["workers"] = strconv.Itoa(*workers)
+		runCoExplore(ctx, dev, specs, mix, *policies, *workers, *snapEvery, rep)
 	} else {
 		runSingle(ctx, dev, specs, mix, *policy, *slots, *snapEvery, rep)
 	}
@@ -173,9 +177,9 @@ func runSingle(ctx context.Context, dev *device.Device, specs []sim.Spec, mix si
 // runCoExplore scores the exact Pareto front against the mix under every
 // requested policy and prints the per-policy p99 ranking.
 func runCoExplore(ctx context.Context, dev *device.Device, specs []sim.Spec, mix sim.Mix,
-	policyList string, snapEvery int, rep *report.SimRun) {
+	policyList string, workers, snapEvery int, rep *report.SimRun) {
 
-	cfg := sim.CoExploreConfig{Mix: mix, SnapshotEvery: snapEvery}
+	cfg := sim.CoExploreConfig{Mix: mix, SnapshotEvery: snapEvery, Workers: workers}
 	if policyList != "" {
 		for _, name := range strings.Split(policyList, ",") {
 			p, err := sim.PolicyByName(strings.TrimSpace(name))

@@ -388,3 +388,43 @@ func TestClientSimulateCoExplore(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestClientSimulateContextCancelMidStream cancels the caller's context
+// after the first streamed snapshot: Simulate must surface the
+// cancellation, and the server must notice the dropped stream and account
+// it on service_sim_cancelled_total within a second.
+func TestClientSimulateContextCancelMidStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := newServicePair(t, service.Config{Registry: reg})
+	c.MaxRetries = 0
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := c.Simulate(ctx, &api.SimulateRequest{
+		Device: "XC6VLX75T", SyntheticN: 3,
+		Mix:           api.SimMix{Jobs: 1_000_000, Seed: 3, MeanExecUS: 400, MeanGapUS: 300},
+		SnapshotEvery: 100,
+	}, func(ev api.SimEvent) bool {
+		cancel() // first event: hang up mid-stream
+		return true
+	})
+	if err == nil {
+		t.Fatal("cancelled stream reported success")
+	}
+
+	cancelled := func() int64 {
+		for _, sm := range reg.Gather() {
+			if sm.Name == "service_sim_cancelled_total" {
+				return sm.Value
+			}
+		}
+		return 0
+	}
+	deadline := time.Now().Add(time.Second)
+	for cancelled() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("service_sim_cancelled_total still 0 a second after hangup (stats: %+v)", s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

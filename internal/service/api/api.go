@@ -191,7 +191,10 @@ type BitstreamResponse struct {
 
 // ExploreOptions tunes the branch-and-bound engine behind /v1/explore.
 type ExploreOptions struct {
-	// Workers caps engine goroutines; 0 means the server's default.
+	// Workers caps engine goroutines — both the branch-and-bound search
+	// workers and, for co-explorations, the pool replaying front
+	// organizations against the mix; 0 means the server's default. The
+	// worker count never changes results, only wall-clock time.
 	Workers int `json:"workers,omitempty"`
 	// DisableDominancePrune turns off dominance pruning (the default prunes).
 	DisableDominancePrune bool `json:"disable_dominance_prune,omitempty"`

@@ -167,11 +167,16 @@ func (s *Server) runSimulate(ctx context.Context, dev *device.Device, req *api.S
 	}
 
 	if req.CoExplore {
+		bb := s.bbOptions(req.Options)
 		cfg := sim.CoExploreConfig{
 			Mix:           mix,
 			Estimator:     s.estimator,
 			SnapshotEvery: snapEvery,
-			BB:            s.bbOptions(req.Options),
+			BB:            bb,
+			// The same workers knob caps both engines: the branch-and-bound
+			// search and the front replay pool. Ranked scores are identical
+			// at any worker count.
+			Workers: bb.Workers,
 		}
 		for _, name := range req.Policies {
 			p, err := sim.PolicyByName(name)

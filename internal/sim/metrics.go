@@ -20,6 +20,13 @@ var (
 		"hardware task preemptions")
 	metSnapshots = obs.Default().Counter("sim_snapshots_total",
 		"progress snapshots emitted by simulation runs")
+	metEvents = obs.Default().Counter("sim_events_total",
+		"discrete events processed across simulation runs")
+	// metEventRate is the one wall-clock (not virtual-time) series here: the
+	// most recent run's event-loop throughput, the number CI's zero-alloc
+	// gate is protecting.
+	metEventRate = obs.Default().Gauge("sim_events_per_second",
+		"event-loop throughput of the most recently completed run")
 	metReconfigTime = obs.Default().Histogram("sim_reconfig_seconds",
 		"simulated ICAP occupancy per transfer",
 		obs.LatencyBuckets)

@@ -94,7 +94,10 @@ func (en *engine) view(now time.Duration) *View {
 		}
 		en.viewSlots = append(en.viewSlots, sv)
 	}
-	return &View{Now: now, Ready: en.viewReady, Slots: en.viewSlots, en: en}
+	// The engine-owned View is rebuilt in place each dispatch iteration so
+	// the hot loop never allocates; policies must not retain it.
+	en.viewBuf = View{Now: now, Ready: en.viewReady, Slots: en.viewSlots, en: en}
+	return &en.viewBuf
 }
 
 // FCFSBestFit serves the earliest-arrived waiting job only (head-of-line
@@ -148,7 +151,7 @@ func (PreemptPriority) Name() string { return "priority" }
 
 // Decide implements Policy.
 func (PreemptPriority) Decide(v *View) (Action, bool) {
-	for _, ri := range priorityOrder(v.Ready) {
+	for _, ri := range priorityOrder(v) {
 		r := v.Ready[ri]
 		// Idle slot first: warm, then smallest, then lowest index.
 		best, bestTiles, bestWarm := -1, 0, false
@@ -196,7 +199,7 @@ func (ReconfigAware) Name() string { return "reconfig" }
 
 // Decide implements Policy.
 func (ReconfigAware) Decide(v *View) (Action, bool) {
-	for _, ri := range priorityOrder(v.Ready) {
+	for _, ri := range priorityOrder(v) {
 		r := v.Ready[ri]
 		startCost := func(s int) time.Duration {
 			if r.Restore {
@@ -235,12 +238,16 @@ func (ReconfigAware) Decide(v *View) (Action, bool) {
 }
 
 // priorityOrder returns ready indexes sorted by (priority desc, arrival
-// asc, job asc) without mutating the view.
-func priorityOrder(ready []ReadyView) []int {
-	order := make([]int, len(ready))
-	for i := range order {
-		order[i] = i
+// asc, job asc) without mutating the view. The index slice is an
+// engine-owned scratch buffer reused across dispatch iterations, so sorting
+// the ready queue allocates nothing in steady state.
+func priorityOrder(v *View) []int {
+	ready := v.Ready
+	order := v.en.orderBuf[:0]
+	for i := range ready {
+		order = append(order, i)
 	}
+	v.en.orderBuf = order
 	// Insertion sort: ready queues are short and mostly ordered.
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {

@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/icap"
@@ -145,24 +145,58 @@ type event struct {
 	slot int
 }
 
-// eventHeap orders by (at, seq): virtual time first, insertion order as the
-// deterministic tie-break.
+// eventHeap is a typed 4-ary min-heap ordered by (at, seq): virtual time
+// first, insertion order as the deterministic tie-break. Because seq is
+// unique the order is total, so the pop sequence is independent of the heap
+// shape — swapping the old container/heap binary heap for this one cannot
+// change a replay. The 4-ary layout halves the tree depth (fewer cache
+// lines per sift) and the typed push/pop avoid the interface{} boxing that
+// cost two allocations per event.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	e := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		min := i
+		for c := 4*i + 1; c <= 4*i+4 && c < len(s); c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
 }
 
 // readyJob is a queued task instance: remaining execution time and whether
@@ -184,6 +218,10 @@ type slotRT struct {
 	icap      time.Duration
 }
 
+// engine is the per-run arena. Runs obtain one from enginePool and reset it,
+// so repeated replays of the same mix reuse the heap, ready queue, slot
+// table, wait ledger and view buffers — the steady-state event loop performs
+// no heap allocation (gated by BenchmarkSimRun/loop in CI).
 type engine struct {
 	cfg  Config
 	jobs []Job
@@ -211,6 +249,7 @@ type engine struct {
 	preemptions int64
 	makespan    time.Duration
 	waits       []time.Duration
+	waitsSorted bool
 	waitSum     time.Duration
 	respSum     time.Duration
 	snapSeq     int
@@ -219,6 +258,70 @@ type engine struct {
 
 	viewReady []ReadyView
 	viewSlots []SlotView
+	viewBuf   View
+	orderBuf  []int
+}
+
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// reset rebinds a pooled engine to one (cfg, jobs) run, keeping every
+// slice's capacity from earlier runs.
+func (en *engine) reset(cfg Config, jobs []Job) {
+	en.cfg = cfg
+	en.jobs = jobs
+
+	n := len(cfg.Platform.PRRs)
+	en.slots = growClear(en.slots, n)
+	en.loadDur = growClear(en.loadDur, n)
+	en.saveDur = growClear(en.saveDur, n)
+	en.restoreDur = growClear(en.restoreDur, n)
+	for i, prr := range cfg.Platform.PRRs {
+		en.slots[i].loaded = -1
+		en.loadDur[i] = cfg.Estimator.Estimate(prr.LoadBytes)
+		en.saveDur[i] = cfg.Estimator.Estimate(prr.SaveBytes)
+		en.restoreDur[i] = cfg.Estimator.Estimate(prr.RestoreBytes)
+	}
+
+	en.h = en.h[:0]
+	en.seq = 0
+	en.ready = en.ready[:0]
+	en.icapFreeAt = 0
+	en.icapBusy = 0
+	en.transfers = 0
+	en.now = 0
+	en.submitted = 0
+	en.completed = 0
+	en.reconfigs = 0
+	en.preemptions = 0
+	en.makespan = 0
+	en.waits = en.waits[:0]
+	en.waitsSorted = false
+	en.waitSum = 0
+	en.respSum = 0
+	en.snapSeq = 0
+	en.events = 0
+	en.stopped = false
+}
+
+// release drops the caller-owned references (platform, policy, jobs) before
+// the engine re-enters the pool so pooled arenas never pin a caller's mix.
+func (en *engine) release() {
+	en.cfg = Config{}
+	en.jobs = nil
+	enginePool.Put(en)
+}
+
+// growClear returns s resized to n zeroed elements, reusing capacity.
+func growClear[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
 }
 
 // Run executes one simulation to completion under the virtual clock. visit
@@ -257,34 +360,14 @@ func Run(ctx context.Context, cfg Config, jobs []Job, visit func(Snapshot) bool)
 		cfg.CaptureOverhead = DefaultCaptureOverhead
 	}
 
-	en := &engine{cfg: cfg, jobs: jobs}
-	n := len(cfg.Platform.PRRs)
-	en.slots = make([]slotRT, n)
-	en.loadDur = make([]time.Duration, n)
-	en.saveDur = make([]time.Duration, n)
-	en.restoreDur = make([]time.Duration, n)
-	for i, prr := range cfg.Platform.PRRs {
-		en.slots[i].loaded = -1
-		en.loadDur[i] = cfg.Estimator.Estimate(prr.LoadBytes)
-		en.saveDur[i] = cfg.Estimator.Estimate(prr.SaveBytes)
-		en.restoreDur[i] = cfg.Estimator.Estimate(prr.RestoreBytes)
-	}
+	en := enginePool.Get().(*engine)
+	defer en.release()
+	en.reset(cfg, jobs)
+	en.pushArrivals()
 
-	// Arrivals enter the heap in (Arrival, input order): the seq tie-break
-	// preserves input order for simultaneous arrivals.
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return jobs[order[a]].Arrival < jobs[order[b]].Arrival
-	})
-	for _, ji := range order {
-		en.push(event{at: jobs[ji].Arrival, kind: evArrival, job: ji})
-	}
-	heap.Init(&en.h)
-
+	start := time.Now()
 	err := en.loop(ctx, visit)
+	en.observe(time.Since(start))
 	res := en.result()
 	if err != nil {
 		return res, err
@@ -297,22 +380,31 @@ func Run(ctx context.Context, cfg Config, jobs []Job, visit func(Snapshot) bool)
 	return res, nil
 }
 
+// pushArrivals seeds the heap in input order: seq equals the input index,
+// so the heap pops arrivals in (Arrival, input order) — the same tie-break
+// the old pre-sorted push produced, without sorting an index slice first.
+func (en *engine) pushArrivals() {
+	for ji := range en.jobs {
+		en.push(event{at: en.jobs[ji].Arrival, kind: evArrival, job: ji})
+	}
+}
+
 func (en *engine) push(e event) int {
 	e.seq = en.seq
 	en.seq++
-	heap.Push(&en.h, e)
+	en.h.push(e)
 	return e.seq
 }
 
 func (en *engine) loop(ctx context.Context, visit func(Snapshot) bool) error {
-	for en.h.Len() > 0 {
+	for len(en.h) > 0 {
 		en.events++
 		if en.events&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		e := heap.Pop(&en.h).(event)
+		e := en.h.pop()
 		en.now = e.at
 		switch e.kind {
 		case evArrival:
@@ -530,6 +622,7 @@ func (en *engine) complete(at time.Duration, si int) {
 		wait = 0
 	}
 	en.waits = append(en.waits, wait)
+	en.waitsSorted = false
 	en.waitSum += wait
 	en.respSum += at - job.Arrival
 	en.completed++
@@ -540,6 +633,21 @@ func (en *engine) complete(at time.Duration, si int) {
 	sl.state = SlotIdle
 }
 
+// observe records the run on the process-wide metrics once per run, keeping
+// result() a pure function of engine state.
+func (en *engine) observe(wall time.Duration) {
+	metRuns.Inc()
+	metJobs.Add(int64(en.completed))
+	metReconfigs.Add(en.reconfigs)
+	metEvents.Add(int64(en.events))
+	if wall > 0 && en.events > 0 {
+		metEventRate.Set(int64(float64(en.events) / wall.Seconds()))
+	}
+}
+
+// result summarizes the engine state. It is pure and idempotent: the wait
+// ledger is sorted in place at most once (complete() clears the flag), so
+// repeated calls return identical quantiles without re-copying the slice.
 func (en *engine) result() Result {
 	res := Result{
 		Policy:        en.cfg.Policy.Name(),
@@ -554,14 +662,16 @@ func (en *engine) result() Result {
 	if en.completed > 0 {
 		res.MeanWaitNS = int64(en.waitSum) / int64(en.completed)
 		res.MeanResponseNS = int64(en.respSum) / int64(en.completed)
-		waits := append([]time.Duration(nil), en.waits...)
-		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
-		idx := len(waits) * 99 / 100
-		if idx >= len(waits) {
-			idx = len(waits) - 1
+		if !en.waitsSorted {
+			slices.Sort(en.waits)
+			en.waitsSorted = true
 		}
-		res.P99WaitNS = int64(waits[idx])
-		res.MaxWaitNS = int64(waits[len(waits)-1])
+		idx := len(en.waits) * 99 / 100
+		if idx >= len(en.waits) {
+			idx = len(en.waits) - 1
+		}
+		res.P99WaitNS = int64(en.waits[idx])
+		res.MaxWaitNS = int64(en.waits[len(en.waits)-1])
 	}
 	if en.makespan > 0 {
 		b := en.icapBusy
@@ -584,8 +694,5 @@ func (en *engine) result() Result {
 			ICAPNS:    int64(en.slots[i].icap),
 		}
 	}
-	metRuns.Inc()
-	metJobs.Add(int64(en.completed))
-	metReconfigs.Add(en.reconfigs)
 	return res
 }

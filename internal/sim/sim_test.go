@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -450,5 +451,169 @@ func TestVisitorStopsRun(t *testing.T) {
 	}
 	if res.Completed == 0 || res.Completed == len(jobs) {
 		t.Fatalf("want a partial run, got %d of %d", res.Completed, len(jobs))
+	}
+}
+
+// TestEventHeapOrder pins the typed 4-ary heap to the (at, seq) total
+// order: any push sequence must pop in exactly sorted order, which is what
+// makes the heap swap invisible to golden replays.
+func TestEventHeapOrder(t *testing.T) {
+	var h eventHeap
+	rng := uint64(42)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	const n = 5000
+	for seq := 0; seq < n; seq++ {
+		// Coarse timestamps force plenty of (at) ties resolved by seq.
+		h.push(event{at: time.Duration(next() % 64), seq: seq})
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		e := h.pop()
+		if i > 0 && (e.at < prev.at || (e.at == prev.at && e.seq < prev.seq)) {
+			t.Fatalf("pop %d out of order: (%v,%d) after (%v,%d)", i, e.at, e.seq, prev.at, prev.seq)
+		}
+		prev = e
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d events left after draining", len(h))
+	}
+}
+
+// TestResultStableAcrossCalls guards the in-place wait-ledger sort: result()
+// must be idempotent, returning identical quantiles on every call instead
+// of re-copying and re-sorting the waits slice.
+func TestResultStableAcrossCalls(t *testing.T) {
+	mix := Mix{Jobs: 400, Seed: 9, MeanGap: 50 * time.Microsecond,
+		MeanExec: 300 * time.Microsecond, PriorityLevels: 3, Arrival: ArrivalBursty}
+	jobs, err := mix.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(PreemptPriority{})
+	en := new(engine)
+	en.reset(cfg, jobs)
+	en.pushArrivals()
+	if err := en.loop(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	first := en.result()
+	for i := 0; i < 3; i++ {
+		if got := en.result(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("result call %d differs:\n got %+v\nwant %+v", i+2, got, first)
+		}
+	}
+	if first.P99WaitNS < first.MeanWaitNS || first.MaxWaitNS < first.P99WaitNS {
+		t.Fatalf("implausible quantiles: mean=%d p99=%d max=%d",
+			first.MeanWaitNS, first.P99WaitNS, first.MaxWaitNS)
+	}
+}
+
+// TestPooledRunsIdentical replays the same mix through the public Run twice;
+// the second run reuses the pooled engine arena and must produce an
+// identical Result.
+func TestPooledRunsIdentical(t *testing.T) {
+	mix := Mix{Jobs: 600, Seed: 13, MeanGap: 40 * time.Microsecond,
+		MeanExec: 250 * time.Microsecond, PriorityLevels: 4, Arrival: ArrivalBursty}
+	jobs, err := mix.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PolicyNames() {
+		pol, _ := PolicyByName(name)
+		cfg := testConfig(pol)
+		a, err := Run(context.Background(), cfg, jobs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(context.Background(), cfg, jobs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("policy %s: pooled re-run differs:\n got %+v\nwant %+v", name, b, a)
+		}
+	}
+}
+
+// TestCoExploreParallelMatchesSequential is the determinism contract of the
+// parallel sweep: on a randomized mix, any worker count must return
+// byte-identical ranked scores (run under -race in CI).
+func TestCoExploreParallelMatchesSequential(t *testing.T) {
+	dev, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []Spec
+	for _, p := range dse.SyntheticPRMs(5) {
+		specs = append(specs, Spec{Name: p.Name, Req: p.Req})
+	}
+	base := CoExploreConfig{
+		Mix: Mix{Jobs: 120, Seed: 31, MeanGap: 70 * time.Microsecond,
+			MeanExec: 320 * time.Microsecond, PriorityLevels: 3, Arrival: ArrivalBursty},
+		SnapshotEvery: 25,
+	}
+	run := func(workers int) ([]OrgScore, int) {
+		cfg := base
+		cfg.Workers = workers
+		snaps := 0
+		scores, front, _, err := CoExplore(context.Background(), dev, specs, cfg,
+			func(int, string, Snapshot) bool { snaps++; return true },
+			func(OrgScore) bool { return true })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(front) == 0 || len(scores) == 0 {
+			t.Fatalf("workers=%d: empty co-exploration", workers)
+		}
+		if snaps == 0 {
+			t.Fatalf("workers=%d: no snapshots streamed", workers)
+		}
+		return scores, snaps
+	}
+	seq, seqSnaps := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		par, parSnaps := run(workers)
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: ranked scores differ from sequential", workers)
+		}
+		if parSnaps != seqSnaps {
+			t.Fatalf("workers=%d: %d snapshots, sequential emitted %d", workers, parSnaps, seqSnaps)
+		}
+	}
+}
+
+// TestCoExploreScoreStopsParallelSweep checks early stop under parallel
+// replay: after the score callback vetoes, the sweep winds down without
+// error and returns only already-completed runs.
+func TestCoExploreScoreStopsParallelSweep(t *testing.T) {
+	dev, err := device.Lookup("XC6VLX75T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []Spec
+	for _, p := range dse.SyntheticPRMs(4) {
+		specs = append(specs, Spec{Name: p.Name, Req: p.Req})
+	}
+	cfg := CoExploreConfig{
+		Mix: Mix{Jobs: 100, Seed: 3, MeanGap: 60 * time.Microsecond,
+			MeanExec: 300 * time.Microsecond},
+		Workers: 4,
+	}
+	seen := 0
+	scores, _, _, err := CoExplore(context.Background(), dev, specs, cfg, nil,
+		func(OrgScore) bool { seen++; return seen < 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Fatalf("score callback fired %d times, want 2", seen)
+	}
+	if len(scores) < 2 {
+		t.Fatalf("want at least the 2 scored runs back, got %d", len(scores))
 	}
 }
